@@ -1,0 +1,332 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus ablations of the design choices called out in
+// DESIGN.md §7. Shapes to expect (not absolute numbers):
+//
+//	Figure5/Figure6 — useless-imputed-fraction drops from ≥0.65 to ≤0.60
+//	                  when feedback is enabled (paper: 0.97 → 0.29);
+//	Figure7         — F1 ≈ half of F0, F2 and F3 below F1, flat across
+//	                  feedback frequencies;
+//	Table1/Table2   — characterization rows enact and verify in
+//	                  microseconds (feedback handling is cheap).
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/op"
+	"repro/internal/punct"
+	"repro/internal/queue"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// ---------------------------------------------------------------------------
+// Tables 1 and 2.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1CountCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.CountTable() {
+			if !r.Verified {
+				b.Fatalf("row %s failed Definition 1", r.Punctuation)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2JoinCharacterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.JoinTable() {
+			if !r.Verified {
+				b.Fatalf("row %s failed Definition 1", r.Punctuation)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 5 and 6 (Experiment 1).
+// ---------------------------------------------------------------------------
+
+func benchImputation(b *testing.B, feedback bool, maxUseless, minUseless float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunImputation(experiments.ImputationConfig{
+			Tuples: 2000, Rate: 4000, Feedback: feedback,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := res.UselessFraction()
+		if u < minUseless || u > maxUseless {
+			b.Logf("warning: useless fraction %.2f outside expected [%.2f, %.2f] (wall-clock noise)",
+				u, minUseless, maxUseless)
+		}
+		b.ReportMetric(100*u, "%useless")
+	}
+}
+
+func BenchmarkFigure5ImputationNoFeedback(b *testing.B) {
+	benchImputation(b, false, 1.0, 0.60)
+}
+
+func BenchmarkFigure6ImputationWithFeedback(b *testing.B) {
+	benchImputation(b, true, 0.65, 0.0)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 (Experiment 2).
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigure7Speedmap(b *testing.B) {
+	for _, scheme := range []experiments.Scheme{experiments.F0, experiments.F1, experiments.F2, experiments.F3} {
+		for _, freq := range []int{2, 4, 6} {
+			b.Run(fmt.Sprintf("%v/switch=%dmin", scheme, freq), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := experiments.RunSpeedmap(experiments.SpeedmapConfig{
+						Scheme:             scheme,
+						SwitchEveryMinutes: freq,
+						Hours:              1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.WorkUnits)/1e6, "Mwork")
+					b.ReportMetric(float64(res.Results), "results")
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1(b): the motivating speed-map plan with adaptive feedback.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigure1bSpeedmapPlan(b *testing.B) {
+	for _, feedback := range []bool{false, true} {
+		b.Run(fmt.Sprintf("feedback=%v", feedback), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFigure1b(feedback, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(res.MapRows)), "rows")
+				b.ReportMetric(float64(res.CleanerSkipped+res.AggFoldsSkipped+res.ProbesSkipped), "saved")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §7).
+// ---------------------------------------------------------------------------
+
+// pipelineThroughput pushes n tuples through source → select → sink under
+// the given queue options and reports tuples/op.
+func pipelineThroughput(b *testing.B, opts queue.Options, n int) {
+	b.Helper()
+	schema := gen.TrafficSchema
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = stream.NewTuple(
+			stream.Int(int64(i%9)), stream.Int(int64(i%40)),
+			stream.TimeMicros(int64(i)*1000), stream.Float(55),
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := exec.NewSliceSource("src", schema, tuples...)
+		src.BatchSize = 256
+		sel := &op.Select{Schema: schema}
+		sink := exec.NewCollector("sink", schema)
+		sink.Discard = true
+		g := exec.NewGraph()
+		g.SetQueueOptions(opts)
+		s := g.AddSource(src)
+		f := g.Add(sel, exec.From(s))
+		g.Add(sink, exec.From(f))
+		if err := g.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "tuples/op")
+}
+
+func BenchmarkAblationPageSize(b *testing.B) {
+	for _, ps := range []int{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("page=%d", ps), func(b *testing.B) {
+			pipelineThroughput(b, queue.Options{PageSize: ps, FlushOnPunct: true}, 100_000)
+		})
+	}
+}
+
+func BenchmarkAblationPunctFlush(b *testing.B) {
+	// Punctuation-dense stream: the flush-on-punct policy trades batching
+	// for progress latency.
+	schema := gen.TrafficSchema
+	var items []queue.Item
+	for i := 0; i < 50_000; i++ {
+		items = append(items, queue.TupleItem(stream.NewTuple(
+			stream.Int(int64(i%9)), stream.Int(0),
+			stream.TimeMicros(int64(i)*1000), stream.Float(55))))
+		if i%10 == 9 {
+			items = append(items, queue.PunctItem(punct.NewEmbedded(
+				punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(int64(i)*1000))))))
+		}
+	}
+	for _, flush := range []bool{true, false} {
+		b.Run(fmt.Sprintf("flushOnPunct=%v", flush), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				src := &exec.SliceSource{SourceName: "src", Schema: schema, Items: items, BatchSize: 256}
+				sink := exec.NewCollector("sink", schema)
+				sink.Discard = true
+				g := exec.NewGraph()
+				g.SetQueueOptions(queue.Options{PageSize: 64, FlushOnPunct: flush})
+				s := g.AddSource(src)
+				g.Add(sink, exec.From(s))
+				if err := g.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGuardLadder compares the F-scheme exploitation depths on
+// the aggregate alone (no wall-clock noise: deterministic work counters).
+func BenchmarkAblationGuardLadder(b *testing.B) {
+	for _, mode := range []op.FeedbackMode{op.FeedbackIgnore, op.FeedbackGuardOutput, op.FeedbackExploit} {
+		b.Run(mode.String(), func(b *testing.B) {
+			const minute = int64(60_000_000)
+			fb := core.NewAssumed(punct.OnAttr(3, 0, punct.Eq(stream.Int(3))))
+			for i := 0; i < b.N; i++ {
+				a := &op.Aggregate{
+					In: gen.TrafficSchema, Kind: core.AggAvg,
+					TsAttr: 2, ValAttr: 3, GroupBy: []int{0},
+					Window: window.Tumbling(minute), Mode: mode,
+				}
+				h := exec.NewHarness(a)
+				h.Feedback(0, fb)
+				for j := 0; j < 10_000; j++ {
+					h.Tuple(0, stream.NewTuple(
+						stream.Int(int64(j%9)), stream.Int(0),
+						stream.TimeMicros(int64(j)*10_000), stream.Float(55)))
+					if j%1000 == 999 {
+						h.Punct(0, punct.NewEmbedded(punct.OnAttr(4, 2,
+							punct.Le(stream.TimeMicros(int64(j)*10_000)))))
+					}
+				}
+				h.EOS(0)
+				if h.Err() != nil {
+					b.Fatal(h.Err())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFeedbackFrequency measures raw feedback-handling cost:
+// the paper reports "no discernible overhead" as frequency rises.
+func BenchmarkAblationFeedbackFrequency(b *testing.B) {
+	for _, every := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("feedbackEvery=%d", every), func(b *testing.B) {
+			sel := &op.Select{Schema: gen.TrafficSchema, Mode: op.FeedbackExploit}
+			h := exec.NewHarness(sel)
+			t := stream.NewTuple(stream.Int(1), stream.Int(1), stream.TimeMicros(0), stream.Float(55))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%every == 0 {
+					h.Feedback(0, core.NewAssumed(punct.OnAttr(4, 2,
+						punct.Lt(stream.TimeMicros(int64(i))))))
+				}
+				tt := t
+				tt.Values = append([]stream.Value(nil), t.Values...)
+				tt.Values[2] = stream.TimeMicros(int64(i + 1))
+				h.Tuple(0, tt)
+				if i%4096 == 0 {
+					h.Reset() // keep the recorded output bounded
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the core machinery.
+// ---------------------------------------------------------------------------
+
+func BenchmarkPatternMatch(b *testing.B) {
+	p := punct.NewPattern(
+		punct.Eq(stream.Int(3)),
+		punct.Wild,
+		punct.Le(stream.TimeMicros(1_000_000)),
+		punct.Ge(stream.Float(50)),
+	)
+	t := stream.NewTuple(stream.Int(3), stream.Int(7), stream.TimeMicros(500_000), stream.Float(60))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Matches(t) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+func BenchmarkGuardTableSuppress(b *testing.B) {
+	g := core.NewGuardTable(4)
+	for i := 0; i < 8; i++ {
+		g.Install(core.NewAssumed(punct.OnAttr(4, 0, punct.Eq(stream.Int(int64(100+i))))))
+	}
+	t := stream.NewTuple(stream.Int(3), stream.Int(7), stream.TimeMicros(500_000), stream.Float(60))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g.Suppress(t) {
+			b.Fatal("must not suppress")
+		}
+	}
+}
+
+func BenchmarkAggregateFold(b *testing.B) {
+	const minute = int64(60_000_000)
+	a := &op.Aggregate{
+		In: gen.TrafficSchema, Kind: core.AggAvg,
+		TsAttr: 2, ValAttr: 3, GroupBy: []int{0},
+		Window: window.Tumbling(minute),
+	}
+	h := exec.NewHarness(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Tuple(0, stream.NewTuple(
+			stream.Int(int64(i%9)), stream.Int(0),
+			stream.TimeMicros(int64(i)*1000), stream.Float(55)))
+	}
+}
+
+func BenchmarkJoinProbe(b *testing.B) {
+	j := &op.Join{
+		Left:     gen.ProbeSchema,
+		Right:    gen.ProbeSchema,
+		LeftKeys: []int{0, 1}, RightKeys: []int{0, 1},
+		LeftTs: 1, RightTs: 1,
+	}
+	h := exec.NewHarness(j)
+	// Preload right side with 1000 entries.
+	for i := 0; i < 1000; i++ {
+		h.Tuple(1, stream.NewTuple(stream.Int(int64(i)), stream.TimeMicros(0), stream.Float(50)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Tuple(0, stream.NewTuple(stream.Int(int64(i%1000)), stream.TimeMicros(0), stream.Float(60)))
+		if i%4096 == 0 {
+			h.Reset()
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command imputation runs Experiment 1 (Figures 5 and 6): the imputation
+// query plan with and without feedback punctuation, reporting the fraction
+// of imputed tuples that became useless and optionally dumping the
+// output-pattern series behind the figures.
+//
+// Usage:
+//
+//	imputation [-tuples 5000] [-rate 2500] [-tolerance 40ms]
+//	           [-service 1.4] [-series figure.tsv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	tuples := flag.Int("tuples", 5000, "stream length (paper: 5000)")
+	rate := flag.Float64("rate", 2500, "arrival rate, tuples/second")
+	tolerance := flag.Duration("tolerance", 40*time.Millisecond, "PACE divergence tolerance (stream time)")
+	service := flag.Float64("service", 1.4, "imputation service time as a multiple of dirty-tuple inter-arrival")
+	seriesDir := flag.String("series", "", "directory to write figure5.tsv / figure6.tsv series")
+	flag.Parse()
+
+	base := experiments.ImputationConfig{
+		Tuples:          *tuples,
+		Rate:            *rate,
+		ToleranceMicros: tolerance.Microseconds(),
+		ServiceFactor:   *service,
+	}
+
+	fmt.Println("=== Experiment 1: imputation query plan (paper §6, Figures 5 & 6) ===")
+	for _, feedback := range []bool{false, true} {
+		cfg := base
+		cfg.Feedback = feedback
+		res, err := experiments.RunImputation(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		res.Report(os.Stdout)
+		if *seriesDir != "" {
+			name := "figure5.tsv"
+			if feedback {
+				name = "figure6.tsv"
+			}
+			path := *seriesDir + "/" + name
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			if err := res.Series.WriteTSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("  series written to        %s\n", path)
+		}
+	}
+}

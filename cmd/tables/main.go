@@ -1,0 +1,14 @@
+// Command tables regenerates the paper's Tables 1 and 2: the COUNT and
+// JOIN feedback characterizations, each row enacted on a live operator and
+// verified against Definition 1 (correct exploitation).
+package main
+
+import (
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	experiments.RenderTables(os.Stdout)
+}

@@ -1,0 +1,129 @@
+// Distributed: feedback punctuation across a machine boundary.
+//
+// The paper's case for localized feedback (§2) is the distributed setting:
+// shipping stream data to a centralized optimizer is expensive, while
+// feedback only ever travels between adjacent operators. This example
+// splits the quickstart plan across a real TCP connection:
+//
+//	process A (here: goroutine):  sensor source → filter → RemoteSink ══╗
+//	process B (here: goroutine):  RemoteSource → deciding sink          ║
+//	             feedback:  sink → RemoteSource ═(TCP)═ RemoteSink → filter → source
+//
+// The consumer's assumed feedback crosses the wire against the data
+// direction and is exploited all the way back at the producer's source.
+//
+// Run with: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"repro"
+	"repro/internal/exec"
+	"repro/internal/stream"
+)
+
+var schema = repro.MustSchema(
+	repro.F("segment", repro.KindInt),
+	repro.F("ts", repro.KindTime),
+	repro.F("speed", repro.KindFloat),
+)
+
+// decider asks to ignore segment 2 after 25 arrivals.
+type decider struct {
+	exec.Base
+	seen int64
+	sent bool
+	got  map[int64]int64
+}
+
+func (d *decider) Name() string               { return "decider" }
+func (d *decider) InSchemas() []repro.Schema  { return []repro.Schema{schema} }
+func (d *decider) OutSchemas() []repro.Schema { return nil }
+func (d *decider) Open(repro.Context) error   { d.got = map[int64]int64{}; return nil }
+func (d *decider) ProcessTuple(_ int, t stream.Tuple, ctx repro.Context) error {
+	d.got[t.At(0).AsInt()]++
+	d.seen++
+	if !d.sent && d.seen >= 25 {
+		d.sent = true
+		fb := repro.NewAssumed(repro.OnAttr(3, 0, repro.Eq(repro.Int(2))))
+		fmt.Printf("consumer: sending %v across the wire\n", fb)
+		ctx.SendFeedback(0, fb)
+	}
+	return nil
+}
+
+func main() {
+	addr, accept, err := repro.ListenRemote("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer listening on %s\n", addr)
+
+	var wg sync.WaitGroup
+	var src *repro.SliceSource
+	var sink *decider
+	var prodErr, consErr error
+
+	// Consumer "machine".
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := accept()
+		if err != nil {
+			consErr = err
+			return
+		}
+		rsrc := repro.NewRemoteSource("from-producer", schema, conn)
+		sink = &decider{}
+		g := repro.NewGraph()
+		g.SetQueueOptions(repro.QueueOptions{PageSize: 4, Depth: 2, FlushOnPunct: true})
+		s := g.AddSource(rsrc)
+		g.Add(sink, repro.From(s))
+		consErr = g.Run()
+	}()
+
+	// Producer "machine".
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			prodErr = err
+			return
+		}
+		var tuples []repro.Tuple
+		for i := 0; i < 3000; i++ {
+			tuples = append(tuples, repro.NewTuple(
+				repro.Int(int64(i%3)), repro.TimeMicros(int64(i)*1000), repro.Float(55),
+			).WithSeq(int64(i)))
+		}
+		src = repro.NewSliceSource("sensors", schema, tuples...)
+		src.FeedbackAware = true
+		src.BatchSize = 4
+
+		filter := &repro.Select{
+			OpName: "filter", Schema: schema,
+			Mode: repro.FeedbackExploit, Propagate: true,
+		}
+		rsink := repro.NewRemoteSink("to-consumer", schema, conn)
+		rsink.FlushEvery = 8
+
+		g := repro.NewGraph()
+		g.SetQueueOptions(repro.QueueOptions{PageSize: 4, Depth: 2, FlushOnPunct: true})
+		s := g.AddSource(src)
+		f := g.Add(filter, repro.From(s))
+		g.Add(rsink, repro.From(f))
+		prodErr = g.Run()
+	}()
+
+	wg.Wait()
+	if prodErr != nil || consErr != nil {
+		log.Fatal(prodErr, consErr)
+	}
+	fmt.Printf("producer: %d tuples suppressed at the source by remote feedback\n", src.Skipped())
+	fmt.Printf("consumer received per segment: %v\n", sink.got)
+}

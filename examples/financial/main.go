@@ -1,0 +1,94 @@
+// Financial: demanded punctuation (§3.4) — the currency speculator.
+//
+// A tick stream feeds a one-minute windowed AVERAGE per currency pair. The
+// window only closes (and emits) when punctuation passes its end — but the
+// speculator's margin of action is a few seconds: a best-guess estimate NOW
+// beats the exact answer after the window closes. She sends demanded
+// feedback — ![pair, *, *] — and the aggregate unblocks, emitting its
+// current partial average immediately while continuing to accumulate the
+// exact result.
+//
+// Run with: go run ./examples/financial
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// speculator is the sink: partway through the stream it demands an early
+// answer for EUR/USD.
+type speculator struct {
+	exec.Base
+	schema    repro.Schema
+	mu        sync.Mutex
+	arrivals  []string
+	demanded  bool
+	ticksSeen int
+}
+
+func (s *speculator) Name() string               { return "speculator" }
+func (s *speculator) InSchemas() []repro.Schema  { return []repro.Schema{s.schema} }
+func (s *speculator) OutSchemas() []repro.Schema { return nil }
+
+func (s *speculator) ProcessTuple(_ int, t stream.Tuple, _ repro.Context) error {
+	s.mu.Lock()
+	s.arrivals = append(s.arrivals, fmt.Sprintf("%s @%s rate=%.4f",
+		t.At(0).AsString(), t.At(1).AsTime().UTC().Format("15:04:05"), t.At(2).AsFloat()))
+	s.mu.Unlock()
+	return nil
+}
+
+// ProcessPunct doubles as the speculator's clock: when the first window
+// boundary passes without a result she can act on, she demands a partial.
+func (s *speculator) ProcessPunct(_ int, e punct.Embedded, ctx repro.Context) error {
+	s.ticksSeen++
+	if !s.demanded && s.ticksSeen == 1 {
+		s.demanded = true
+		f := repro.NewDemanded(repro.OnAttr(s.schema.Arity(), 0, repro.Eq(repro.Str("EUR/USD"))))
+		fmt.Printf("speculator: margin of action expiring — sending %v\n", f)
+		ctx.SendFeedback(0, f)
+	}
+	return nil
+}
+
+func main() {
+	ticks := &gen.TickSource{Config: gen.TickConfig{
+		Pairs:                 []string{"EUR/USD", "GBP/USD", "USD/JPY"},
+		TicksPerPairPerSecond: 10,
+		Duration:              90 * 1_000_000, // 90 s of stream time
+		Seed:                  7,
+	}}
+	avg := &repro.Aggregate{
+		OpName: "avg-rate", In: gen.TickSchema, Kind: repro.AggAvg,
+		TsAttr: 1, ValAttr: 2, GroupBy: []int{0},
+		Window: repro.Tumbling(60_000_000), ValueName: "rate",
+		Mode: repro.FeedbackExploit,
+	}
+	spec := &speculator{schema: avg.OutSchemas()[0]}
+
+	g := repro.NewGraph()
+	tn := g.AddSource(ticks)
+	an := g.Add(avg, repro.From(tn))
+	g.Add(spec, repro.From(an))
+
+	if err := g.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := avg.Stats()
+	fmt.Printf("partial results emitted on demand: %d\n", st.Partials)
+	fmt.Println("\nresults in arrival order:")
+	for _, a := range spec.arrivals {
+		fmt.Println(" ", a)
+	}
+	fmt.Println("\nThe demanded partial for EUR/USD appears before the window's exact")
+	fmt.Println("average — a partial answer in time beats a full answer too late.")
+}

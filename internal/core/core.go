@@ -1,0 +1,17 @@
+// Package core implements the paper's primary contribution: feedback
+// punctuation — punctuation that flows against the stream direction on an
+// out-of-band control channel, carrying a predicate (the subset of interest)
+// and an intent (what the receiver should do about it).
+//
+// The package provides:
+//
+//   - Feedback values with the three intents of §3.4 (assumed ¬, desired ?,
+//     demanded !) and the paper's textual notation;
+//   - the correctness notions of §4 — Definition 1 (correct exploitation)
+//     as a checkable property over recorded runs, and Definition 2 (safe
+//     propagation) as a decision procedure over schema mappings;
+//   - the operator characterizations of Tables 1 and 2 as data, consumed by
+//     the operators in package op and verified by tests;
+//   - guard tables with expiration driven by embedded punctuation (§4.4);
+//   - the producer/exploiter/relayer roles (§1, §3.5).
+package core

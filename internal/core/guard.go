@@ -1,0 +1,113 @@
+package core
+
+import (
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Guard is one active suppression predicate installed in response to
+// assumed feedback. Guards are the paper's strategies (1) and (2) in §4.3:
+// an output guard avoids emitting matching tuples; an input guard avoids
+// computing on matching tuples.
+type Guard struct {
+	Pattern punct.Pattern
+	// Source identifies the feedback that installed the guard.
+	Source Feedback
+}
+
+// GuardTable holds the active guards of one operator port and implements
+// the expiration policy of §4.4: feedback state must not accumulate, so a
+// guard is released as soon as embedded punctuation covers its pattern
+// (the stream has promised the subset will never appear again, making the
+// guard moot).
+//
+// GuardTable is not safe for concurrent use; each operator owns its tables
+// and is single-goroutine by construction.
+type GuardTable struct {
+	guards []Guard
+	scheme *punct.Scheme
+	// merged counts guards dropped because a newer guard subsumed them.
+	merged int
+	// expired counts guards released by embedded punctuation.
+	expired int
+	// hits counts tuples suppressed by this table.
+	hits int64
+}
+
+// NewGuardTable creates an empty table for streams of the given arity.
+func NewGuardTable(arity int) *GuardTable {
+	return &GuardTable{scheme: punct.NewScheme(arity)}
+}
+
+// Install adds a guard for the feedback's pattern. Guards subsumed by the
+// new pattern are dropped; if an existing guard already subsumes the new
+// one, the table is unchanged. Returns whether the table changed.
+func (g *GuardTable) Install(f Feedback) bool {
+	p := f.Pattern
+	kept := g.guards[:0]
+	for _, old := range g.guards {
+		if old.Pattern.Implies(p) {
+			g.merged++
+			continue // old guard is redundant under the new one
+		}
+		if p.Implies(old.Pattern) {
+			// New guard is redundant; keep table as-is.
+			g.guards = append(kept, g.guards[len(kept):]...)
+			return false
+		}
+		kept = append(kept, old)
+	}
+	g.guards = append(kept, Guard{Pattern: p, Source: f})
+	return true
+}
+
+// Suppress reports whether the tuple matches any active guard (and should
+// be dropped by the caller).
+func (g *GuardTable) Suppress(t stream.Tuple) bool {
+	for _, gd := range g.guards {
+		if gd.Pattern.Matches(t) {
+			g.hits++
+			return true
+		}
+	}
+	return false
+}
+
+// ObservePunct folds embedded punctuation into the expiration tracker and
+// releases any guard whose pattern is now covered: the stream itself
+// guarantees those tuples are gone, so the guard holds no information.
+// Returns the number of guards released.
+func (g *GuardTable) ObservePunct(e punct.Embedded) int {
+	g.scheme.Observe(e)
+	kept := g.guards[:0]
+	released := 0
+	for _, gd := range g.guards {
+		if g.scheme.CoversPattern(gd.Pattern) {
+			released++
+			continue
+		}
+		kept = append(kept, gd)
+	}
+	g.guards = kept
+	g.expired += released
+	return released
+}
+
+// Supportable applies the §4.4 admissibility test to a candidate feedback
+// pattern using the punctuation observed so far on this port: every bound
+// attribute must be delimited. Operators may consult this before
+// installing state-bearing responses; installing a guard for
+// unsupportable feedback is still *correct*, but risks unbounded predicate
+// accumulation, so callers typically fall back to the null response.
+func (g *GuardTable) Supportable(p punct.Pattern) bool { return g.scheme.Supportable(p) }
+
+// Active returns the number of live guards.
+func (g *GuardTable) Active() int { return len(g.guards) }
+
+// Guards returns a copy of the live guards (diagnostics).
+func (g *GuardTable) Guards() []Guard { return append([]Guard(nil), g.guards...) }
+
+// Stats reports suppression hits, merges, and expirations.
+func (g *GuardTable) Stats() (hits int64, merged, expired int) {
+	return g.hits, g.merged, g.expired
+}

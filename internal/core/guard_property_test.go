@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// randPred over a small int domain so subsumption and matches collide
+// often.
+func randPred(r *rand.Rand) punct.Pred {
+	v := func() stream.Value { return stream.Int(r.Int63n(10)) }
+	switch r.Intn(5) {
+	case 0:
+		return punct.Eq(v())
+	case 1:
+		return punct.Le(v())
+	case 2:
+		return punct.Ge(v())
+	case 3:
+		a, b := v(), v()
+		if b.AsInt() < a.AsInt() {
+			a, b = b, a
+		}
+		return punct.Range(a, b)
+	default:
+		return punct.Wild
+	}
+}
+
+// Property: GuardTable.Suppress(t) ⟺ some installed feedback pattern
+// matches t, regardless of installation order and subsumption merging.
+func TestGuardTableSubsumptionPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		g := NewGuardTable(2)
+		var installed []punct.Pattern
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			p := punct.NewPattern(randPred(r), randPred(r))
+			if p.IsAllWild() {
+				continue
+			}
+			installed = append(installed, p)
+			g.Install(NewAssumed(p))
+		}
+		for probe := 0; probe < 50; probe++ {
+			tp := stream.NewTuple(stream.Int(r.Int63n(10)), stream.Int(r.Int63n(10)))
+			want := false
+			for _, p := range installed {
+				if p.Matches(tp) {
+					want = true
+					break
+				}
+			}
+			if got := g.Suppress(tp); got != want {
+				t.Fatalf("trial %d: Suppress(%v) = %v, want %v (installed %v)",
+					trial, tp, got, want, installed)
+			}
+		}
+	}
+}
+
+// Property: expiration never releases a guard whose subset could still
+// contain future tuples — i.e. a released guard's pattern is covered by
+// the punctuation seen.
+func TestGuardTableExpirationSound(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		g := NewGuardTable(1)
+		bound := r.Int63n(10)
+		p := punct.OnAttr(1, 0, punct.Le(stream.Int(bound)))
+		g.Install(NewAssumed(p))
+		wm := r.Int63n(10)
+		g.ObservePunct(punct.NewEmbedded(punct.OnAttr(1, 0, punct.Le(stream.Int(wm)))))
+		released := g.Active() == 0
+		if released && wm < bound {
+			t.Fatalf("trial %d: guard ≤%d released by punctuation ≤%d", trial, bound, wm)
+		}
+		if !released && wm >= bound {
+			t.Fatalf("trial %d: guard ≤%d not released by covering punctuation ≤%d", trial, bound, wm)
+		}
+	}
+}

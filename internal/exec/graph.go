@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/queue"
+	"repro/internal/stream"
+)
+
+// NodeID identifies a node added to a Graph.
+type NodeID int
+
+// Port names one output port of a node, for wiring.
+type Port struct {
+	Node NodeID
+	Out  int
+}
+
+// From is shorthand for a node's output port 0.
+func From(id NodeID) Port { return Port{Node: id} }
+
+// FromPort names an explicit output port.
+func FromPort(id NodeID, out int) Port { return Port{Node: id, Out: out} }
+
+type node struct {
+	id     NodeID
+	op     Operator // nil for sources
+	src    Source   // nil for operators
+	inputs []Port   // upstream ports feeding each input, in order
+
+	// Wired during prepare():
+	inConns  []*queue.Conn // consumer side
+	outConns []*queue.Conn // producer side
+}
+
+func (n *node) name() string {
+	if n.src != nil {
+		return n.src.Name()
+	}
+	return n.op.Name()
+}
+
+func (n *node) numOutputs() int {
+	if n.src != nil {
+		return len(n.src.OutSchemas())
+	}
+	return len(n.op.OutSchemas())
+}
+
+// Graph is a query plan: a DAG of sources and operators. Build it with
+// AddSource/Add, then execute with Run.
+type Graph struct {
+	nodes    []*node
+	opts     queue.Options
+	log      io.Writer
+	prepared bool
+	err      error // first wiring error, surfaced by Run
+}
+
+// NewGraph creates an empty plan with default queue options.
+func NewGraph() *Graph { return &Graph{opts: queue.DefaultOptions()} }
+
+// SetQueueOptions overrides the inter-operator connection configuration for
+// edges wired afterwards (benchmarks use this to ablate page size).
+func (g *Graph) SetQueueOptions(opts queue.Options) { g.opts = opts }
+
+// SetLog directs operator diagnostics to w.
+func (g *Graph) SetLog(w io.Writer) { g.log = w }
+
+// AddSource adds a self-driving source node.
+func (g *Graph) AddSource(src Source) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, &node{id: id, src: src})
+	return id
+}
+
+// Add adds an operator node fed by the given upstream ports (one per input
+// port, in order). Wiring errors are deferred to Run.
+func (g *Graph) Add(op Operator, inputs ...Port) NodeID {
+	id := NodeID(len(g.nodes))
+	n := &node{id: id, op: op, inputs: inputs}
+	g.nodes = append(g.nodes, n)
+	if g.err == nil {
+		g.err = g.checkAdd(n)
+	}
+	return id
+}
+
+func (g *Graph) checkAdd(n *node) error {
+	want := len(n.op.InSchemas())
+	if len(n.inputs) != want {
+		return fmt.Errorf("exec: operator %q wants %d inputs, wired %d", n.op.Name(), want, len(n.inputs))
+	}
+	for i, p := range n.inputs {
+		if int(p.Node) < 0 || int(p.Node) >= len(g.nodes)-1 {
+			return fmt.Errorf("exec: operator %q input %d wired to unknown node %d", n.op.Name(), i, p.Node)
+		}
+		up := g.nodes[p.Node]
+		if p.Out < 0 || p.Out >= up.numOutputs() {
+			return fmt.Errorf("exec: operator %q input %d wired to %q output %d, which has %d outputs",
+				n.op.Name(), i, up.name(), p.Out, up.numOutputs())
+		}
+		var upSchemas = up.outSchemas()
+		if !upSchemas[p.Out].Equal(n.op.InSchemas()[i]) {
+			return fmt.Errorf("exec: schema mismatch: %q output %d is %s but %q input %d wants %s",
+				up.name(), p.Out, upSchemas[p.Out], n.op.Name(), i, n.op.InSchemas()[i])
+		}
+	}
+	return nil
+}
+
+func (n *node) outSchemas() []stream.Schema {
+	if n.src != nil {
+		return n.src.OutSchemas()
+	}
+	return n.op.OutSchemas()
+}
+
+// prepare wires connections: one Conn per (producer output port → consumer
+// input port) edge. Every output port must be consumed exactly once;
+// explicit DUPLICATE operators provide fan-out.
+func (g *Graph) prepare() error {
+	if g.prepared {
+		return fmt.Errorf("exec: graph already run")
+	}
+	if g.err != nil {
+		return g.err
+	}
+	g.prepared = true
+	type edgeKey struct {
+		node NodeID
+		out  int
+	}
+	conns := map[edgeKey]*queue.Conn{}
+	for _, n := range g.nodes {
+		n.outConns = make([]*queue.Conn, n.numOutputs())
+	}
+	for _, n := range g.nodes {
+		n.inConns = make([]*queue.Conn, len(n.inputs))
+		for i, p := range n.inputs {
+			k := edgeKey{p.Node, p.Out}
+			if conns[k] != nil {
+				return fmt.Errorf("exec: output %d of %q consumed twice (insert a DUPLICATE operator for fan-out)",
+					p.Out, g.nodes[p.Node].name())
+			}
+			c := queue.New(g.opts)
+			conns[k] = c
+			n.inConns[i] = c
+			g.nodes[p.Node].outConns[p.Out] = c
+		}
+	}
+	for _, n := range g.nodes {
+		for out, c := range n.outConns {
+			if c == nil {
+				return fmt.Errorf("exec: output %d of %q is not consumed (add a sink)", out, n.name())
+			}
+		}
+	}
+	return nil
+}
+
+// Report writes a per-edge traffic summary of the plan: one line per wired
+// connection with tuple/punctuation/page/control counts. Valid after Run
+// (all-zero before).
+func (g *Graph) Report(w io.Writer) {
+	for _, n := range g.nodes {
+		for out, c := range n.outConns {
+			if c == nil {
+				continue
+			}
+			// Find the consumer for a readable arrow.
+			consumer := "?"
+			for _, m := range g.nodes {
+				for i, p := range m.inputs {
+					if p.Node == n.id && p.Out == out {
+						consumer = fmt.Sprintf("%s[%d]", m.name(), i)
+					}
+				}
+			}
+			st := c.Stats()
+			fmt.Fprintf(w, "%s[%d] -> %-16s tuples=%-8d puncts=%-6d pages=%-6d punct-flushes=%-6d controls=%d\n",
+				n.name(), out, consumer, st.Tuples, st.Puncts, st.Pages, st.PunctFlushes, st.Controls)
+		}
+	}
+}
+
+// EdgeStats returns traffic counters for the edge leaving the given output
+// port; valid after Run.
+func (g *Graph) EdgeStats(p Port) (queue.Stats, error) {
+	if int(p.Node) < 0 || int(p.Node) >= len(g.nodes) {
+		return queue.Stats{}, fmt.Errorf("exec: unknown node %d", p.Node)
+	}
+	n := g.nodes[p.Node]
+	if p.Out < 0 || p.Out >= len(n.outConns) || n.outConns[p.Out] == nil {
+		return queue.Stats{}, fmt.Errorf("exec: node %q output %d not wired", n.name(), p.Out)
+	}
+	return n.outConns[p.Out].Stats(), nil
+}

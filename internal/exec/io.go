@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/punct"
+	"repro/internal/queue"
+	"repro/internal/stream"
+)
+
+// SliceSource replays a fixed sequence of items (tuples and punctuation).
+// It is the workhorse source of tests and examples. If FeedbackAware is
+// set, tuples matching a received assumed-feedback pattern are skipped at
+// the source — the strongest possible exploitation.
+type SliceSource struct {
+	SourceName    string
+	Schema        stream.Schema
+	Items         []queue.Item
+	FeedbackAware bool
+	// BatchSize items are emitted per Next call (default 16).
+	BatchSize int
+
+	pos      int
+	guards   *core.GuardTable
+	received []core.Feedback
+	skipped  int64
+}
+
+// NewSliceSource builds a source over tuples only.
+func NewSliceSource(name string, schema stream.Schema, tuples ...stream.Tuple) *SliceSource {
+	items := make([]queue.Item, len(tuples))
+	for i, t := range tuples {
+		items[i] = queue.TupleItem(t)
+	}
+	return &SliceSource{SourceName: name, Schema: schema, Items: items}
+}
+
+// Name implements Source.
+func (s *SliceSource) Name() string { return s.SourceName }
+
+// OutSchemas implements Source.
+func (s *SliceSource) OutSchemas() []stream.Schema { return []stream.Schema{s.Schema} }
+
+// Open implements Source.
+func (s *SliceSource) Open(Context) error {
+	s.guards = core.NewGuardTable(s.Schema.Arity())
+	return nil
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(ctx Context) (bool, error) {
+	n := s.BatchSize
+	if n <= 0 {
+		n = 16
+	}
+	for i := 0; i < n && s.pos < len(s.Items); i++ {
+		it := s.Items[s.pos]
+		s.pos++
+		switch it.Kind {
+		case queue.ItemTuple:
+			if s.FeedbackAware && s.guards.Suppress(it.Tuple) {
+				s.skipped++
+				continue
+			}
+			ctx.Emit(it.Tuple)
+		case queue.ItemPunct:
+			s.guards.ObservePunct(it.Punct)
+			ctx.EmitPunct(it.Punct)
+		}
+	}
+	return s.pos < len(s.Items), nil
+}
+
+// ProcessFeedback implements Source: assumed feedback installs a guard when
+// the source is feedback-aware.
+func (s *SliceSource) ProcessFeedback(_ int, f core.Feedback, _ Context) error {
+	s.received = append(s.received, f)
+	if s.FeedbackAware && f.Intent == core.Assumed {
+		s.guards.Install(f)
+	}
+	return nil
+}
+
+// Close implements Source.
+func (s *SliceSource) Close(Context) error { return nil }
+
+// Received returns the feedback the source has seen (diagnostics).
+func (s *SliceSource) Received() []core.Feedback { return s.received }
+
+// Skipped returns how many tuples guards suppressed at the source.
+func (s *SliceSource) Skipped() int64 { return s.skipped }
+
+// ReaderSource streams tuples decoded from an io.Reader in the text codec
+// (one comma-separated tuple per line; see stream.Decoder). It can emit
+// progress punctuation on an ordered attribute and exploits assumed
+// feedback when FeedbackAware.
+type ReaderSource struct {
+	SourceName string
+	Schema     stream.Schema
+	R          io.Reader
+	// PunctAttr, when ≥ 0, emits […, ≤v, …] punctuation on that attribute
+	// every PunctEvery tuples (assumes the input is ordered on it).
+	PunctAttr  int
+	PunctEvery int
+	// FeedbackAware lets assumed feedback suppress decoded tuples.
+	FeedbackAware bool
+
+	dec     *stream.Decoder
+	guards  *core.GuardTable
+	count   int
+	lastV   stream.Value
+	skipped int64
+}
+
+// NewReaderSource decodes tuples of the given schema from r.
+func NewReaderSource(name string, schema stream.Schema, r io.Reader) *ReaderSource {
+	return &ReaderSource{SourceName: name, Schema: schema, R: r, PunctAttr: -1}
+}
+
+// Name implements Source.
+func (s *ReaderSource) Name() string { return s.SourceName }
+
+// OutSchemas implements Source.
+func (s *ReaderSource) OutSchemas() []stream.Schema { return []stream.Schema{s.Schema} }
+
+// Open implements Source.
+func (s *ReaderSource) Open(Context) error {
+	s.dec = stream.NewDecoder(s.R, s.Schema)
+	s.guards = core.NewGuardTable(s.Schema.Arity())
+	if s.PunctEvery <= 0 {
+		s.PunctEvery = 100
+	}
+	return nil
+}
+
+// Next implements Source: one tuple per call.
+func (s *ReaderSource) Next(ctx Context) (bool, error) {
+	t, err := s.dec.Decode()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	s.count++
+	t.Seq = int64(s.count)
+	if s.PunctAttr >= 0 {
+		s.lastV = t.At(s.PunctAttr)
+		if s.count%s.PunctEvery == 0 && !s.lastV.IsNull() {
+			e := punct.NewEmbedded(punct.OnAttr(s.Schema.Arity(), s.PunctAttr, punct.Le(s.lastV)))
+			s.guards.ObservePunct(e)
+			ctx.EmitPunct(e)
+		}
+	}
+	if s.FeedbackAware && s.guards.Suppress(t) {
+		s.skipped++
+		return true, nil
+	}
+	ctx.Emit(t)
+	return true, nil
+}
+
+// ProcessFeedback implements Source.
+func (s *ReaderSource) ProcessFeedback(_ int, f core.Feedback, _ Context) error {
+	if s.FeedbackAware && f.Intent == core.Assumed {
+		s.guards.Install(f)
+	}
+	return nil
+}
+
+// Close implements Source.
+func (s *ReaderSource) Close(Context) error { return nil }
+
+// Skipped reports tuples suppressed by feedback before emission.
+func (s *ReaderSource) Skipped() int64 { return s.skipped }
+
+// Collector is a sink that records everything it receives. It is safe to
+// read after Graph.Run returns; a mutex also allows sampling mid-run.
+type Collector struct {
+	SinkName string
+	Schema   stream.Schema
+	// OnTuple, if set, is invoked synchronously for each tuple (used by
+	// experiment harnesses to timestamp arrivals).
+	OnTuple func(t stream.Tuple)
+	// Discard drops tuples after OnTuple instead of recording them
+	// (keeps million-tuple benchmark runs allocation-flat).
+	Discard bool
+	// Limit, when positive, asks the upstream plan to shut down after
+	// this many tuples have arrived — the paper's Example 4 poll-based
+	// result production: results are produced only while someone wants
+	// them.
+	Limit int64
+
+	mu       sync.Mutex
+	items    []queue.Item
+	tuples   int64
+	shutdown bool
+}
+
+// NewCollector builds a named sink.
+func NewCollector(name string, schema stream.Schema) *Collector {
+	return &Collector{SinkName: name, Schema: schema}
+}
+
+// Name implements Operator.
+func (c *Collector) Name() string { return c.SinkName }
+
+// InSchemas implements Operator.
+func (c *Collector) InSchemas() []stream.Schema { return []stream.Schema{c.Schema} }
+
+// OutSchemas implements Operator.
+func (c *Collector) OutSchemas() []stream.Schema { return nil }
+
+// Open implements Operator.
+func (c *Collector) Open(Context) error { return nil }
+
+// ProcessTuple implements Operator.
+func (c *Collector) ProcessTuple(_ int, t stream.Tuple, ctx Context) error {
+	if c.OnTuple != nil {
+		c.OnTuple(t)
+	}
+	c.mu.Lock()
+	c.tuples++
+	if !c.Discard {
+		c.items = append(c.items, queue.TupleItem(t))
+	}
+	askShutdown := c.Limit > 0 && c.tuples >= c.Limit && !c.shutdown
+	if askShutdown {
+		c.shutdown = true
+	}
+	c.mu.Unlock()
+	if askShutdown {
+		ctx.ShutdownUpstream(0)
+	}
+	return nil
+}
+
+// ProcessPunct implements Operator.
+func (c *Collector) ProcessPunct(_ int, e punct.Embedded, _ Context) error {
+	c.mu.Lock()
+	if !c.Discard {
+		c.items = append(c.items, queue.PunctItem(e))
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// ProcessFeedback implements Operator (sinks receive none).
+func (c *Collector) ProcessFeedback(int, core.Feedback, Context) error { return nil }
+
+// ProcessEOS implements Operator.
+func (c *Collector) ProcessEOS(int, Context) error { return nil }
+
+// Close implements Operator.
+func (c *Collector) Close(Context) error { return nil }
+
+// Items returns a copy of everything received.
+func (c *Collector) Items() []queue.Item {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]queue.Item(nil), c.items...)
+}
+
+// Tuples returns only the received tuples, in arrival order.
+func (c *Collector) Tuples() []stream.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ts []stream.Tuple
+	for _, it := range c.items {
+		if it.Kind == queue.ItemTuple {
+			ts = append(ts, it.Tuple)
+		}
+	}
+	return ts
+}
+
+// Count returns the number of tuples received so far.
+func (c *Collector) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tuples
+}

@@ -1,0 +1,121 @@
+// Package exec is the query execution runtime, modelled on NiagaraST's
+// push-based pipelined architecture (§5): each operator runs as its own
+// goroutine ("operators run as threads"), connected by paged data queues
+// flowing downstream and control channels flowing upstream. Control
+// messages — feedback punctuation and shutdown — are out-of-band and
+// processed with priority over pending tuples.
+//
+// The package provides two drivers over the same Operator interface:
+//
+//   - Graph/Run: the concurrent runtime (goroutine per operator);
+//   - Harness: a deterministic, synchronous driver used by unit tests.
+package exec
+
+import (
+	"repro/internal/core"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Context is the surface through which an operator interacts with the
+// runtime: emitting data and punctuation downstream, and sending feedback
+// punctuation upstream. Emit/EmitPunct must only be called from the
+// operator's own callback goroutine; SendFeedback is additionally safe
+// from other goroutines under the Graph runtime (network transports use
+// this to relay remote feedback as it arrives).
+type Context interface {
+	// Emit sends a tuple to output port 0.
+	Emit(t stream.Tuple)
+	// EmitTo sends a tuple to the given output port.
+	EmitTo(port int, t stream.Tuple)
+	// EmitPunct sends embedded punctuation to output port 0.
+	EmitPunct(e punct.Embedded)
+	// EmitPunctTo sends embedded punctuation to the given output port.
+	EmitPunctTo(port int, e punct.Embedded)
+	// SendFeedback sends feedback punctuation upstream to the operator
+	// feeding the given input port. It is the paper's dashed arrow in
+	// Figure 2(b).
+	SendFeedback(input int, f core.Feedback)
+	// ShutdownUpstream sends the out-of-band shutdown control message to
+	// the operator feeding the given input port (§5: the upstream control
+	// channel carries "feedback punctuation and shutdown messages"). A
+	// producer stops once every consumer has asked it to, and relays the
+	// shutdown further up.
+	ShutdownUpstream(input int)
+	// NumInputs reports how many input ports are wired.
+	NumInputs() int
+	// NumOutputs reports how many output ports are wired.
+	NumOutputs() int
+	// Logf writes a diagnostic line (discarded unless the runtime was
+	// given a log writer).
+	Logf(format string, args ...any)
+}
+
+// Operator is a stream operator with zero or more inputs and zero or more
+// outputs. Implementations are single-goroutine: the runtime serializes all
+// callbacks on one operator.
+type Operator interface {
+	// Name identifies the operator instance in logs and stats.
+	Name() string
+	// InSchemas returns one schema per input port.
+	InSchemas() []stream.Schema
+	// OutSchemas returns one schema per output port.
+	OutSchemas() []stream.Schema
+	// Open is called once before any event.
+	Open(ctx Context) error
+	// ProcessTuple handles one data tuple from the given input.
+	ProcessTuple(input int, t stream.Tuple, ctx Context) error
+	// ProcessPunct handles embedded punctuation from the given input.
+	ProcessPunct(input int, e punct.Embedded, ctx Context) error
+	// ProcessFeedback handles feedback punctuation arriving from the
+	// consumer of the given output port. Feedback-unaware operators
+	// simply return nil (they "ignore feedback and are unable to further
+	// propagate it", §5).
+	ProcessFeedback(output int, f core.Feedback, ctx Context) error
+	// ProcessEOS is called when the given input ends. After every input
+	// has ended, Close is called.
+	ProcessEOS(input int, ctx Context) error
+	// Close is called once after all inputs ended (or on shutdown);
+	// operators flush remaining state here.
+	Close(ctx Context) error
+}
+
+// Source is a self-driving operator with no inputs. The runtime repeatedly
+// calls Next, interleaving feedback delivery between calls, until Next
+// returns false.
+type Source interface {
+	// Name identifies the source in logs and stats.
+	Name() string
+	// OutSchemas returns one schema per output port.
+	OutSchemas() []stream.Schema
+	// Open is called once before the first Next.
+	Open(ctx Context) error
+	// Next emits zero or more items and reports whether more remain.
+	Next(ctx Context) (more bool, err error)
+	// ProcessFeedback handles feedback from the consumer of the given
+	// output port.
+	ProcessFeedback(output int, f core.Feedback, ctx Context) error
+	// Close is called once after the last Next (or on shutdown).
+	Close(ctx Context) error
+}
+
+// Base provides no-op defaults for optional Operator methods; embed it to
+// write compact operators. The zero value is ready to use.
+type Base struct{}
+
+// Open implements Operator with a no-op.
+func (Base) Open(Context) error { return nil }
+
+// ProcessPunct implements Operator by dropping punctuation. Operators that
+// relay stream progress must override this.
+func (Base) ProcessPunct(int, punct.Embedded, Context) error { return nil }
+
+// ProcessFeedback implements Operator by ignoring feedback (a
+// feedback-unaware operator).
+func (Base) ProcessFeedback(int, core.Feedback, Context) error { return nil }
+
+// ProcessEOS implements Operator with a no-op.
+func (Base) ProcessEOS(int, Context) error { return nil }
+
+// Close implements Operator with a no-op.
+func (Base) Close(Context) error { return nil }

@@ -1,0 +1,322 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+	"repro/internal/stream"
+
+	"repro/internal/punct"
+)
+
+// Run executes the plan: one goroutine per node, paged queues between them,
+// upstream control channels for feedback. It returns after every node has
+// finished (all sources exhausted and all data drained), or after the first
+// node error (remaining nodes are shut down).
+func (g *Graph) Run() error {
+	if err := g.prepare(); err != nil {
+		return err
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstMu sync.Once
+		runErr  error
+	)
+	done := make(chan struct{}) // closed on first error: global shutdown
+	fail := func(err error) {
+		firstMu.Do(func() {
+			mu.Lock()
+			runErr = err
+			mu.Unlock()
+			close(done)
+		})
+	}
+	for _, n := range g.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			r := &nodeRunner{node: n, graph: g, done: done}
+			if err := r.run(); err != nil {
+				fail(fmt.Errorf("exec: node %q: %w", n.name(), err))
+			}
+		}(n)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return runErr
+}
+
+// inEvent is one page arriving on an input port.
+type inEvent struct {
+	input int
+	page  *queue.Page
+	ok    bool // false: channel closed (should not happen before EOS item)
+}
+
+// ctrlEvent is one control message arriving from an output port's consumer.
+type ctrlEvent struct {
+	output int
+	msg    queue.Control
+}
+
+// nodeRunner drives one node goroutine. It also implements Context for the
+// node's operator.
+type nodeRunner struct {
+	node  *node
+	graph *Graph
+	done  <-chan struct{}
+
+	dataCh chan inEvent
+	ctrlCh chan ctrlEvent
+
+	shutdownOuts map[int]bool // outputs whose consumers sent shutdown
+	stopping     bool
+}
+
+func (r *nodeRunner) run() error {
+	n := r.node
+	r.shutdownOuts = map[int]bool{}
+	r.ctrlCh = make(chan ctrlEvent, 4*len(n.outConns)+1)
+	r.dataCh = make(chan inEvent)
+
+	var fwd sync.WaitGroup
+	stopFwd := make(chan struct{})
+	defer func() {
+		close(stopFwd)
+		// Abort input connections so upstream producers blocked on full
+		// queues can finish; then drain forwarders.
+		for _, c := range n.inConns {
+			c.Abort()
+		}
+		go func() {
+			for range r.dataCh {
+			}
+		}()
+		fwd.Wait()
+		close(r.dataCh)
+	}()
+
+	// Control forwarders: one per output edge (messages from consumers).
+	// The conn-side control queue is unbounded so senders never block;
+	// the forwarder moves messages into the node's priority channel.
+	for out, c := range n.outConns {
+		fwd.Add(1)
+		go func(out int, c *queue.Conn) {
+			defer fwd.Done()
+			for {
+				select {
+				case <-c.ControlNotify():
+					for {
+						m, ok := c.PollControl()
+						if !ok {
+							break
+						}
+						select {
+						case r.ctrlCh <- ctrlEvent{output: out, msg: m}:
+						case <-stopFwd:
+							return
+						}
+					}
+				case <-stopFwd:
+					return
+				}
+			}
+		}(out, c)
+	}
+	// Data forwarders: one per input edge.
+	for in, c := range n.inConns {
+		fwd.Add(1)
+		go func(in int, c *queue.Conn) {
+			defer fwd.Done()
+			for {
+				p, ok := c.Recv()
+				if !ok {
+					return
+				}
+				select {
+				case r.dataCh <- inEvent{input: in, page: p, ok: true}:
+				case <-stopFwd:
+					return
+				}
+			}
+		}(in, c)
+	}
+
+	// Always close outputs on the way out so downstream sees EOS.
+	defer func() {
+		for _, c := range n.outConns {
+			c.CloseSend()
+		}
+	}()
+
+	if n.src != nil {
+		return r.runSource()
+	}
+	return r.runOperator()
+}
+
+func (r *nodeRunner) runSource() error {
+	src := r.node.src
+	if err := src.Open(r); err != nil {
+		return err
+	}
+	for !r.stopping {
+		if err := r.drainControl(func(out int, f core.Feedback) error {
+			return src.ProcessFeedback(out, f, r)
+		}); err != nil {
+			return err
+		}
+		if r.stopping {
+			break
+		}
+		select {
+		case <-r.done:
+			r.stopping = true
+		default:
+			more, err := src.Next(r)
+			if err != nil {
+				return err
+			}
+			if !more {
+				r.stopping = true
+			}
+		}
+	}
+	return src.Close(r)
+}
+
+func (r *nodeRunner) runOperator() error {
+	op := r.node.op
+	if err := op.Open(r); err != nil {
+		return err
+	}
+	onFeedback := func(out int, f core.Feedback) error {
+		return op.ProcessFeedback(out, f, r)
+	}
+	openInputs := len(r.node.inConns)
+	for openInputs > 0 && !r.stopping {
+		// Control before data (§5: control messages are high-priority).
+		if err := r.drainControl(onFeedback); err != nil {
+			return err
+		}
+		if r.stopping {
+			break
+		}
+		select {
+		case <-r.done:
+			r.stopping = true
+		case ce := <-r.ctrlCh:
+			if err := r.handleControl(ce, onFeedback); err != nil {
+				return err
+			}
+		case ev := <-r.dataCh:
+			for _, it := range ev.page.Items {
+				// Re-check control between items so feedback overtakes
+				// pending tuples.
+				if err := r.drainControl(onFeedback); err != nil {
+					return err
+				}
+				if r.stopping {
+					break
+				}
+				switch it.Kind {
+				case queue.ItemTuple:
+					if err := op.ProcessTuple(ev.input, it.Tuple, r); err != nil {
+						return err
+					}
+				case queue.ItemPunct:
+					if err := op.ProcessPunct(ev.input, it.Punct, r); err != nil {
+						return err
+					}
+				case queue.ItemEOS:
+					if err := op.ProcessEOS(ev.input, r); err != nil {
+						return err
+					}
+					openInputs--
+				}
+			}
+		}
+	}
+	return op.Close(r)
+}
+
+// drainControl handles all pending control messages without blocking.
+func (r *nodeRunner) drainControl(onFeedback func(int, core.Feedback) error) error {
+	for {
+		select {
+		case ce := <-r.ctrlCh:
+			if err := r.handleControl(ce, onFeedback); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (r *nodeRunner) handleControl(ce ctrlEvent, onFeedback func(int, core.Feedback) error) error {
+	switch ce.msg.Kind {
+	case queue.CtrlFeedback:
+		return onFeedback(ce.output, ce.msg.Feedback)
+	case queue.CtrlShutdown:
+		r.shutdownOuts[ce.output] = true
+		if len(r.shutdownOuts) == len(r.node.outConns) && len(r.node.outConns) > 0 {
+			// Every consumer has asked us to stop: stop, and relay the
+			// shutdown upstream.
+			r.stopping = true
+			for _, c := range r.node.inConns {
+				c.SendControl(queue.Control{Kind: queue.CtrlShutdown})
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown control message kind %d", ce.msg.Kind)
+}
+
+// ---------------------------------------------------------------------------
+// Context implementation.
+// ---------------------------------------------------------------------------
+
+// Emit implements Context.
+func (r *nodeRunner) Emit(t stream.Tuple) { r.EmitTo(0, t) }
+
+// EmitTo implements Context.
+func (r *nodeRunner) EmitTo(port int, t stream.Tuple) {
+	r.node.outConns[port].PutTuple(t)
+}
+
+// EmitPunct implements Context.
+func (r *nodeRunner) EmitPunct(e punct.Embedded) { r.EmitPunctTo(0, e) }
+
+// EmitPunctTo implements Context.
+func (r *nodeRunner) EmitPunctTo(port int, e punct.Embedded) {
+	r.node.outConns[port].PutPunct(e)
+}
+
+// SendFeedback implements Context: feedback goes to the producer feeding
+// the given input port, against the data direction.
+func (r *nodeRunner) SendFeedback(input int, f core.Feedback) {
+	r.node.inConns[input].SendFeedback(f)
+}
+
+// ShutdownUpstream implements Context.
+func (r *nodeRunner) ShutdownUpstream(input int) {
+	r.node.inConns[input].SendControl(queue.Control{Kind: queue.CtrlShutdown})
+}
+
+// NumInputs implements Context.
+func (r *nodeRunner) NumInputs() int { return len(r.node.inConns) }
+
+// NumOutputs implements Context.
+func (r *nodeRunner) NumOutputs() int { return len(r.node.outConns) }
+
+// Logf implements Context.
+func (r *nodeRunner) Logf(format string, args ...any) {
+	if w := r.graph.log; w != nil {
+		fmt.Fprintf(w, "[%s] "+format+"\n", append([]any{r.node.name()}, args...)...)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestTablesVerify regenerates Tables 1 and 2 and requires every row's
+// enacted plan to satisfy Definition 1.
+func TestTablesVerify(t *testing.T) {
+	for _, r := range CountTable() {
+		if !r.Verified {
+			t.Errorf("Table 1 row %s failed Definition 1: %s", r.Punctuation, r.Detail)
+		}
+	}
+	for _, r := range JoinTable() {
+		if !r.Verified {
+			t.Errorf("Table 2 row %s failed Definition 1: %s", r.Punctuation, r.Detail)
+		}
+	}
+	var sb strings.Builder
+	RenderTables(&sb)
+	for _, want := range []string{"Table 1", "Table 2", "¬[g,*]", "¬[l,*,r]", "VERIFIED"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if strings.Contains(sb.String(), "VIOLATION") {
+		t.Error("rendered tables contain a violation")
+	}
+}
+
+// TestImputationShape runs Experiment 1 at reduced scale and checks the
+// paper's qualitative result: without feedback nearly all imputed tuples
+// are useless; with feedback most become timely.
+func TestImputationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced experiment")
+	}
+	cfg := ImputationConfig{Tuples: 2000, Rate: 4000}
+	no, err := RunImputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Feedback = true
+	yes, err := RunImputation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no.Report(io.Discard)
+	yes.Report(io.Discard)
+	// At this reduced scale the pre-divergence ramp is a larger share of
+	// the stream than in the paper's 5000-tuple run, so the bound is a
+	// little below the paper's 97%.
+	if no.UselessFraction() < 0.65 {
+		t.Errorf("no-feedback useless fraction = %.2f, want ≥ 0.65 (paper: 0.97)", no.UselessFraction())
+	}
+	if yes.UselessFraction() > 0.60 {
+		t.Errorf("feedback useless fraction = %.2f, want ≤ 0.60 (paper: 0.29)", yes.UselessFraction())
+	}
+	if yes.UselessFraction() >= no.UselessFraction() {
+		t.Error("feedback must strictly improve timeliness")
+	}
+	if yes.FeedbackSent == 0 || yes.SkippedAtImp == 0 {
+		t.Error("feedback path must actually engage")
+	}
+	// Clean tuples are never useless in either run.
+	if no.Series.LateCount(0 /* Clean */, cfg.ToleranceMicros) != 0 {
+		t.Error("clean tuples must stay timely")
+	}
+}
+
+// TestSpeedmapShape runs Experiment 2 at reduced scale and checks the
+// Figure 7 ladder: F0 > F1 > F2 > F3, with F1 a large first step.
+func TestSpeedmapShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU-heavy experiment")
+	}
+	base := SpeedmapConfig{Hours: 2, SwitchEveryMinutes: 2}
+	var work [4]int64
+	var results [4]int64
+	for s := F0; s <= F3; s++ {
+		cfg := base
+		cfg.Scheme = s
+		r, err := RunSpeedmap(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work[s] = r.WorkUnits
+		results[s] = r.Results
+	}
+	// Work units are deterministic: require the strict ladder there.
+	if !(work[F0] > work[F1] && work[F1] > work[F2] && work[F2] > work[F3]) {
+		t.Errorf("work ladder broken: F0=%d F1=%d F2=%d F3=%d", work[F0], work[F1], work[F2], work[F3])
+	}
+	// F1's output guard must save a large share (paper: ~50%).
+	if f1 := float64(work[F1]) / float64(work[F0]); f1 > 0.75 {
+		t.Errorf("F1 relative work = %.2f, want ≤ 0.75", f1)
+	}
+	if f3 := float64(work[F3]) / float64(work[F0]); f3 > 0.55 {
+		t.Errorf("F3 relative work = %.2f, want ≤ 0.55", f3)
+	}
+	// F0 produces all results; schemes only ever suppress.
+	if results[F1] >= results[F0] || results[F3] > results[F1] {
+		t.Errorf("result counts: %v", results)
+	}
+}
+
+// TestFigure1bResultIdentity runs the motivating speed-map plan with and
+// without the adaptive congestion feedback and requires the map output to
+// be IDENTICAL — the feedback only removes work whose results the join
+// would never use — while the vehicle branch demonstrably saves work.
+func TestFigure1bResultIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full plan runs")
+	}
+	off, err := RunFigure1b(false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunFigure1b(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off.MapRows) != len(on.MapRows) {
+		t.Fatalf("map cardinality changed: %d vs %d", len(off.MapRows), len(on.MapRows))
+	}
+	SortRows(off.MapRows)
+	SortRows(on.MapRows)
+	for i := range off.MapRows {
+		if !off.MapRows[i].Equal(on.MapRows[i]) {
+			t.Fatalf("map row %d differs: %v vs %v", i, off.MapRows[i], on.MapRows[i])
+		}
+	}
+	if on.AdaptiveSent == 0 {
+		t.Fatal("join must discover uncongested windows")
+	}
+	saved := on.CleanerSkipped + on.AggFoldsSkipped + on.ProbesSkipped
+	if saved == 0 {
+		t.Fatal("feedback must save vehicle-branch work")
+	}
+	t.Logf("identical %d map rows; saved: %d cleanings, %d folds, %d generations (%d adaptive feedbacks)",
+		len(on.MapRows), on.CleanerSkipped, on.AggFoldsSkipped, on.ProbesSkipped, on.AdaptiveSent)
+}
+
+// TestSpeedmapFeedbackFrequencyOverhead checks the paper's "no discernible
+// overhead" claim across switch frequencies using deterministic work units.
+func TestSpeedmapFeedbackFrequencyOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU-heavy experiment")
+	}
+	var works []int64
+	for _, freq := range []int{2, 4, 6} {
+		r, err := RunSpeedmap(SpeedmapConfig{Hours: 1, Scheme: F3, SwitchEveryMinutes: freq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		works = append(works, r.WorkUnits)
+		if r.Feedbacks == 0 {
+			t.Fatalf("freq %d: no feedback sent", freq)
+		}
+	}
+	// Different frequencies change which segments are visible when, so
+	// work varies slightly; it must not blow up with frequency.
+	for i := 1; i < len(works); i++ {
+		ratio := float64(works[0]) / float64(works[i])
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("frequency sweep work imbalance: %v", works)
+		}
+	}
+}

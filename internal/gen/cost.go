@@ -1,0 +1,13 @@
+package gen
+
+import "repro/internal/work"
+
+// workMeter wraps work.Meter so source structs can embed a value type.
+type workMeter struct {
+	m work.Meter
+}
+
+func (w *workMeter) do(n int) { w.m.Do(n) }
+
+// total reports units burned.
+func (w *workMeter) total() int64 { return w.m.Total() }

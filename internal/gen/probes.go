@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// ProbeSchema is the probe-vehicle (GPS) report schema: (segment, ts,
+// speed). Probe reports are noisy and must be cleaned before aggregation
+// (Figure 1(b)).
+var ProbeSchema = stream.MustSchema(
+	stream.F("segment", stream.KindInt),
+	stream.F("ts", stream.KindTime),
+	stream.F("speed", stream.KindFloat),
+)
+
+// ProbeConfig parameterizes the vehicle stream.
+type ProbeConfig struct {
+	Segments int
+	// VehiclesPerPeriod is the mean probe count per segment per period
+	// on an uncongested segment; congested segments see more vehicles
+	// (they are denser and slower).
+	VehiclesPerPeriod float64
+	// Period is the reporting granularity in stream micros (20 s).
+	Period int64
+	// Duration spans the stream in micros.
+	Duration int64
+	Start    int64
+	// NoiseRate is the fraction of wildly-corrupted readings (the
+	// cleaning stage must drop them).
+	NoiseRate float64
+	// Noise is the per-reading speed noise stddev.
+	Noise float64
+	Seed  int64
+	// FeedbackAware lets assumed feedback (e.g. from a THRIFTY JOIN or
+	// the Figure 1(b) feedback to the cleaner) suppress generation.
+	FeedbackAware bool
+}
+
+func (c ProbeConfig) withDefaults() ProbeConfig {
+	if c.Segments <= 0 {
+		c.Segments = 9
+	}
+	if c.VehiclesPerPeriod <= 0 {
+		c.VehiclesPerPeriod = 3
+	}
+	if c.Period <= 0 {
+		c.Period = 20 * 1_000_000
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3600 * 1_000_000
+	}
+	return c
+}
+
+// ProbeSource streams synthetic vehicle readings in timestamp order.
+type ProbeSource struct {
+	Config ProbeConfig
+
+	cfg     ProbeConfig
+	rng     *rand.Rand
+	now     int64
+	seq     int64
+	guards  *core.GuardTable
+	emitted int64
+	skipped int64
+}
+
+// Name implements exec.Source.
+func (s *ProbeSource) Name() string { return "probe-vehicles" }
+
+// OutSchemas implements exec.Source.
+func (s *ProbeSource) OutSchemas() []stream.Schema { return []stream.Schema{ProbeSchema} }
+
+// Open implements exec.Source.
+func (s *ProbeSource) Open(exec.Context) error {
+	s.cfg = s.Config.withDefaults()
+	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.now = s.cfg.Start
+	s.guards = core.NewGuardTable(ProbeSchema.Arity())
+	return nil
+}
+
+// Next implements exec.Source: one period per call.
+func (s *ProbeSource) Next(ctx exec.Context) (bool, error) {
+	if s.now >= s.cfg.Start+s.cfg.Duration {
+		return false, nil
+	}
+	minuteOfDay := int((s.now / 60_000_000) % (24 * 60))
+	for seg := int64(0); seg < int64(s.cfg.Segments); seg++ {
+		trueSpeed := diurnal(minuteOfDay, seg)
+		// Congestion breeds probes: density scales inversely with speed.
+		mean := s.cfg.VehiclesPerPeriod * (60 / maxf(trueSpeed, 10))
+		n := poisson(s.rng, mean)
+		for v := 0; v < n; v++ {
+			s.seq++
+			speed := trueSpeed + s.rng.NormFloat64()*s.cfg.Noise
+			if s.rng.Float64() < s.cfg.NoiseRate {
+				speed = s.rng.Float64() * 200 // corrupted reading
+			}
+			if speed < 0 {
+				speed = 0
+			}
+			ts := s.now + s.rng.Int63n(s.cfg.Period)
+			t := stream.NewTuple(stream.Int(seg), stream.TimeMicros(ts), stream.Float(speed)).WithSeq(s.seq)
+			if s.cfg.FeedbackAware && s.guards.Suppress(t) {
+				s.skipped++
+				continue
+			}
+			s.emitted++
+			ctx.Emit(t)
+		}
+	}
+	s.now += s.cfg.Period
+	e := punct.NewEmbedded(punct.OnAttr(3, 1, punct.Lt(stream.TimeMicros(s.now))))
+	s.guards.ObservePunct(e)
+	ctx.EmitPunct(e)
+	return true, nil
+}
+
+// ProcessFeedback implements exec.Source.
+func (s *ProbeSource) ProcessFeedback(_ int, f core.Feedback, _ exec.Context) error {
+	if s.cfg.FeedbackAware && f.Intent == core.Assumed {
+		s.guards.Install(f)
+	}
+	return nil
+}
+
+// Close implements exec.Source.
+func (s *ProbeSource) Close(exec.Context) error { return nil }
+
+// Stats reports (emitted, suppressed-at-source).
+func (s *ProbeSource) Stats() (emitted, skipped int64) { return s.emitted, s.skipped }
+
+// poisson samples a Poisson variate by inversion (mean ≤ ~30 in practice).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l && k < 1000 {
+		k++
+		p *= r.Float64()
+	}
+	return k - 1
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// diurnal proxies the archive's ground-truth speed profile.
+func diurnal(minuteOfDay int, segment int64) float64 {
+	return archive.DiurnalSpeed(minuteOfDay, segment)
+}

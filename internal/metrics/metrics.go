@@ -1,0 +1,188 @@
+// Package metrics implements the measurements the paper's experiments
+// report: per-tuple output-time series (the scatter plots of Figures 5 and
+// 6), timeliness accounting against a divergence tolerance, and run timing
+// for Figure 7.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class distinguishes the two series in Figures 5/6.
+type Class uint8
+
+const (
+	// Clean tuples took the cheap path.
+	Clean Class = iota
+	// Imputed tuples went through IMPUTE.
+	Imputed
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == Clean {
+		return "clean"
+	}
+	return "imputed"
+}
+
+// Point is one output observation: tuple Seq (the figures' TupleID axis)
+// against wall-clock output time.
+type Point struct {
+	Seq      int64
+	OutputAt time.Duration // since recorder start
+	Class    Class
+	// LateBy is stream-time lag behind the high watermark at arrival
+	// (micros); negative or zero means the tuple itself advanced the
+	// watermark.
+	LateBy int64
+}
+
+// Series records output observations; it is safe for use from a sink
+// callback while the graph runs.
+type Series struct {
+	mu     sync.Mutex
+	start  time.Time
+	points []Point
+	hw     int64
+	hwSet  bool
+}
+
+// NewSeries starts a recorder; the clock starts immediately.
+func NewSeries() *Series {
+	return &Series{start: time.Now()}
+}
+
+// Observe records one output tuple with its stream timestamp (micros).
+func (s *Series) Observe(seq int64, class Class, tsMicros int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	late := int64(0)
+	if s.hwSet && tsMicros < s.hw {
+		late = s.hw - tsMicros
+	}
+	if !s.hwSet || tsMicros > s.hw {
+		s.hw, s.hwSet = tsMicros, true
+	}
+	s.points = append(s.points, Point{
+		Seq:      seq,
+		OutputAt: time.Since(s.start),
+		Class:    class,
+		LateBy:   late,
+	})
+}
+
+// Points returns a copy of the recorded observations in arrival order.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// Count returns observations per class.
+func (s *Series) Count(class Class) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.points {
+		if p.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// LateCount returns how many observations of the class lagged the
+// watermark by more than tolerance micros.
+func (s *Series) LateCount(class Class, tolerance int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.points {
+		if p.Class == class && p.LateBy > tolerance {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteTSV dumps the series as "seq\toutput_ms\tclass\tlate_us" rows,
+// sorted by output time — the data behind Figures 5 and 6.
+func (s *Series) WriteTSV(w io.Writer) error {
+	pts := s.Points()
+	sort.Slice(pts, func(i, j int) bool { return pts[i].OutputAt < pts[j].OutputAt })
+	if _, err := fmt.Fprintln(w, "seq\toutput_ms\tclass\tlate_us"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d\t%.1f\t%s\t%d\n",
+			p.Seq, float64(p.OutputAt.Microseconds())/1000, p.Class, p.LateBy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders a crude terminal visualization of output progress for
+// one class: each bucket of wall-clock time shows how many tuples arrived.
+func (s *Series) Sparkline(class Class, buckets int) string {
+	pts := s.Points()
+	if len(pts) == 0 || buckets <= 0 {
+		return ""
+	}
+	var maxAt time.Duration
+	for _, p := range pts {
+		if p.OutputAt > maxAt {
+			maxAt = p.OutputAt
+		}
+	}
+	if maxAt == 0 {
+		maxAt = time.Nanosecond
+	}
+	counts := make([]int, buckets)
+	for _, p := range pts {
+		if p.Class != class {
+			continue
+		}
+		b := int(int64(p.OutputAt) * int64(buckets) / int64(maxAt+1))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	peak := 1
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	out := make([]rune, buckets)
+	for i, c := range counts {
+		out[i] = glyphs[c*(len(glyphs)-1)/peak]
+	}
+	return string(out)
+}
+
+// Timer measures a run's wall-clock duration (Figure 7's metric).
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() *Timer { return &Timer{start: time.Now()} }
+
+// Elapsed reports the duration so far.
+func (t *Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Percent renders a/b as a percentage string for report tables.
+func Percent(a, b int64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(a)/float64(b))
+}

@@ -1,0 +1,555 @@
+package op
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+	"repro/internal/window"
+	"repro/internal/work"
+)
+
+// Aggregate is the windowed, grouped aggregate (COUNT/SUM/AVG/MAX/MIN) in
+// the WID/OOP style: tuples are assigned to window extents by id, partial
+// aggregates accumulate per (window, group), and embedded punctuation on
+// the windowing attribute triggers result production and state purge.
+//
+// Its feedback behaviour implements Table 1 (generalized across aggregate
+// kinds by monotonicity — §3.5's COUNT/SUM/MAX discussion):
+//
+//   - group-bound assumed feedback → purge matching groups, guard input,
+//     optionally propagate in input-schema terms;
+//   - value-bound upward-closed feedback on monotone-up aggregates →
+//     close/purge matching windows and pin them shut;
+//   - other value-bound feedback → output guard only;
+//   - demanded feedback → emit partial results for the subset immediately;
+//   - window-bound feedback (on wstart) → translated to an input-timestamp
+//     guard via the window spec (Example 2's "skip windows w3, w4", which a
+//     bottom-of-plan filter cannot express).
+type Aggregate struct {
+	exec.Base
+	OpName string
+	In     stream.Schema
+	Kind   core.AggKind
+	// TsAttr is the windowing attribute (KindTime or KindInt domain).
+	TsAttr int
+	// ValAttr is the aggregated attribute; ignored for COUNT (may be -1).
+	ValAttr int
+	// GroupBy lists grouping attribute indices (possibly empty).
+	GroupBy []int
+	// Window is the extent specification.
+	Window window.Spec
+	// ValueName names the output aggregate attribute (default "value").
+	ValueName string
+	// Cost is the work burned per tuple folded into state (aggregation
+	// expense; the Figure 7 F2 scheme saves it). EmitCost is the work
+	// burned per result tuple produced (result production and delivery
+	// expense; F1 saves it).
+	Cost, EmitCost int
+	// NonNegative declares that aggregated input values are known
+	// non-negative, which upgrades SUM to a monotone-up aggregate for
+	// value-bound feedback (core.AggCharacterizationGiven).
+	NonNegative bool
+	// Mode/Propagate configure feedback as in Select.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	out          stream.Schema
+	groupOutIdx  []int // positions of group attrs in output schema
+	wstartIdx    int   // position of wstart in output schema
+	valueIdx     int   // position of the aggregate value in output schema
+	attrMap      core.AttrMap
+	state        map[string]*aggGroup
+	guardsOut    *core.GuardTable // emit-time guards (output patterns)
+	guardsPrefix *core.GuardTable // input-time guards (non-value patterns)
+	meter        work.Meter
+
+	inTuples, outTuples, folded, inSuppressed, outSuppressed, purged int64
+	partialsEmitted                                                  int64
+}
+
+type aggGroup struct {
+	wid       int64
+	groupVals []stream.Value
+	count     int64
+	sum       float64
+	min, max  float64
+}
+
+// Name implements exec.Operator.
+func (a *Aggregate) Name() string {
+	if a.OpName != "" {
+		return a.OpName
+	}
+	return strings.ToLower(a.Kind.String())
+}
+
+// InSchemas implements exec.Operator.
+func (a *Aggregate) InSchemas() []stream.Schema { return []stream.Schema{a.In} }
+
+// OutSchemas implements exec.Operator.
+func (a *Aggregate) OutSchemas() []stream.Schema {
+	if a.out.Arity() == 0 {
+		a.mustInit()
+	}
+	return []stream.Schema{a.out}
+}
+
+func (a *Aggregate) mustInit() {
+	if err := a.Window.Validate(); err != nil {
+		panic(fmt.Sprintf("op: aggregate %q: %v", a.Name(), err))
+	}
+	name := a.ValueName
+	if name == "" {
+		name = "value"
+	}
+	fields := make([]stream.Field, 0, len(a.GroupBy)+2)
+	a.groupOutIdx = a.groupOutIdx[:0]
+	for i, g := range a.GroupBy {
+		fields = append(fields, a.In.Field(g))
+		a.groupOutIdx = append(a.groupOutIdx, i)
+	}
+	a.wstartIdx = len(fields)
+	fields = append(fields, stream.F("wstart", a.In.Field(a.TsAttr).Kind))
+	a.valueIdx = len(fields)
+	fields = append(fields, stream.F(name, stream.KindFloat))
+	out, err := stream.NewSchema(fields...)
+	if err != nil {
+		panic(fmt.Sprintf("op: aggregate %q: %v", a.Name(), err))
+	}
+	a.out = out
+	// Output→input attribute mapping: groups are carried; wstart and the
+	// aggregate value are computed.
+	toInput := make([]int, out.Arity())
+	for i := range toInput {
+		toInput[i] = -1
+	}
+	for i, g := range a.GroupBy {
+		toInput[i] = g
+	}
+	a.attrMap = core.AttrMap{InputArity: a.In.Arity(), ToInput: toInput}
+}
+
+// Open implements exec.Operator.
+func (a *Aggregate) Open(exec.Context) error {
+	if a.out.Arity() == 0 {
+		a.mustInit()
+	}
+	a.state = map[string]*aggGroup{}
+	a.guardsOut = core.NewGuardTable(a.out.Arity())
+	a.guardsPrefix = core.NewGuardTable(a.out.Arity())
+	return nil
+}
+
+func (a *Aggregate) stateKey(wid int64, t stream.Tuple) string {
+	return fmt.Sprintf("%d;%s", wid, t.Key(a.GroupBy))
+}
+
+// prefixTuple builds the output-schema tuple for a (window, group) with the
+// aggregate value left Null; group-bound and window-bound guards can be
+// evaluated against it before any aggregation work is done.
+func (a *Aggregate) prefixTuple(wid int64, groupVals []stream.Value) stream.Tuple {
+	vals := make([]stream.Value, a.out.Arity())
+	copy(vals, groupVals)
+	vals[a.wstartIdx] = a.wstartValue(wid)
+	vals[a.valueIdx] = stream.Null
+	return stream.NewTuple(vals...)
+}
+
+func (a *Aggregate) wstartValue(wid int64) stream.Value {
+	start, _ := a.Window.Extent(wid)
+	if a.In.Field(a.TsAttr).Kind == stream.KindTime {
+		return stream.TimeMicros(start)
+	}
+	return stream.Int(start)
+}
+
+// ProcessTuple implements exec.Operator.
+func (a *Aggregate) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
+	a.inTuples++
+	lo, hi := a.Window.WindowsOf(t.At(a.TsAttr).I)
+	groupVals := make([]stream.Value, 0, len(a.GroupBy))
+	for _, g := range a.GroupBy {
+		groupVals = append(groupVals, t.At(g))
+	}
+	for wid := lo; wid <= hi; wid++ {
+		if a.Mode == FeedbackExploit && a.guardsPrefix.Suppress(a.prefixTuple(wid, groupVals)) {
+			a.inSuppressed++
+			continue
+		}
+		if a.Cost > 0 {
+			a.meter.Do(a.Cost)
+		}
+		a.folded++
+		k := a.stateKey(wid, t)
+		g := a.state[k]
+		if g == nil {
+			g = &aggGroup{wid: wid, groupVals: groupVals, min: math.Inf(1), max: math.Inf(-1)}
+			a.state[k] = g
+		}
+		g.count++
+		if a.ValAttr >= 0 {
+			v := t.At(a.ValAttr)
+			if !v.IsNull() {
+				f := v.AsFloat()
+				g.sum += f
+				if f < g.min {
+					g.min = f
+				}
+				if f > g.max {
+					g.max = f
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (a *Aggregate) value(g *aggGroup) float64 {
+	switch a.Kind {
+	case core.AggCount:
+		return float64(g.count)
+	case core.AggSum:
+		return g.sum
+	case core.AggAvg:
+		if g.count == 0 {
+			return 0
+		}
+		return g.sum / float64(g.count)
+	case core.AggMax:
+		return g.max
+	case core.AggMin:
+		return g.min
+	}
+	return 0
+}
+
+func (a *Aggregate) resultTuple(g *aggGroup) stream.Tuple {
+	vals := make([]stream.Value, a.out.Arity())
+	copy(vals, g.groupVals)
+	vals[a.wstartIdx] = a.wstartValue(g.wid)
+	vals[a.valueIdx] = stream.Float(a.value(g))
+	return stream.NewTuple(vals...)
+}
+
+func (a *Aggregate) emitResult(g *aggGroup, ctx exec.Context) {
+	t := a.resultTuple(g)
+	if a.Mode != FeedbackIgnore && a.guardsOut.Suppress(t) {
+		a.outSuppressed++
+		return
+	}
+	if a.EmitCost > 0 {
+		a.meter.Do(a.EmitCost)
+	}
+	a.outTuples++
+	ctx.Emit(t)
+}
+
+// ProcessPunct implements exec.Operator: punctuation on the windowing
+// attribute closes complete windows, emits their results, purges state, and
+// re-punctuates the output on wstart (delimiting it for downstream
+// feedback, §4.4).
+func (a *Aggregate) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	bound := e.Pattern.Bound()
+	if len(bound) != 1 || bound[0] != a.TsAttr {
+		return nil
+	}
+	pr := e.Pattern.Pred(a.TsAttr)
+	var wm int64
+	switch pr.Op {
+	case punct.LE:
+		wm = pr.Val.I
+	case punct.LT:
+		wm = pr.Val.I - 1
+	default:
+		return nil
+	}
+	lastFull := a.Window.LastFullWindow(wm)
+	if lastFull < 0 {
+		return nil
+	}
+	a.flushThrough(lastFull, ctx)
+	start, _ := a.Window.Extent(lastFull)
+	outPunct := punct.NewEmbedded(punct.OnAttr(a.out.Arity(), a.wstartIdx, punct.Le(a.wstartTsValue(start))))
+	a.guardsOut.ObservePunct(outPunct)
+	a.guardsPrefix.ObservePunct(outPunct)
+	ctx.EmitPunct(outPunct)
+	return nil
+}
+
+func (a *Aggregate) wstartTsValue(start int64) stream.Value {
+	if a.In.Field(a.TsAttr).Kind == stream.KindTime {
+		return stream.TimeMicros(start)
+	}
+	return stream.Int(start)
+}
+
+// flushThrough emits and purges every state entry with wid ≤ lastFull, in
+// deterministic (wid, group) order.
+func (a *Aggregate) flushThrough(lastFull int64, ctx exec.Context) {
+	var due []string
+	for k, g := range a.state {
+		if g.wid <= lastFull {
+			due = append(due, k)
+		}
+	}
+	sort.Strings(due)
+	sort.SliceStable(due, func(i, j int) bool { return a.state[due[i]].wid < a.state[due[j]].wid })
+	for _, k := range due {
+		a.emitResult(a.state[k], ctx)
+		delete(a.state, k)
+	}
+}
+
+// ProcessEOS implements exec.Operator.
+func (a *Aggregate) ProcessEOS(_ int, ctx exec.Context) error {
+	a.flushThrough(math.MaxInt64, ctx)
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator per Table 1.
+func (a *Aggregate) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	defer func() {
+		if len(resp.Actions) == 0 {
+			resp.Actions = []core.Action{core.ActNone}
+		}
+		a.logResponse(resp)
+	}()
+	switch f.Intent {
+	case core.Desired:
+		// An aggregate cannot reorder its own production usefully;
+		// relay to the antecedent if the pattern survives the mapping.
+		if a.Propagate {
+			if prop := core.SafePropagation(f.Pattern, a.attrMap); prop.OK {
+				relayed := f.Relayed(prop.Pattern)
+				ctx.SendFeedback(0, relayed)
+				resp.Actions = append(resp.Actions, core.ActPropagate)
+				resp.Propagated = []*core.Feedback{&relayed}
+			}
+		}
+		return nil
+	case core.Demanded:
+		// Unblock: emit partial results for matching open windows now
+		// (§3.4's financial-speculator example — a partial answer soon
+		// beats a full answer too late). State is retained; the final
+		// result still appears when the window closes.
+		var due []string
+		for k, g := range a.state {
+			if f.Pattern.Matches(a.resultTuple(g)) {
+				due = append(due, k)
+			}
+		}
+		sort.Strings(due)
+		for _, k := range due {
+			a.partialsEmitted++
+			ctx.Emit(a.resultTuple(a.state[k]))
+		}
+		resp.Actions = append(resp.Actions, core.ActUnblock)
+		return nil
+	}
+	// Assumed feedback: classify against the output partition and apply
+	// the Table 1 plan, limited by Mode.
+	if a.Mode == FeedbackIgnore {
+		return nil
+	}
+	shape := core.ClassifyAggPattern(f.Pattern, a.groupOutIdx, a.valueIdx)
+	plan := core.AggCharacterizationGiven(a.Kind, shape, f.Pattern, a.attrMap, a.NonNegative)
+	resp.Note = plan.Explanation
+
+	// Output guard is correct for every shape and both modes.
+	a.guardsOut.Install(f)
+	resp.Actions = append(resp.Actions, core.ActGuardOutput)
+	if a.Mode == FeedbackGuardOutput {
+		return nil
+	}
+
+	// Install guards before purging: the value-shape input guard is
+	// derived from the matching state entries, which the purge removes.
+	var wantPurge bool
+	for _, act := range plan.Actions {
+		switch act {
+		case core.ActPurgeState, core.ActCloseWindows:
+			if !wantPurge {
+				resp.Actions = append(resp.Actions, act)
+			}
+			wantPurge = true
+		case core.ActGuardInput:
+			a.installInputGuard(f, shape)
+			resp.Actions = append(resp.Actions, core.ActGuardInput)
+		}
+	}
+	if wantPurge {
+		a.purgeMatching(f.Pattern, shape)
+	}
+	if a.Propagate {
+		a.propagate(f, plan, &resp, ctx)
+	}
+	return nil
+}
+
+// purgeMatching removes state entries covered by the feedback. For
+// group/window-bound shapes the prefix (ignoring the value) decides; for
+// value-bound shapes on monotone aggregates the current partial decides
+// (it can only move further into the subset).
+func (a *Aggregate) purgeMatching(p punct.Pattern, shape core.AggShape) {
+	for k, g := range a.state {
+		var hit bool
+		switch shape {
+		case core.AggShapeGroup:
+			hit = p.Matches(a.prefixTuple(g.wid, g.groupVals))
+		case core.AggShapeValueUp, core.AggShapeValueDown:
+			hit = p.Matches(a.resultTuple(g))
+		default:
+			continue
+		}
+		if hit {
+			a.purged++
+			delete(a.state, k)
+		}
+	}
+}
+
+// installInputGuard pins the suppressed subset shut so arriving tuples
+// cannot recreate purged groups (the paper's MAX example: a tuple with
+// value 40 would otherwise re-open a window whose true max is ≥50).
+func (a *Aggregate) installInputGuard(f core.Feedback, shape core.AggShape) {
+	switch shape {
+	case core.AggShapeGroup:
+		a.guardsPrefix.Install(f)
+	case core.AggShapeValueUp, core.AggShapeValueDown:
+		// Guard the specific (window, group) pairs that were purged:
+		// equality patterns on the prefix.
+		for _, g := range a.snapshotMatching(f.Pattern) {
+			pat := punct.AllWild(a.out.Arity())
+			for i := range a.groupOutIdx {
+				pat = pat.With(a.groupOutIdx[i], punct.Eq(g.groupVals[i]))
+			}
+			pat = pat.With(a.wstartIdx, punct.Eq(a.wstartValue(g.wid)))
+			a.guardsPrefix.Install(core.Feedback{Intent: core.Assumed, Pattern: pat, Origin: f.Origin, Seq: f.Seq})
+		}
+	}
+}
+
+// snapshotMatching returns state entries whose current result matches p.
+// It must run before purgeMatching removes those entries.
+func (a *Aggregate) snapshotMatching(p punct.Pattern) []*aggGroup {
+	var out []*aggGroup
+	for _, g := range a.state {
+		if p.Matches(a.resultTuple(g)) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// propagate relays feedback upstream: group-bound patterns go through the
+// attribute mapping; window-bound patterns are translated to an input
+// timestamp bound via the window spec.
+func (a *Aggregate) propagate(f core.Feedback, plan core.ResponsePlan, resp *core.Response, ctx exec.Context) {
+	if len(plan.Propagate) > 0 && plan.Propagate[0] != nil {
+		relayed := f.Relayed(*plan.Propagate[0])
+		ctx.SendFeedback(0, relayed)
+		resp.Actions = append(resp.Actions, core.ActPropagate)
+		resp.Propagated = []*core.Feedback{&relayed}
+		return
+	}
+	// Window translation: ¬[…, wstart≤X, …] with everything else group
+	// bound or wild → suppress input tuples whose *every* window start is
+	// ≤ X, i.e. ts < ceilSlide(X).
+	if pat, ok := a.translateWindowBound(f.Pattern); ok {
+		relayed := f.Relayed(pat)
+		ctx.SendFeedback(0, relayed)
+		resp.Actions = append(resp.Actions, core.ActPropagate)
+		resp.Propagated = []*core.Feedback{&relayed}
+	}
+}
+
+// translateWindowBound maps an output pattern binding wstart (with ≤, <,
+// or a closed range) and otherwise only carried group attributes into an
+// input pattern: group predicates map through, and the wstart bound becomes
+// a timestamp bound such that a tuple is suppressed only if EVERY window
+// containing it is in the suppressed set (required for sliding windows;
+// exact for tumbling).
+func (a *Aggregate) translateWindowBound(p punct.Pattern) (punct.Pattern, bool) {
+	// Everything bound besides wstart must be a carried group attribute.
+	for _, b := range p.Bound() {
+		if b == a.wstartIdx {
+			continue
+		}
+		if a.attrMap.ToInput[b] < 0 {
+			return punct.Pattern{}, false
+		}
+	}
+	pr := p.Pred(a.wstartIdx)
+	out := a.attrMap.InputPattern(p.With(a.wstartIdx, punct.Wild))
+	switch pr.Op {
+	case punct.LE, punct.LT:
+		x := pr.Val.I
+		if pr.Op == punct.LT {
+			x--
+		}
+		// A tuple's max window start is origin + floor((ts-origin)/slide)*slide;
+		// requiring it ≤ x ⟺ ts < origin + (floor((x-origin)/slide)+1)*slide.
+		cutoff := a.Window.Origin + (floorDiv(x-a.Window.Origin, a.Window.Slide)+1)*a.Window.Slide
+		return out.With(a.TsAttr, punct.Lt(a.wstartTsValue(cutoff))), true
+	case punct.Between:
+		lo, hi := pr.Val.I, pr.Hi.I
+		// Tuples whose windows ALL start within [lo, hi]: min window
+		// start ≥ lo (⟺ ts ≥ lo + Range - Slide ... conservatively
+		// ts ≥ loAligned) and max window start ≤ hi (as above).
+		// For the min start: a tuple at ts has min start
+		// origin + (floor((ts-origin-Range)/slide)+1)*slide ≥ lo
+		// ⟺ ts ≥ lo + Range - slide + 1 ... we take the conservative
+		// inclusive bound loTs = lo + Range - Slide; for tumbling
+		// windows this is exactly lo.
+		loTs := lo + a.Window.Range - a.Window.Slide
+		hiCut := a.Window.Origin + (floorDiv(hi-a.Window.Origin, a.Window.Slide)+1)*a.Window.Slide
+		if hiCut-1 < loTs {
+			return punct.Pattern{}, false
+		}
+		return out.With(a.TsAttr, punct.Range(a.wstartTsValue(loTs), a.wstartTsValue(hiCut-1))), true
+	case punct.EQ:
+		// Single window: same as Between [v, v].
+		return a.translateWindowBound(p.With(a.wstartIdx, punct.Range(pr.Val, pr.Val)))
+	}
+	return punct.Pattern{}, false
+}
+
+func floorDiv(x, y int64) int64 {
+	q := x / y
+	if (x%y != 0) && ((x < 0) != (y < 0)) {
+		q--
+	}
+	return q
+}
+
+// Stats reports tuple accounting for the experiments.
+func (a *Aggregate) Stats() AggregateStats {
+	return AggregateStats{
+		In:            a.inTuples,
+		Out:           a.outTuples,
+		Folded:        a.folded,
+		InSuppressed:  a.inSuppressed,
+		OutSuppressed: a.outSuppressed,
+		Purged:        a.purged,
+		Partials:      a.partialsEmitted,
+		OpenGroups:    len(a.state),
+		WorkUnits:     a.meter.Total(),
+	}
+}
+
+// AggregateStats is the operator's accounting snapshot.
+type AggregateStats struct {
+	In, Out, Folded             int64
+	InSuppressed, OutSuppressed int64
+	Purged, Partials            int64
+	OpenGroups                  int
+	WorkUnits                   int64
+}

@@ -1,0 +1,155 @@
+package op
+
+import (
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Duplicate copies its input to N identical outputs (the fan-out operator
+// of the Figure 4(a) imputation plan). Its feedback rule is the paper's
+// §4.1 example: because the operator's definition requires the outputs to
+// be identical, an exploitation must affect all outputs or none. Duplicate
+// therefore suppresses a subset only once *every* consumer has asserted
+// assumed feedback covering it, and only then propagates upstream.
+type Duplicate struct {
+	exec.Base
+	OpName string
+	Schema stream.Schema
+	N      int
+	// Mode enables exploitation; Propagate relays unanimously-asserted
+	// feedback upstream.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	perOut     []*core.GuardTable // feedback asserted by each consumer
+	propagated map[string]bool    // pattern strings already relayed
+
+	in, out, suppressed int64
+}
+
+// Name implements exec.Operator.
+func (d *Duplicate) Name() string {
+	if d.OpName != "" {
+		return d.OpName
+	}
+	return "duplicate"
+}
+
+func (d *Duplicate) n() int {
+	if d.N <= 0 {
+		return 2
+	}
+	return d.N
+}
+
+// InSchemas implements exec.Operator.
+func (d *Duplicate) InSchemas() []stream.Schema { return []stream.Schema{d.Schema} }
+
+// OutSchemas implements exec.Operator.
+func (d *Duplicate) OutSchemas() []stream.Schema {
+	out := make([]stream.Schema, d.n())
+	for i := range out {
+		out[i] = d.Schema
+	}
+	return out
+}
+
+// Open implements exec.Operator.
+func (d *Duplicate) Open(exec.Context) error {
+	d.perOut = make([]*core.GuardTable, d.n())
+	for i := range d.perOut {
+		d.perOut[i] = core.NewGuardTable(d.Schema.Arity())
+	}
+	d.propagated = map[string]bool{}
+	return nil
+}
+
+// unanimous reports whether every consumer's asserted feedback covers t.
+func (d *Duplicate) unanimous(t stream.Tuple) bool {
+	for _, g := range d.perOut {
+		if g.Active() == 0 || !g.Suppress(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProcessTuple implements exec.Operator.
+func (d *Duplicate) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	d.in++
+	if d.Mode != FeedbackIgnore && d.unanimous(t) {
+		d.suppressed++
+		return nil
+	}
+	d.out++
+	for i := 0; i < d.n(); i++ {
+		ctx.EmitTo(i, t)
+	}
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: punctuation is duplicated to all
+// outputs and drives guard expiration.
+func (d *Duplicate) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	for _, g := range d.perOut {
+		g.ObservePunct(e)
+	}
+	for i := 0; i < d.n(); i++ {
+		ctx.EmitPunctTo(i, e)
+	}
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator: record per-consumer assertions;
+// once a pattern is covered by every consumer's assertions, it becomes
+// exploitable and (optionally) propagates upstream.
+func (d *Duplicate) ProcessFeedback(output int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	if f.Intent != core.Assumed || d.Mode == FeedbackIgnore {
+		resp.Actions = []core.Action{core.ActNone}
+		d.logResponse(resp)
+		return nil
+	}
+	d.perOut[output].Install(f)
+	// The newly asserted pattern is exploitable iff every other consumer
+	// has already asserted a superset of it.
+	exploitable := true
+	for i, g := range d.perOut {
+		if i == output {
+			continue
+		}
+		covered := false
+		for _, gd := range g.Guards() {
+			if f.Pattern.Implies(gd.Pattern) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			exploitable = false
+			break
+		}
+	}
+	if exploitable {
+		resp.Actions = append(resp.Actions, core.ActGuardInput)
+		key := f.Pattern.String()
+		if d.Propagate && !d.propagated[key] {
+			d.propagated[key] = true
+			relayed := f.Relayed(f.Pattern)
+			ctx.SendFeedback(0, relayed)
+			resp.Actions = append(resp.Actions, core.ActPropagate)
+			resp.Propagated = []*core.Feedback{&relayed}
+		}
+	} else {
+		resp.Actions = []core.Action{core.ActNone}
+		resp.Note = "awaiting matching feedback from all consumers (outputs must stay identical)"
+	}
+	d.logResponse(resp)
+	return nil
+}
+
+// Stats reports tuple accounting.
+func (d *Duplicate) Stats() (in, out, suppressed int64) { return d.in, d.out, d.suppressed }

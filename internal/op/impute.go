@@ -1,0 +1,150 @@
+package op
+
+import (
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Impute replaces missing (null) speed values with estimates obtained from
+// an archival lookup — one expensive "database query" per dirty tuple
+// (Example 3 / Experiment 1). It is the canonical *exploiter* of assumed
+// feedback: upon receiving ¬[…, ≤cutoff, …] from PACE it installs an input
+// guard, so tuples already too late are discarded *before* the lookup,
+// letting the operator catch up to the live edge of the stream.
+type Impute struct {
+	exec.Base
+	OpName string
+	Schema stream.Schema
+	// Attribute positions in Schema.
+	SegAttr, DetAttr, TsAttr, SpeedAttr int
+	// Store answers the archival queries.
+	Store *archive.Store
+	// FallbackSpeed is used when the archive has no history.
+	FallbackSpeed float64
+	// Mode: FeedbackIgnore makes Impute feedback-unaware (Figure 5);
+	// anything else installs input guards (Figure 6). Propagate relays
+	// the feedback further upstream.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	guards *core.GuardTable
+
+	imputed, skipped, passed int64
+}
+
+// Name implements exec.Operator.
+func (im *Impute) Name() string {
+	if im.OpName != "" {
+		return im.OpName
+	}
+	return "impute"
+}
+
+// InSchemas implements exec.Operator.
+func (im *Impute) InSchemas() []stream.Schema { return []stream.Schema{im.Schema} }
+
+// OutSchemas implements exec.Operator.
+func (im *Impute) OutSchemas() []stream.Schema { return []stream.Schema{im.Schema} }
+
+// Open implements exec.Operator.
+func (im *Impute) Open(exec.Context) error {
+	im.guards = core.NewGuardTable(im.Schema.Arity())
+	if im.FallbackSpeed == 0 {
+		im.FallbackSpeed = 55
+	}
+	return nil
+}
+
+// ProcessTuple implements exec.Operator.
+func (im *Impute) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	// The guard fires before the expensive lookup: this is the entire
+	// point of the feedback (§4.3 strategy 2, guard on input).
+	if im.Mode != FeedbackIgnore && im.guards.Suppress(t) {
+		im.skipped++
+		return nil
+	}
+	v := t.At(im.SpeedAttr)
+	if !v.IsNull() {
+		im.passed++
+		ctx.Emit(t)
+		return nil
+	}
+	seg := t.At(im.SegAttr).AsInt()
+	det := t.At(im.DetAttr).AsInt()
+	minuteOfDay := minuteOfDayOf(t.At(im.TsAttr).I)
+	est, ok := im.Store.Lookup(seg, det, minuteOfDay)
+	if !ok {
+		est = im.FallbackSpeed
+	}
+	out := t.Clone()
+	out.Values[im.SpeedAttr] = stream.Float(est)
+	im.imputed++
+	ctx.Emit(out)
+	return nil
+}
+
+// minuteOfDayOf converts a micros timestamp to the minute-of-day bucket
+// used by the archive.
+func minuteOfDayOf(micros int64) int {
+	const day = int64(24 * 60 * 60 * 1e6)
+	m := micros % day
+	if m < 0 {
+		m += day
+	}
+	return int(m / int64(60*1e6))
+}
+
+// ProcessPunct implements exec.Operator: imputation preserves every
+// attribute except the (unpunctuated) speed value, so punctuation passes
+// through; it also expires guards.
+func (im *Impute) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	im.guards.ObservePunct(e)
+	ctx.EmitPunct(e)
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator.
+func (im *Impute) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	if f.Intent == core.Assumed && im.Mode != FeedbackIgnore {
+		// The speed attribute is rewritten by imputation, so feedback
+		// binding it cannot guard the *input*; everything else can.
+		bindsSpeed := false
+		for _, b := range f.Pattern.Bound() {
+			if b == im.SpeedAttr {
+				bindsSpeed = true
+				break
+			}
+		}
+		if !bindsSpeed {
+			im.guards.Install(f)
+			resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActPurgeState)
+		} else {
+			resp.Note = "feedback binds the imputed attribute; input guard unsafe"
+		}
+	}
+	if im.Propagate {
+		mapping := core.Identity(im.Schema.Arity())
+		mapping.ToInput[im.SpeedAttr] = -1 // imputed attribute is computed
+		if prop := core.SafePropagation(f.Pattern, mapping); prop.OK {
+			relayed := f.Relayed(prop.Pattern)
+			ctx.SendFeedback(0, relayed)
+			resp.Actions = append(resp.Actions, core.ActPropagate)
+			resp.Propagated = []*core.Feedback{&relayed}
+		}
+	}
+	if len(resp.Actions) == 0 {
+		resp.Actions = []core.Action{core.ActNone}
+	}
+	im.logResponse(resp)
+	return nil
+}
+
+// Stats reports (imputed, skipped-by-guard, passed-clean) counts.
+func (im *Impute) Stats() (imputed, skipped, passed int64) {
+	return im.imputed, im.skipped, im.passed
+}

@@ -1,0 +1,300 @@
+package op
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Probe-vehicle and fixed-sensor schemas from §3.5, simplified:
+// probe(seg, ts, pspeed) ⋈ sensor(seg, ts, sspeed) on (seg, ts).
+var (
+	probeSchema  = stream.MustSchema(stream.F("seg", stream.KindInt), stream.F("ts", stream.KindTime), stream.F("pspeed", stream.KindFloat))
+	sensorSchema = stream.MustSchema(stream.F("seg", stream.KindInt), stream.F("ts", stream.KindTime), stream.F("sspeed", stream.KindFloat))
+)
+
+func probe(seg, ts int64, v float64) stream.Tuple {
+	return stream.NewTuple(stream.Int(seg), stream.TimeMicros(ts), stream.Float(v))
+}
+
+func sensor(seg, ts int64, v float64) stream.Tuple {
+	return stream.NewTuple(stream.Int(seg), stream.TimeMicros(ts), stream.Float(v))
+}
+
+func newTestJoin(mode FeedbackMode, propagate bool) *Join {
+	return &Join{
+		OpName: "join", Left: probeSchema, Right: sensorSchema,
+		LeftKeys: []int{0, 1}, RightKeys: []int{0, 1},
+		LeftTs: 1, RightTs: 1,
+		Mode: mode, Propagate: propagate,
+	}
+}
+
+func leftPunct(us int64) punct.Embedded {
+	return punct.NewEmbedded(punct.OnAttr(3, 1, punct.Le(stream.TimeMicros(us))))
+}
+
+func TestJoinOutputSchema(t *testing.T) {
+	j := newTestJoin(FeedbackIgnore, false)
+	out := j.OutSchemas()[0]
+	// (seg, ts, pspeed, sspeed): join attrs once, right non-keys appended.
+	if out.Arity() != 4 || out.Index("seg") != 0 || out.Index("sspeed") != 3 {
+		t.Fatalf("output schema: %s", out)
+	}
+}
+
+func TestJoinMatchesBothArrivalOrders(t *testing.T) {
+	j := newTestJoin(FeedbackIgnore, false)
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(1, 100, 45))
+	h.Tuple(1, sensor(1, 100, 50)) // right probes left
+	h.Tuple(1, sensor(2, 100, 60))
+	h.Tuple(0, probe(2, 100, 55)) // left probes right
+	got := h.OutTuples(0)
+	if len(got) != 2 {
+		t.Fatalf("joined: %v", got)
+	}
+	for _, tp := range got {
+		if tp.Arity() != 4 {
+			t.Errorf("arity: %v", tp)
+		}
+	}
+}
+
+func TestJoinResidualPredicate(t *testing.T) {
+	j := newTestJoin(FeedbackIgnore, false)
+	j.Residual = func(l, r stream.Tuple) bool { return r.At(2).AsFloat() < 45 }
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(1, 100, 40))
+	h.Tuple(1, sensor(1, 100, 44)) // congested: joins
+	h.Tuple(0, probe(2, 100, 40))
+	h.Tuple(1, sensor(2, 100, 60)) // uncongested: filtered
+	if got := h.OutTuples(0); len(got) != 1 || got[0].At(0).AsInt() != 1 {
+		t.Fatalf("residual: %v", got)
+	}
+}
+
+func TestJoinPunctuationPurgesState(t *testing.T) {
+	j := newTestJoin(FeedbackIgnore, false)
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(1, 100, 45))
+	h.Tuple(1, sensor(2, 100, 50))
+	// Left punctuation ≤ 100: right entries ≤ 100 can never match.
+	h.Punct(0, leftPunct(100))
+	st := j.Stats()
+	if st.RightEntries != 0 {
+		t.Errorf("right entries after left punct: %d", st.RightEntries)
+	}
+	if st.LeftEntries != 1 {
+		t.Errorf("left entries must survive: %d", st.LeftEntries)
+	}
+	h.Punct(1, leftPunct(100))
+	if j.Stats().LeftEntries != 0 {
+		t.Error("left entries after right punct")
+	}
+	// Output punctuation after both inputs punctuated.
+	ps := h.OutPuncts(0)
+	if len(ps) != 1 || ps[0].Pattern.Pred(1).Val.Micros() != 100 {
+		t.Errorf("output punctuation: %v", ps)
+	}
+}
+
+func TestJoinLeftOuterEmitsOnPurge(t *testing.T) {
+	j := newTestJoin(FeedbackIgnore, false)
+	j.LeftOuter = true
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(1, 100, 45)) // will match
+	h.Tuple(0, probe(2, 100, 55)) // will not match
+	h.Tuple(1, sensor(1, 100, 50))
+	// Right punctuation proves segment 2 has no partner.
+	h.Punct(1, leftPunct(100))
+	got := h.OutTuples(0)
+	if len(got) != 2 {
+		t.Fatalf("outer join output: %v", got)
+	}
+	var sawNull bool
+	for _, tp := range got {
+		if tp.At(3).IsNull() {
+			sawNull = true
+			if tp.At(0).AsInt() != 2 {
+				t.Errorf("padded tuple: %v", tp)
+			}
+		}
+	}
+	if !sawNull {
+		t.Fatal("unmatched left tuple must be emitted null-padded")
+	}
+	st := j.Stats()
+	if st.OuterEmitted != 1 {
+		t.Errorf("outerEmitted = %d", st.OuterEmitted)
+	}
+}
+
+func TestJoinLeftOuterEOSFlush(t *testing.T) {
+	j := newTestJoin(FeedbackIgnore, false)
+	j.LeftOuter = true
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(7, 100, 45))
+	h.EOS(1)
+	got := h.OutTuples(0)
+	if len(got) != 1 || !got[0].At(3).IsNull() {
+		t.Fatalf("EOS must flush unmatched left tuples: %v", got)
+	}
+}
+
+// TestJoinTable2Exploit verifies the enacted responses per Table 2 rows.
+func TestJoinTable2Exploit(t *testing.T) {
+	// Row 1: ¬[*,j,*] — here j = (seg): purge both tables, guard input,
+	// propagate both ways.
+	j := newTestJoin(FeedbackExploit, true)
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(3, 100, 45))
+	h.Tuple(1, sensor(3, 200, 50)) // different ts: no match, states live
+	h.Feedback(0, core.NewAssumed(punct.OnAttr(4, 0, punct.Eq(stream.Int(3)))))
+	st := j.Stats()
+	if st.PurgedByFeedback != 2 {
+		t.Errorf("purged = %d, want 2 (both tables)", st.PurgedByFeedback)
+	}
+	if len(h.SentFeedback(0)) != 1 || len(h.SentFeedback(1)) != 1 {
+		t.Error("join-attribute feedback must propagate to both inputs")
+	}
+	// Guard: new tuples for seg 3 are suppressed.
+	h.Tuple(0, probe(3, 300, 40))
+	if j.Stats().LeftEntries != 0 {
+		t.Error("guarded left input must not build state")
+	}
+
+	// Row 4: ¬[l,*,r] — guard output only.
+	j2 := newTestJoin(FeedbackExploit, true)
+	h2 := exec.NewHarness(j2)
+	cross := punct.NewPattern(punct.Wild, punct.Wild, punct.Eq(stream.Float(50)), punct.Eq(stream.Float(50)))
+	h2.Feedback(0, core.NewAssumed(cross))
+	if len(h2.SentFeedback(0)) != 0 || len(h2.SentFeedback(1)) != 0 {
+		t.Error("cross-side feedback must not propagate (¬[50,*,*,50] example)")
+	}
+	// <49, …, 50> must still be produced: only exact cross matches die.
+	h2.Tuple(0, probe(1, 100, 49))
+	h2.Tuple(1, sensor(1, 100, 50))
+	if got := h2.OutTuples(0); len(got) != 1 {
+		t.Fatalf("tuple outside the subset must survive: %v", got)
+	}
+	h2.Tuple(0, probe(2, 100, 50))
+	h2.Tuple(1, sensor(2, 100, 50))
+	if got := h2.OutTuples(0); len(got) != 1 {
+		t.Fatal("tuple inside the subset must be suppressed at output")
+	}
+}
+
+func TestJoinGuardOutputMode(t *testing.T) {
+	j := newTestJoin(FeedbackGuardOutput, false)
+	h := exec.NewHarness(j)
+	h.Feedback(0, core.NewAssumed(punct.OnAttr(4, 0, punct.Eq(stream.Int(3)))))
+	h.Tuple(0, probe(3, 100, 45))
+	h.Tuple(1, sensor(3, 100, 50))
+	if len(h.OutTuples(0)) != 0 {
+		t.Fatal("output must be guarded")
+	}
+	// State still builds in guard-output mode.
+	if j.Stats().LeftEntries != 1 || j.Stats().RightEntries != 1 {
+		t.Error("guard-output mode must not purge state")
+	}
+}
+
+func TestThriftyJoinDetectsEmptyWindows(t *testing.T) {
+	// §3.3 Adaptive: probe (left, input 0) windows 1-minute tumbling;
+	// window 1 empty → feedback to sensor input (1).
+	spec := window.Tumbling(60_000_000)
+	j := newTestJoin(FeedbackExploit, false)
+	j.ThriftyWindow = &spec
+	j.ThriftyProbe = 0
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(1, 10_000_000, 45)) // window 0 occupied
+	// Probe punctuation closes windows 0 and 1.
+	h.Punct(0, leftPunct(120_000_000-1))
+	fb := h.SentFeedback(1)
+	if len(fb) != 1 {
+		t.Fatalf("thrifty feedback: %v", fb)
+	}
+	f := fb[0]
+	if f.Intent != core.Assumed {
+		t.Error("thrifty feedback must be assumed")
+	}
+	pr := f.Pattern.Pred(1)
+	if pr.Op != punct.Between || pr.Val.Micros() != 60_000_000 || pr.Hi.Micros() != 120_000_000-1 {
+		t.Errorf("empty-window pattern: %v", f.Pattern)
+	}
+	if j.Stats().ThriftySent != 1 {
+		t.Error("thrifty counter")
+	}
+}
+
+func TestImpatientJoinSendsDesired(t *testing.T) {
+	j := newTestJoin(FeedbackExploit, false)
+	j.Impatient = true
+	h := exec.NewHarness(j)
+	h.Tuple(0, probe(3, 700, 45))
+	fb := h.SentFeedback(1)
+	if len(fb) != 1 || fb[0].Intent != core.Desired {
+		t.Fatalf("impatient feedback: %v", fb)
+	}
+	p := fb[0].Pattern
+	if p.Pred(0).Val.AsInt() != 3 || p.Pred(1).Val.Micros() != 700 || !p.Pred(2).IsWild() {
+		t.Errorf("desired pattern: %v (want ?[3, 700, *])", p)
+	}
+	// Repeat key: no duplicate feedback.
+	h.Tuple(0, probe(3, 700, 46))
+	if len(h.SentFeedback(1)) != 1 {
+		t.Error("duplicate keys must not re-send desired feedback")
+	}
+}
+
+// TestJoinDefinition1Property: random join inputs, random single-sided
+// feedback, exploit and guard-output modes both satisfy Definition 1.
+func TestJoinDefinition1Property(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		type ev struct {
+			input int
+			t     stream.Tuple
+		}
+		var evs []ev
+		n := 10 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			seg, ts, v := r.Int63n(3), int64(r.Intn(3)*100), 40+float64(r.Intn(20))
+			if r.Intn(2) == 0 {
+				evs = append(evs, ev{0, probe(seg, ts, v)})
+			} else {
+				evs = append(evs, ev{1, sensor(seg, ts, v)})
+			}
+		}
+		seg := r.Int63n(3)
+		fb := core.NewAssumed(punct.OnAttr(4, 0, punct.Eq(stream.Int(seg))))
+		fbAt := r.Intn(n)
+		run := func(mode FeedbackMode) []stream.Tuple {
+			j := newTestJoin(mode, false)
+			h := exec.NewHarness(j)
+			for i, e := range evs {
+				if i == fbAt {
+					h.Feedback(0, fb)
+				}
+				h.Tuple(e.input, e.t)
+			}
+			h.EOS(0).EOS(1)
+			if h.Err() != nil {
+				t.Fatal(h.Err())
+			}
+			return h.OutTuples(0)
+		}
+		ref := run(FeedbackIgnore)
+		for _, mode := range []FeedbackMode{FeedbackGuardOutput, FeedbackExploit} {
+			if err := core.CheckExploitation(ref, run(mode), fb).Err(); err != nil {
+				t.Fatalf("trial %d mode %v: %v", trial, mode, err)
+			}
+		}
+	}
+}

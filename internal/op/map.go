@@ -1,0 +1,177 @@
+package op
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Map is the general 1-in/1-out stateless transform: each output attribute
+// is either carried verbatim from an input attribute or computed by a
+// function of the whole input tuple. Carried attributes determine how
+// punctuation relays downstream and how feedback propagates upstream
+// (computed attributes block both, exactly like a join's derived columns).
+type Map struct {
+	exec.Base
+	OpName string
+	In     stream.Schema
+	// Outs defines the output attributes in order.
+	Outs []MapAttr
+	// Mode/Propagate as in Select.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	out     stream.Schema
+	attrMap core.AttrMap
+	guards  *core.GuardTable
+
+	nIn, nOut, suppressed int64
+}
+
+// MapAttr describes one output attribute of a Map.
+type MapAttr struct {
+	Name string
+	// From names the carried input attribute; empty means computed.
+	From string
+	// Kind is required for computed attributes (ignored when carried).
+	Kind stream.Kind
+	// Fn computes the value for computed attributes.
+	Fn func(t stream.Tuple) stream.Value
+}
+
+// Carry builds a carried output attribute (same name).
+func Carry(name string) MapAttr { return MapAttr{Name: name, From: name} }
+
+// CarryAs builds a carried output attribute under a new name.
+func CarryAs(name, from string) MapAttr { return MapAttr{Name: name, From: from} }
+
+// Compute builds a computed output attribute.
+func Compute(name string, kind stream.Kind, fn func(stream.Tuple) stream.Value) MapAttr {
+	return MapAttr{Name: name, Kind: kind, Fn: fn}
+}
+
+// Name implements exec.Operator.
+func (m *Map) Name() string {
+	if m.OpName != "" {
+		return m.OpName
+	}
+	return "map"
+}
+
+// InSchemas implements exec.Operator.
+func (m *Map) InSchemas() []stream.Schema { return []stream.Schema{m.In} }
+
+// OutSchemas implements exec.Operator.
+func (m *Map) OutSchemas() []stream.Schema {
+	if m.out.Arity() == 0 {
+		m.mustInit()
+	}
+	return []stream.Schema{m.out}
+}
+
+func (m *Map) mustInit() {
+	fields := make([]stream.Field, len(m.Outs))
+	toInput := make([]int, len(m.Outs))
+	for i, o := range m.Outs {
+		if o.From != "" {
+			src := m.In.Index(o.From)
+			if src < 0 {
+				panic(fmt.Sprintf("op: map %q: no input attribute %q", m.Name(), o.From))
+			}
+			fields[i] = stream.F(o.Name, m.In.Field(src).Kind)
+			toInput[i] = src
+			continue
+		}
+		if o.Fn == nil {
+			panic(fmt.Sprintf("op: map %q: attribute %q is neither carried nor computed", m.Name(), o.Name))
+		}
+		fields[i] = stream.F(o.Name, o.Kind)
+		toInput[i] = -1
+	}
+	out, err := stream.NewSchema(fields...)
+	if err != nil {
+		panic(fmt.Sprintf("op: map %q: %v", m.Name(), err))
+	}
+	m.out = out
+	m.attrMap = core.AttrMap{InputArity: m.In.Arity(), ToInput: toInput}
+}
+
+// Open implements exec.Operator.
+func (m *Map) Open(exec.Context) error {
+	if m.out.Arity() == 0 {
+		m.mustInit()
+	}
+	m.guards = core.NewGuardTable(m.out.Arity())
+	return nil
+}
+
+// ProcessTuple implements exec.Operator.
+func (m *Map) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	m.nIn++
+	vals := make([]stream.Value, len(m.Outs))
+	for i, o := range m.Outs {
+		if src := m.attrMap.ToInput[i]; src >= 0 {
+			vals[i] = t.At(src)
+		} else {
+			vals[i] = o.Fn(t)
+		}
+	}
+	out := stream.Tuple{Values: vals, Seq: t.Seq}
+	if m.Mode != FeedbackIgnore && m.guards.Suppress(out) {
+		m.suppressed++
+		return nil
+	}
+	m.nOut++
+	ctx.Emit(out)
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: punctuation relays iff its bound
+// attributes are all carried.
+func (m *Map) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	outputOf := func(in int) int {
+		for o, src := range m.attrMap.ToInput {
+			if src == in {
+				return o
+			}
+		}
+		return -1
+	}
+	if projected, ok := relayPunct(e.Pattern, outputOf, m.out.Arity()); ok {
+		pe := punct.NewEmbedded(projected)
+		m.guards.ObservePunct(pe)
+		ctx.EmitPunct(pe)
+	}
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator.
+func (m *Map) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	if f.Intent == core.Assumed && m.Mode != FeedbackIgnore {
+		m.guards.Install(f)
+		resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
+	}
+	if m.Propagate {
+		if prop := core.SafePropagation(f.Pattern, m.attrMap); prop.OK {
+			relayed := f.Relayed(prop.Pattern)
+			ctx.SendFeedback(0, relayed)
+			resp.Actions = append(resp.Actions, core.ActPropagate)
+			resp.Propagated = []*core.Feedback{&relayed}
+		} else {
+			resp.Note = "propagation refused: " + prop.Reason
+		}
+	}
+	if len(resp.Actions) == 0 {
+		resp.Actions = []core.Action{core.ActNone}
+	}
+	m.logResponse(resp)
+	return nil
+}
+
+// Stats reports tuple accounting.
+func (m *Map) Stats() (in, out, suppressed int64) { return m.nIn, m.nOut, m.suppressed }

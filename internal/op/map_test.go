@@ -1,0 +1,115 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+func kmhMap(mode FeedbackMode, propagate bool) *Map {
+	return &Map{
+		OpName: "to-kmh", In: trafficSchema,
+		Outs: []MapAttr{
+			Carry("segment"),
+			CarryAs("when", "ts"),
+			Compute("speed_kmh", stream.KindFloat, func(t stream.Tuple) stream.Value {
+				v := t.At(3)
+				if v.IsNull() {
+					return stream.Null
+				}
+				return stream.Float(v.AsFloat() * 1.609344)
+			}),
+		},
+		Mode: mode, Propagate: propagate,
+	}
+}
+
+func TestMapTransforms(t *testing.T) {
+	m := kmhMap(FeedbackIgnore, false)
+	out := m.OutSchemas()[0]
+	if out.Arity() != 3 || out.Index("speed_kmh") != 2 || out.Field(1).Kind != stream.KindTime {
+		t.Fatalf("schema: %s", out)
+	}
+	h := exec.NewHarness(m)
+	h.Tuple(0, traffic(3, 1, 500, 50))
+	got := h.OutTuples(0)
+	if len(got) != 1 || got[0].At(2).AsFloat() != 50*1.609344 {
+		t.Fatalf("transform: %v", got)
+	}
+	if got[0].At(0).AsInt() != 3 || got[0].At(1).Micros() != 500 {
+		t.Error("carried attributes")
+	}
+}
+
+func TestMapPunctRelayRules(t *testing.T) {
+	m := kmhMap(FeedbackIgnore, false)
+	h := exec.NewHarness(m)
+	// ts is carried (as "when"): relays projected.
+	h.Punct(0, tsPunct(100))
+	ps := h.OutPuncts(0)
+	if len(ps) != 1 || ps[0].Pattern.Bound()[0] != 1 {
+		t.Fatalf("carried punct: %v", ps)
+	}
+	// speed punctuation binds an uncarried attribute: consumed.
+	h.Punct(0, punct.NewEmbedded(punct.OnAttr(4, 3, punct.Ge(stream.Float(50)))))
+	if len(h.OutPuncts(0)) != 1 {
+		t.Error("punct on an uncarried attribute must not relay")
+	}
+}
+
+func TestMapFeedback(t *testing.T) {
+	m := kmhMap(FeedbackExploit, true)
+	h := exec.NewHarness(m)
+	// Feedback on a carried attribute: guard + propagate.
+	f := core.NewAssumed(punct.OnAttr(3, 0, punct.Eq(stream.Int(3))))
+	h.Feedback(0, f)
+	if sent := h.SentFeedback(0); len(sent) != 1 || sent[0].Pattern.Arity() != 4 {
+		t.Fatalf("propagation: %v", sent)
+	}
+	h.Tuple(0, traffic(3, 1, 500, 50))
+	if len(h.OutTuples(0)) != 0 {
+		t.Fatal("guarded map must suppress")
+	}
+	// Feedback on the computed attribute: guard output only, no
+	// propagation.
+	h.Feedback(0, core.NewAssumed(punct.OnAttr(3, 2, punct.Ge(stream.Float(100)))))
+	if len(h.SentFeedback(0)) != 1 {
+		t.Error("computed-attribute feedback must not propagate")
+	}
+	h.Tuple(0, traffic(4, 1, 600, 80)) // 128.7 km/h ≥ 100: suppressed
+	h.Tuple(0, traffic(4, 1, 700, 30)) // 48.3 km/h: passes
+	got := h.OutTuples(0)
+	if len(got) != 1 || got[0].At(1).Micros() != 700 {
+		t.Fatalf("computed guard: %v", got)
+	}
+}
+
+func TestMapDefinition1(t *testing.T) {
+	input := []stream.Tuple{
+		traffic(1, 1, 10, 50), traffic(2, 1, 20, 80), traffic(3, 1, 30, 20),
+	}
+	fb := core.NewAssumed(punct.OnAttr(3, 2, punct.Ge(stream.Float(100))))
+	run := func(mode FeedbackMode) []stream.Tuple {
+		m := kmhMap(mode, false)
+		h := exec.NewHarness(m)
+		h.Feedback(0, fb)
+		h.Tuples(input...)
+		return h.OutTuples(0)
+	}
+	if err := core.CheckExploitation(run(FeedbackIgnore), run(FeedbackExploit), fb).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown carried attribute must panic at init")
+		}
+	}()
+	m := &Map{In: trafficSchema, Outs: []MapAttr{Carry("nope")}}
+	m.OutSchemas()
+}

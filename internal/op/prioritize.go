@@ -1,0 +1,189 @@
+package op
+
+import (
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Prioritize is an exploiter of desired (?) feedback: a pass-through stage
+// with a bounded reorder buffer. Tuples matching a desired pattern bypass
+// the buffer and are emitted immediately; everything else drains in FIFO
+// order as the buffer fills, on punctuation, or at end of stream.
+//
+// Placed upstream of an IMPATIENT JOIN, it realizes §3.4's scenario: the
+// join announces which (period, segment) subsets it can immediately use,
+// and this operator moves those tuples to the front — changing production
+// time and order but never the result set, exactly the desired-punctuation
+// contract.
+//
+// Assumed feedback is exploited maximally: matching buffered tuples are
+// dropped before ever being emitted, and the guard persists.
+type Prioritize struct {
+	exec.Base
+	OpName string
+	Schema stream.Schema
+	// BufferCap bounds the reorder buffer (default 256). A larger buffer
+	// gives desired feedback more opportunity to overtake.
+	BufferCap int
+	// Mode/Propagate as in Select; FeedbackIgnore reduces the operator to
+	// a FIFO pass-through.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	desired []punct.Pattern
+	guards  *core.GuardTable
+	scheme  *punct.Scheme
+	pending []stream.Tuple
+
+	in, out, promoted, dropped int64
+}
+
+// Name implements exec.Operator.
+func (p *Prioritize) Name() string {
+	if p.OpName != "" {
+		return p.OpName
+	}
+	return "prioritize"
+}
+
+func (p *Prioritize) cap() int {
+	if p.BufferCap <= 0 {
+		return 256
+	}
+	return p.BufferCap
+}
+
+// InSchemas implements exec.Operator.
+func (p *Prioritize) InSchemas() []stream.Schema { return []stream.Schema{p.Schema} }
+
+// OutSchemas implements exec.Operator.
+func (p *Prioritize) OutSchemas() []stream.Schema { return []stream.Schema{p.Schema} }
+
+// Open implements exec.Operator.
+func (p *Prioritize) Open(exec.Context) error {
+	p.guards = core.NewGuardTable(p.Schema.Arity())
+	p.scheme = punct.NewScheme(p.Schema.Arity())
+	return nil
+}
+
+func (p *Prioritize) isDesired(t stream.Tuple) bool {
+	for _, d := range p.desired {
+		if d.Matches(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// ProcessTuple implements exec.Operator.
+func (p *Prioritize) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	p.in++
+	if p.Mode != FeedbackIgnore && p.guards.Suppress(t) {
+		p.dropped++
+		return nil
+	}
+	if p.Mode != FeedbackIgnore && p.isDesired(t) {
+		p.promoted++
+		p.out++
+		ctx.Emit(t)
+		return nil
+	}
+	p.pending = append(p.pending, t)
+	for len(p.pending) > p.cap() {
+		p.emitOldest(ctx)
+	}
+	return nil
+}
+
+func (p *Prioritize) emitOldest(ctx exec.Context) {
+	t := p.pending[0]
+	p.pending = p.pending[1:]
+	p.out++
+	ctx.Emit(t)
+}
+
+func (p *Prioritize) flush(ctx exec.Context) {
+	for len(p.pending) > 0 {
+		p.emitOldest(ctx)
+	}
+}
+
+// ProcessPunct implements exec.Operator: all buffered tuples must precede
+// the punctuation downstream, so the buffer flushes first.
+func (p *Prioritize) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	p.flush(ctx)
+	p.guards.ObservePunct(e)
+	p.scheme.Observe(e)
+	// Desired patterns expire like guards: once the stream promises the
+	// subset complete, prioritizing it is moot.
+	kept := p.desired[:0]
+	for _, d := range p.desired {
+		if !p.scheme.CoversPattern(d) {
+			kept = append(kept, d)
+		}
+	}
+	p.desired = kept
+	ctx.EmitPunct(e)
+	return nil
+}
+
+// ProcessEOS implements exec.Operator.
+func (p *Prioritize) ProcessEOS(_ int, ctx exec.Context) error {
+	p.flush(ctx)
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator.
+func (p *Prioritize) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	if p.Mode == FeedbackIgnore {
+		resp.Actions = []core.Action{core.ActNone}
+		p.logResponse(resp)
+		return nil
+	}
+	switch f.Intent {
+	case core.Desired, core.Demanded:
+		p.desired = append(p.desired, f.Pattern)
+		// Promote matching backlog immediately.
+		kept := p.pending[:0]
+		for _, t := range p.pending {
+			if f.Pattern.Matches(t) {
+				p.promoted++
+				p.out++
+				ctx.Emit(t)
+				continue
+			}
+			kept = append(kept, t)
+		}
+		p.pending = kept
+		resp.Actions = append(resp.Actions, core.ActPrioritize)
+	case core.Assumed:
+		p.guards.Install(f)
+		kept := p.pending[:0]
+		for _, t := range p.pending {
+			if f.Pattern.Matches(t) {
+				p.dropped++
+				continue
+			}
+			kept = append(kept, t)
+		}
+		p.pending = kept
+		resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActPurgeState)
+	}
+	if p.Propagate {
+		relayed := f.Relayed(f.Pattern)
+		ctx.SendFeedback(0, relayed)
+		resp.Actions = append(resp.Actions, core.ActPropagate)
+		resp.Propagated = []*core.Feedback{&relayed}
+	}
+	p.logResponse(resp)
+	return nil
+}
+
+// Stats reports (in, out, promoted, dropped).
+func (p *Prioritize) Stats() (in, out, promoted, dropped int64) {
+	return p.in, p.out, p.promoted, p.dropped
+}

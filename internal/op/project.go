@@ -1,0 +1,135 @@
+package op
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// Project narrows a stream to a subset of attributes (optionally renamed
+// via the output schema names). Every output attribute carries an input
+// attribute, so assumed feedback over the output schema always has a safe
+// propagation; embedded punctuation survives downstream iff its bound
+// attributes are kept (see relayPunct).
+type Project struct {
+	exec.Base
+	OpName string
+	In     stream.Schema
+	// Keep lists the input attribute names to retain, in output order.
+	Keep []string
+	// Mode/Propagate configure feedback response as in Select.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	out     stream.Schema
+	idxs    []int // output attr → input attr
+	guards  *core.GuardTable
+	attrMap core.AttrMap
+
+	nIn, nOut, suppressed, punctDropped int64
+}
+
+// Name implements exec.Operator.
+func (p *Project) Name() string {
+	if p.OpName != "" {
+		return p.OpName
+	}
+	return "project"
+}
+
+// InSchemas implements exec.Operator.
+func (p *Project) InSchemas() []stream.Schema { return []stream.Schema{p.In} }
+
+// OutSchemas implements exec.Operator.
+func (p *Project) OutSchemas() []stream.Schema {
+	if p.out.Arity() == 0 {
+		p.mustInit()
+	}
+	return []stream.Schema{p.out}
+}
+
+func (p *Project) mustInit() {
+	out, idxs, err := p.In.Project(p.Keep...)
+	if err != nil {
+		panic(fmt.Sprintf("op: project %q: %v", p.Name(), err))
+	}
+	p.out, p.idxs = out, idxs
+	p.attrMap = core.AttrMap{InputArity: p.In.Arity(), ToInput: append([]int(nil), idxs...)}
+}
+
+// Open implements exec.Operator.
+func (p *Project) Open(exec.Context) error {
+	if p.out.Arity() == 0 {
+		p.mustInit()
+	}
+	p.guards = core.NewGuardTable(p.out.Arity())
+	return nil
+}
+
+// ProcessTuple implements exec.Operator.
+func (p *Project) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	p.nIn++
+	projected := t.Project(p.idxs)
+	if p.Mode != FeedbackIgnore && p.guards.Suppress(projected) {
+		p.suppressed++
+		return nil
+	}
+	p.nOut++
+	ctx.Emit(projected)
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: punctuation is projected when its
+// guarantee survives the attribute drop, otherwise it is consumed here.
+func (p *Project) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	outputOf := func(in int) int {
+		for o, src := range p.idxs {
+			if src == in {
+				return o
+			}
+		}
+		return -1
+	}
+	if projected, ok := relayPunct(e.Pattern, outputOf, p.out.Arity()); ok {
+		pe := punct.NewEmbedded(projected)
+		p.guards.ObservePunct(pe)
+		ctx.EmitPunct(pe)
+	} else {
+		p.punctDropped++
+	}
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator: guard the (projected) output
+// and propagate the pattern in input-schema terms.
+func (p *Project) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	if f.Intent == core.Assumed && p.Mode != FeedbackIgnore {
+		p.guards.Install(f)
+		resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
+	}
+	if p.Propagate {
+		if prop := core.SafePropagation(f.Pattern, p.attrMap); prop.OK {
+			relayed := f.Relayed(prop.Pattern)
+			ctx.SendFeedback(0, relayed)
+			resp.Actions = append(resp.Actions, core.ActPropagate)
+			resp.Propagated = []*core.Feedback{&relayed}
+		} else {
+			resp.Note = "propagation refused: " + prop.Reason
+		}
+	}
+	if len(resp.Actions) == 0 {
+		resp.Actions = []core.Action{core.ActNone}
+	}
+	p.logResponse(resp)
+	return nil
+}
+
+// Stats reports tuple accounting.
+func (p *Project) Stats() (in, out, suppressed, punctDropped int64) {
+	return p.nIn, p.nOut, p.suppressed, p.punctDropped
+}

@@ -1,0 +1,125 @@
+package op
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+	"repro/internal/work"
+)
+
+// Select filters tuples by a predicate. It is stateless, so its feedback
+// characterization is the simplest in the paper (§4.3): "assumed
+// punctuation can simply be added to its select condition" — an input guard
+// and an output guard coincide — and, being an identity mapping, any
+// assumed feedback propagates safely upstream.
+//
+// Cost models per-tuple evaluation expense (e.g. the data-quality filter at
+// the bottom of the Figure 4(b) plan); the Figure 7 F3 scheme saves this
+// cost for suppressed tuples.
+type Select struct {
+	exec.Base
+	OpName string
+	Schema stream.Schema
+	// Cond keeps tuples for which it returns true; nil keeps everything.
+	Cond func(stream.Tuple) bool
+	// Cost is the work units burned per tuple *evaluated* (guards are
+	// checked first: a suppressed tuple costs nothing, which is exactly
+	// the saving feedback buys).
+	Cost int
+	// Mode configures feedback response; Propagate relays feedback
+	// upstream after exploiting.
+	Mode      FeedbackMode
+	Propagate bool
+
+	responseLog
+	guards *core.GuardTable
+	meter  work.Meter
+
+	in, out, suppressed int64
+}
+
+// Name implements exec.Operator.
+func (s *Select) Name() string {
+	if s.OpName != "" {
+		return s.OpName
+	}
+	return "select"
+}
+
+// InSchemas implements exec.Operator.
+func (s *Select) InSchemas() []stream.Schema { return []stream.Schema{s.Schema} }
+
+// OutSchemas implements exec.Operator.
+func (s *Select) OutSchemas() []stream.Schema { return []stream.Schema{s.Schema} }
+
+// Open implements exec.Operator.
+func (s *Select) Open(exec.Context) error {
+	s.guards = core.NewGuardTable(s.Schema.Arity())
+	return nil
+}
+
+// ProcessTuple implements exec.Operator.
+func (s *Select) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	s.in++
+	if s.Mode != FeedbackIgnore && s.guards.Suppress(t) {
+		s.suppressed++
+		return nil
+	}
+	if s.Cost > 0 {
+		s.meter.Do(s.Cost)
+	}
+	if s.Cond == nil || s.Cond(t) {
+		s.out++
+		ctx.Emit(t)
+	}
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: a filter never weakens a
+// completeness guarantee, so punctuation passes through unchanged; it also
+// drives guard expiration (§4.4).
+func (s *Select) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	s.guards.ObservePunct(e)
+	ctx.EmitPunct(e)
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator per the SELECT characterization.
+func (s *Select) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	resp := core.Response{Feedback: f}
+	switch f.Intent {
+	case core.Assumed:
+		if s.Mode != FeedbackIgnore {
+			s.guards.Install(f)
+			resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
+		} else {
+			resp.Actions = append(resp.Actions, core.ActNone)
+		}
+	case core.Desired, core.Demanded:
+		// Stateless: nothing to reorder or unblock locally.
+		resp.Actions = append(resp.Actions, core.ActNone)
+	}
+	if s.Propagate && ctx.NumInputs() > 0 {
+		// Identity schema: propagation is always safe.
+		relayed := f.Relayed(f.Pattern)
+		ctx.SendFeedback(0, relayed)
+		resp.Actions = append(resp.Actions, core.ActPropagate)
+		resp.Propagated = []*core.Feedback{&relayed}
+	}
+	s.logResponse(resp)
+	return nil
+}
+
+// Stats reports tuple accounting.
+func (s *Select) Stats() (in, out, suppressed int64) { return s.in, s.out, s.suppressed }
+
+// CostBurned reports total evaluation work done.
+func (s *Select) CostBurned() int64 { return s.meter.Total() }
+
+// String describes the operator.
+func (s *Select) String() string {
+	return fmt.Sprintf("SELECT[%s mode=%s]", s.Name(), s.Mode)
+}

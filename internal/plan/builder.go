@@ -1,0 +1,268 @@
+// Package plan provides two higher-level ways to assemble query plans over
+// the exec runtime: a fluent Builder for Go code, and a small SQL-like
+// query language (query.go) that covers the paper's §3.3 syntax, including
+// the WITH PACE clause:
+//
+//	SELECT * FROM stream1 UNION stream2
+//	WITH PACE ON ts 1 MINUTE
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/op"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Builder assembles an exec.Graph incrementally. Errors accumulate and
+// surface at Run/Build, keeping call sites chainable.
+type Builder struct {
+	g    *exec.Graph
+	errs []error
+	// Feedback defaults applied to operators the builder creates.
+	Mode      op.FeedbackMode
+	Propagate bool
+}
+
+// New creates an empty builder with feedback exploitation enabled (the
+// library's reason to exist); set Mode to op.FeedbackIgnore for baselines.
+func New() *Builder {
+	return &Builder{g: exec.NewGraph(), Mode: op.FeedbackExploit, Propagate: true}
+}
+
+// Graph exposes the underlying graph (e.g. to set queue options).
+func (b *Builder) Graph() *exec.Graph { return b.g }
+
+func (b *Builder) fail(format string, args ...any) Stream {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+	return Stream{b: b, bad: true}
+}
+
+// Err returns the first accumulated error.
+func (b *Builder) Err() error {
+	if len(b.errs) > 0 {
+		return b.errs[0]
+	}
+	return nil
+}
+
+// Run validates and executes the plan.
+func (b *Builder) Run() error {
+	if err := b.Err(); err != nil {
+		return err
+	}
+	return b.g.Run()
+}
+
+// Stream is a named handle on one operator output port.
+type Stream struct {
+	b      *Builder
+	port   exec.Port
+	schema stream.Schema
+	bad    bool
+}
+
+// Schema returns the stream's schema.
+func (s Stream) Schema() stream.Schema { return s.schema }
+
+// Source registers a source and returns its output stream.
+func (b *Builder) Source(src exec.Source) Stream {
+	if len(src.OutSchemas()) != 1 {
+		return b.fail("plan: source %q must have exactly one output", src.Name())
+	}
+	id := b.g.AddSource(src)
+	return Stream{b: b, port: exec.From(id), schema: src.OutSchemas()[0]}
+}
+
+// Select appends a filter stage.
+func (s Stream) Select(name string, cond func(stream.Tuple) bool) Stream {
+	if s.bad {
+		return s
+	}
+	o := &op.Select{OpName: name, Schema: s.schema, Cond: cond, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	id := s.b.g.Add(o, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: s.schema}
+}
+
+// Project appends an attribute projection.
+func (s Stream) Project(name string, keep ...string) Stream {
+	if s.bad {
+		return s
+	}
+	for _, k := range keep {
+		if !s.schema.Has(k) {
+			return s.b.fail("plan: project %q: no attribute %q in %s", name, k, s.schema)
+		}
+	}
+	o := &op.Project{OpName: name, In: s.schema, Keep: keep, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	id := s.b.g.Add(o, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: o.OutSchemas()[0]}
+}
+
+// Duplicate fans the stream out n ways.
+func (s Stream) Duplicate(name string, n int) []Stream {
+	if s.bad {
+		return []Stream{s, s}
+	}
+	o := &op.Duplicate{OpName: name, Schema: s.schema, N: n, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	id := s.b.g.Add(o, s.port)
+	out := make([]Stream, n)
+	for i := range out {
+		out[i] = Stream{b: s.b, port: exec.FromPort(id, i), schema: s.schema}
+	}
+	return out
+}
+
+// Union merges this stream with others (same schema) combining progress on
+// the named timestamp attribute.
+func (s Stream) Union(name string, tsAttr string, others ...Stream) Stream {
+	if s.bad {
+		return s
+	}
+	idx := s.schema.Index(tsAttr)
+	if idx < 0 {
+		return s.b.fail("plan: union %q: no attribute %q", name, tsAttr)
+	}
+	ports := []exec.Port{s.port}
+	for _, o := range others {
+		if !o.schema.Equal(s.schema) {
+			return s.b.fail("plan: union %q: schema mismatch %s vs %s", name, o.schema, s.schema)
+		}
+		ports = append(ports, o.port)
+	}
+	u := &op.Union{OpName: name, Schema: s.schema, K: len(ports), ProgressAttr: idx, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	id := s.b.g.Add(u, ports...)
+	return Stream{b: s.b, port: exec.From(id), schema: s.schema}
+}
+
+// Pace merges this stream with others under a divergence bound on the
+// named timestamp attribute, producing assumed feedback when dropping.
+func (s Stream) Pace(name string, tsAttr string, toleranceMicros int64, others ...Stream) Stream {
+	if s.bad {
+		return s
+	}
+	idx := s.schema.Index(tsAttr)
+	if idx < 0 {
+		return s.b.fail("plan: pace %q: no attribute %q", name, tsAttr)
+	}
+	ports := []exec.Port{s.port}
+	for _, o := range others {
+		if !o.schema.Equal(s.schema) {
+			return s.b.fail("plan: pace %q: schema mismatch", name)
+		}
+		ports = append(ports, o.port)
+	}
+	p := &op.Pace{
+		OpName: name, Schema: s.schema, K: len(ports), TsAttr: idx,
+		Tolerance: toleranceMicros, FeedbackEnabled: s.b.Mode != op.FeedbackIgnore,
+	}
+	id := s.b.g.Add(p, ports...)
+	return Stream{b: s.b, port: exec.From(id), schema: s.schema}
+}
+
+// Aggregate appends a windowed grouped aggregate.
+func (s Stream) Aggregate(name string, kind core.AggKind, tsAttr, valAttr string, groupBy []string, win window.Spec, valueName string) Stream {
+	if s.bad {
+		return s
+	}
+	tsIdx := s.schema.Index(tsAttr)
+	if tsIdx < 0 {
+		return s.b.fail("plan: aggregate %q: no attribute %q", name, tsAttr)
+	}
+	valIdx := -1
+	if valAttr != "" {
+		if valIdx = s.schema.Index(valAttr); valIdx < 0 {
+			return s.b.fail("plan: aggregate %q: no attribute %q", name, valAttr)
+		}
+	}
+	var groups []int
+	for _, gname := range groupBy {
+		gi := s.schema.Index(gname)
+		if gi < 0 {
+			return s.b.fail("plan: aggregate %q: no attribute %q", name, gname)
+		}
+		groups = append(groups, gi)
+	}
+	a := &op.Aggregate{
+		OpName: name, In: s.schema, Kind: kind,
+		TsAttr: tsIdx, ValAttr: valIdx, GroupBy: groups,
+		Window: win, ValueName: valueName,
+		Mode: s.b.Mode, Propagate: s.b.Propagate,
+	}
+	id := s.b.g.Add(a, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: a.OutSchemas()[0]}
+}
+
+// Join equi-joins this stream (left) with another on named attribute
+// pairs; ts attributes drive state purge.
+func (s Stream) Join(name string, right Stream, leftKeys, rightKeys []string, leftTs, rightTs string, leftOuter bool) Stream {
+	if s.bad {
+		return s
+	}
+	toIdx := func(sch stream.Schema, names []string) ([]int, error) {
+		var out []int
+		for _, n := range names {
+			i := sch.Index(n)
+			if i < 0 {
+				return nil, fmt.Errorf("no attribute %q in %s", n, sch)
+			}
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	lk, err := toIdx(s.schema, leftKeys)
+	if err != nil {
+		return s.b.fail("plan: join %q: %v", name, err)
+	}
+	rk, err := toIdx(right.schema, rightKeys)
+	if err != nil {
+		return s.b.fail("plan: join %q: %v", name, err)
+	}
+	lt, rt := -1, -1
+	if leftTs != "" {
+		if lt = s.schema.Index(leftTs); lt < 0 {
+			return s.b.fail("plan: join %q: no attribute %q", name, leftTs)
+		}
+	}
+	if rightTs != "" {
+		if rt = right.schema.Index(rightTs); rt < 0 {
+			return s.b.fail("plan: join %q: no attribute %q", name, rightTs)
+		}
+	}
+	j := &op.Join{
+		OpName: name, Left: s.schema, Right: right.schema,
+		LeftKeys: lk, RightKeys: rk, LeftTs: lt, RightTs: rt,
+		LeftOuter: leftOuter, Mode: s.b.Mode, Propagate: s.b.Propagate,
+	}
+	id := s.b.g.Add(j, s.port, right.port)
+	return Stream{b: s.b, port: exec.From(id), schema: j.OutSchemas()[0]}
+}
+
+// Prioritize appends a desired-feedback-aware reorder buffer.
+func (s Stream) Prioritize(name string, bufferCap int) Stream {
+	if s.bad {
+		return s
+	}
+	p := &op.Prioritize{OpName: name, Schema: s.schema, BufferCap: bufferCap, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	id := s.b.g.Add(p, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: s.schema}
+}
+
+// Collect terminates the stream in a recording sink and returns it.
+func (s Stream) Collect(name string) *exec.Collector {
+	c := exec.NewCollector(name, s.schema)
+	if !s.bad {
+		s.b.g.Add(c, s.port)
+	}
+	return c
+}
+
+// Into terminates the stream in a caller-provided sink operator.
+func (s Stream) Into(sink exec.Operator) {
+	if !s.bad {
+		s.b.g.Add(sink, s.port)
+	}
+}

@@ -1,0 +1,309 @@
+package punct
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Pattern is a punctuation pattern: one predicate per attribute of a schema.
+// A tuple matches iff every attribute satisfies its predicate. Patterns are
+// treated as immutable after construction.
+type Pattern struct {
+	preds []Pred
+}
+
+// NewPattern builds a pattern from per-attribute predicates.
+func NewPattern(preds ...Pred) Pattern {
+	return Pattern{preds: append([]Pred(nil), preds...)}
+}
+
+// AllWild returns a pattern of the given arity matching every tuple.
+func AllWild(arity int) Pattern {
+	preds := make([]Pred, arity)
+	for i := range preds {
+		preds[i] = Wild
+	}
+	return Pattern{preds: preds}
+}
+
+// OnAttr returns a pattern of the given arity with a single non-wildcard
+// predicate at attribute i. This is the most common feedback shape, e.g.
+// ¬[*, *, ≤ts] is OnAttr(3, 2, Le(ts)).
+func OnAttr(arity, i int, p Pred) Pattern {
+	pat := AllWild(arity)
+	pat.preds[i] = p
+	return pat
+}
+
+// Arity returns the number of attribute predicates.
+func (p Pattern) Arity() int { return len(p.preds) }
+
+// Pred returns the predicate at attribute i.
+func (p Pattern) Pred(i int) Pred { return p.preds[i] }
+
+// Preds returns a copy of the predicate list.
+func (p Pattern) Preds() []Pred { return append([]Pred(nil), p.preds...) }
+
+// With returns a copy of the pattern with attribute i replaced.
+func (p Pattern) With(i int, pred Pred) Pattern {
+	out := append([]Pred(nil), p.preds...)
+	out[i] = pred
+	return Pattern{preds: out}
+}
+
+// IsAllWild reports whether every predicate is the wildcard.
+func (p Pattern) IsAllWild() bool {
+	for _, pr := range p.preds {
+		if !pr.IsWild() {
+			return false
+		}
+	}
+	return true
+}
+
+// Bound returns the indices of non-wildcard attributes. The paper calls a
+// pattern with exactly one bound attribute a "single-attribute" punctuation;
+// propagation safety analysis (core.SafePropagation) depends on this set.
+func (p Pattern) Bound() []int {
+	var out []int
+	for i, pr := range p.preds {
+		if !pr.IsWild() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Matches reports whether the tuple satisfies every attribute predicate.
+func (p Pattern) Matches(t stream.Tuple) bool {
+	if len(p.preds) != t.Arity() {
+		return false
+	}
+	for i, pr := range p.preds {
+		if !pr.Matches(t.At(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether p ⇒ q: every tuple matching p also matches q.
+// Conservative (false means "unproven").
+func (p Pattern) Implies(q Pattern) bool {
+	if len(p.preds) != len(q.preds) {
+		return false
+	}
+	for i := range p.preds {
+		if !p.preds[i].Implies(q.preds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps conservatively reports whether some tuple can match both
+// patterns. False is sound (provably disjoint); true may be a false
+// positive.
+func (p Pattern) Overlaps(q Pattern) bool {
+	if len(p.preds) != len(q.preds) {
+		return false
+	}
+	for i := range p.preds {
+		if !p.preds[i].Overlaps(q.preds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project maps the pattern onto a different attribute space. mapping[i]
+// gives, for each output attribute i of the projected pattern, the source
+// attribute in p, or -1 if the output attribute has no corresponding source
+// (the predicate becomes wildcard).
+//
+// Project implements the schema-mapping step of feedback propagation: a
+// JOIN with output (L, J, R) propagating to its left input (L, J) projects
+// the feedback pattern through the identity on L∪J and drops R.
+func (p Pattern) Project(mapping []int) Pattern {
+	out := make([]Pred, len(mapping))
+	for i, src := range mapping {
+		if src < 0 || src >= len(p.preds) {
+			out[i] = Wild
+		} else {
+			out[i] = p.preds[src]
+		}
+	}
+	return Pattern{preds: out}
+}
+
+// Residual returns the predicates of p on attributes NOT carried by the
+// mapping, i.e. the part of the pattern that a projection loses. Safe
+// propagation requires the residual to be all-wildcard unless the operator
+// can guarantee the lost conjuncts independently (see core.SafePropagation).
+func (p Pattern) Residual(mapping []int) Pattern {
+	carried := make([]bool, len(p.preds))
+	for _, src := range mapping {
+		if src >= 0 && src < len(p.preds) {
+			carried[src] = true
+		}
+	}
+	out := append([]Pred(nil), p.preds...)
+	for i := range out {
+		if carried[i] {
+			out[i] = Wild
+		}
+	}
+	return Pattern{preds: out}
+}
+
+// Equal reports structural equality of patterns.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p.preds) != len(q.preds) {
+		return false
+	}
+	for i := range p.preds {
+		if !predEqual(p.preds[i], q.preds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func predEqual(a, b Pred) bool {
+	if a.Op != b.Op {
+		return false
+	}
+	switch a.Op {
+	case Any, IsNull:
+		return true
+	case Between:
+		return a.Val.Equal(b.Val) && a.Hi.Equal(b.Hi)
+	case In:
+		if len(a.Set) != len(b.Set) {
+			return false
+		}
+		for i := range a.Set {
+			if !a.Set[i].Equal(b.Set[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a.Val.Equal(b.Val)
+	}
+}
+
+// String renders the pattern in the paper's bracket notation, e.g.
+// [*, *, <=2008-12-08T09:00:00.000000Z].
+func (p Pattern) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, pr := range p.preds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(pr.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ParsePattern parses the bracket notation produced by String against a
+// schema (the schema supplies attribute kinds for literal parsing).
+func ParsePattern(s string, schema stream.Schema) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return Pattern{}, fmt.Errorf("punct: pattern must be bracketed: %q", s)
+	}
+	parts := splitTop(s[1 : len(s)-1])
+	if len(parts) != schema.Arity() {
+		return Pattern{}, fmt.Errorf("punct: pattern arity %d != schema arity %d", len(parts), schema.Arity())
+	}
+	preds := make([]Pred, len(parts))
+	for i, part := range parts {
+		pr, err := parsePred(strings.TrimSpace(part), schema.Field(i).Kind)
+		if err != nil {
+			return Pattern{}, fmt.Errorf("punct: attribute %d: %w", i, err)
+		}
+		preds[i] = pr
+	}
+	return Pattern{preds: preds}, nil
+}
+
+func parsePred(s string, kind stream.Kind) (Pred, error) {
+	switch {
+	case s == "*":
+		return Wild, nil
+	case s == "null":
+		return NullPred(), nil
+	case strings.HasPrefix(s, "<="):
+		v, err := stream.ParseValue(kind, strings.TrimSpace(s[2:]))
+		return Le(v), err
+	case strings.HasPrefix(s, ">="):
+		v, err := stream.ParseValue(kind, strings.TrimSpace(s[2:]))
+		return Ge(v), err
+	case strings.HasPrefix(s, "!="):
+		v, err := stream.ParseValue(kind, strings.TrimSpace(s[2:]))
+		return Ne(v), err
+	case strings.HasPrefix(s, "<"):
+		v, err := stream.ParseValue(kind, strings.TrimSpace(s[1:]))
+		return Lt(v), err
+	case strings.HasPrefix(s, ">"):
+		v, err := stream.ParseValue(kind, strings.TrimSpace(s[1:]))
+		return Gt(v), err
+	case strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}"):
+		items := strings.Split(s[1:len(s)-1], "|")
+		set := make([]stream.Value, 0, len(items))
+		for _, it := range items {
+			v, err := stream.ParseValue(kind, strings.TrimSpace(it))
+			if err != nil {
+				return Pred{}, err
+			}
+			set = append(set, v)
+		}
+		return OneOf(set...), nil
+	case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") && strings.Contains(s, ".."):
+		body := s[1 : len(s)-1]
+		halves := strings.SplitN(body, "..", 2)
+		lo, err := stream.ParseValue(kind, strings.TrimSpace(halves[0]))
+		if err != nil {
+			return Pred{}, err
+		}
+		hi, err := stream.ParseValue(kind, strings.TrimSpace(halves[1]))
+		if err != nil {
+			return Pred{}, err
+		}
+		return Range(lo, hi), nil
+	default:
+		v, err := stream.ParseValue(kind, s)
+		return Eq(v), err
+	}
+}
+
+// splitTop splits on commas not nested inside {...}, [...] or quotes.
+func splitTop(s string) []string {
+	var parts []string
+	depth := 0
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\\' && inQuote:
+			i++
+		case c == '"':
+			inQuote = !inQuote
+		case inQuote:
+		case c == '{' || c == '[':
+			depth++
+		case c == '}' || c == ']':
+			depth--
+		case c == ',' && depth == 0:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}

@@ -1,0 +1,179 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+func tupleOf(i int64) stream.Tuple { return stream.NewTuple(stream.Int(i)) }
+
+func punctLE(v int64) punct.Embedded {
+	return punct.NewEmbedded(punct.OnAttr(1, 0, punct.Le(stream.Int(v))))
+}
+
+// drain reads all items until EOS, preserving order.
+func drain(c *Conn) []Item {
+	var items []Item
+	for {
+		p, ok := c.Recv()
+		if !ok {
+			return items
+		}
+		items = append(items, p.Items...)
+	}
+}
+
+func TestConnPreservesOrder(t *testing.T) {
+	c := New(Options{PageSize: 4, FlushOnPunct: true})
+	const n = 100
+	go func() {
+		for i := int64(0); i < n; i++ {
+			c.PutTuple(tupleOf(i))
+		}
+		c.CloseSend()
+	}()
+	items := drain(c)
+	if items[len(items)-1].Kind != ItemEOS {
+		t.Fatal("last item must be EOS")
+	}
+	seen := int64(0)
+	for _, it := range items[:len(items)-1] {
+		if it.Kind != ItemTuple || it.Tuple.At(0).AsInt() != seen {
+			t.Fatalf("order broken at %d: %+v", seen, it)
+		}
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("got %d tuples", seen)
+	}
+}
+
+func TestConnPunctuationFlushesPage(t *testing.T) {
+	c := New(Options{PageSize: 1000, FlushOnPunct: true})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Only 2 tuples — far below page size. Without punct-flush the
+		// page would sit unflushed.
+		c.PutTuple(tupleOf(1))
+		c.PutTuple(tupleOf(2))
+		c.PutPunct(punctLE(2))
+	}()
+	p, ok := c.Recv()
+	if !ok || p.Len() != 3 || p.Items[2].Kind != ItemPunct {
+		t.Fatalf("punctuation must flush the partial page: %+v ok=%v", p, ok)
+	}
+	<-done
+	st := c.Stats()
+	if st.PunctFlushes != 1 || st.Tuples != 2 || st.Puncts != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestConnNoFlushOnPunctOption(t *testing.T) {
+	c := New(Options{PageSize: 4, FlushOnPunct: false})
+	go func() {
+		c.PutTuple(tupleOf(1))
+		c.PutPunct(punctLE(1))
+		c.PutTuple(tupleOf(2))
+		c.PutTuple(tupleOf(3)) // page of 4 fills here
+		c.CloseSend()
+	}()
+	p, ok := c.Recv()
+	if !ok || p.Len() != 4 {
+		t.Fatalf("first page should be full (4 items), got %d", p.Len())
+	}
+	if c.Stats().PunctFlushes != 0 {
+		t.Error("no punct flush expected")
+	}
+	drain(c)
+}
+
+func TestConnControlChannel(t *testing.T) {
+	c := New(DefaultOptions())
+	fb := core.NewAssumed(punct.OnAttr(1, 0, punct.Le(stream.Int(5))))
+	c.SendFeedback(fb)
+	m, ok := c.PollControl()
+	if !ok || m.Kind != CtrlFeedback || m.Feedback.Intent != core.Assumed {
+		t.Fatalf("control: %+v ok=%v", m, ok)
+	}
+	if _, ok := c.PollControl(); ok {
+		t.Error("control channel should be empty")
+	}
+	if c.Stats().Controls != 1 {
+		t.Error("control counter")
+	}
+}
+
+func TestConnAbortUnblocksProducer(t *testing.T) {
+	c := New(Options{PageSize: 1, Depth: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Depth 1, page size 1: the third Put would block forever
+		// without Abort.
+		for i := int64(0); i < 100; i++ {
+			c.PutTuple(tupleOf(i))
+		}
+		c.CloseSend()
+	}()
+	c.Recv() // consume one page, then walk away
+	c.Abort()
+	wg.Wait() // must terminate
+}
+
+func TestConnSendControlAfterProducerDone(t *testing.T) {
+	c := New(DefaultOptions())
+	go func() {
+		c.CloseSend()
+	}()
+	drain(c)
+	// Producer gone: control sends are dropped as moot.
+	for i := 0; i < 10; i++ {
+		c.SendControl(Control{Kind: CtrlShutdown})
+	}
+	if _, ok := c.PollControl(); ok {
+		t.Error("post-EOS control messages must be dropped")
+	}
+}
+
+func TestConnControlNeverBlocksSender(t *testing.T) {
+	// The control path must be unbounded: a consumer can enqueue
+	// arbitrarily many messages while the producer is stuck elsewhere.
+	c := New(DefaultOptions())
+	for i := 0; i < 100_000; i++ {
+		c.SendControl(Control{Kind: CtrlFeedback})
+	}
+	n := 0
+	for {
+		if _, ok := c.PollControl(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 100_000 {
+		t.Errorf("drained %d control messages, want 100000", n)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	p := NewPage(4)
+	p.Append(TupleItem(tupleOf(1)))
+	p.Append(PunctItem(punctLE(1)))
+	p.Append(EOSItem())
+	if p.Len() != 3 || p.Full(4) {
+		t.Error("page accounting")
+	}
+	if p.Items[0].Kind != ItemTuple || p.Items[1].Kind != ItemPunct || p.Items[2].Kind != ItemEOS {
+		t.Error("item kinds")
+	}
+	p.Reset()
+	if p.Len() != 0 {
+		t.Error("reset")
+	}
+}

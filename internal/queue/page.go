@@ -1,0 +1,71 @@
+// Package queue implements NiagaraST's inter-operator connection (§5,
+// Figure 3): a downstream data queue carrying pages of tuples and embedded
+// punctuation, and an upstream control channel carrying out-of-band,
+// high-priority messages (feedback punctuation, shutdown).
+//
+// Pages batch tuples to limit context switching between operator
+// goroutines; a page is flushed to the queue when it is full OR when a
+// punctuation is written to it, so a slow stream cannot indefinitely delay
+// punctuation behind a partially-filled page.
+package queue
+
+import (
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// ItemKind tags the entries of a page.
+type ItemKind uint8
+
+const (
+	// ItemTuple is a data tuple.
+	ItemTuple ItemKind = iota
+	// ItemPunct is embedded punctuation flowing with the stream.
+	ItemPunct
+	// ItemEOS marks the end of the stream; it is always the last item of
+	// the last page.
+	ItemEOS
+)
+
+// Item is one entry of a page: a tuple, an embedded punctuation, or EOS.
+type Item struct {
+	Kind  ItemKind
+	Tuple stream.Tuple
+	Punct punct.Embedded
+}
+
+// TupleItem wraps a tuple.
+func TupleItem(t stream.Tuple) Item { return Item{Kind: ItemTuple, Tuple: t} }
+
+// PunctItem wraps embedded punctuation.
+func PunctItem(e punct.Embedded) Item { return Item{Kind: ItemPunct, Punct: e} }
+
+// EOSItem marks end of stream.
+func EOSItem() Item { return Item{Kind: ItemEOS} }
+
+// Page is a batch of items moved between operators as a unit.
+type Page struct {
+	Items []Item
+}
+
+// DefaultPageSize is the number of items per page; chosen to amortize
+// channel operations without adding noticeable latency. The bench harness
+// ablates this (see bench_test.go).
+const DefaultPageSize = 64
+
+// NewPage allocates an empty page with the given capacity.
+func NewPage(capacity int) *Page {
+	return &Page{Items: make([]Item, 0, capacity)}
+}
+
+// Len returns the number of items in the page.
+func (p *Page) Len() int { return len(p.Items) }
+
+// Full reports whether the page has reached the given capacity.
+func (p *Page) Full(capacity int) bool { return len(p.Items) >= capacity }
+
+// Append adds an item.
+func (p *Page) Append(it Item) { p.Items = append(p.Items, it) }
+
+// Reset clears the page for reuse.
+func (p *Page) Reset() { p.Items = p.Items[:0] }

@@ -1,0 +1,323 @@
+// Package remote carries one plan edge across a network connection,
+// letting a query plan span processes or machines. The paper's argument
+// for localized feedback (§2) is precisely the distributed setting:
+// feedback travels hop by hop between adjacent operators, so no
+// centralized monitor needs access to remote state or data.
+//
+// A RemoteSink terminates a local subplan and streams its items over a
+// net.Conn; a RemoteSource on the other end replays them into the remote
+// subplan. Feedback punctuation flows the opposite way over the same
+// connection — the dashed arrow of Figure 2(b), now crossing a machine
+// boundary.
+//
+// Wire format: gob frames, one direction per duplex half. Tuples and
+// embedded punctuation flow downstream; feedback frames flow upstream.
+package remote
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// wirePred mirrors punct.Pred for gob (Pattern's fields are unexported).
+type wirePred struct {
+	Op  uint8
+	Val stream.Value
+	Hi  stream.Value
+	Set []stream.Value
+}
+
+type wirePattern []wirePred
+
+func toWirePattern(p punct.Pattern) wirePattern {
+	preds := p.Preds()
+	out := make(wirePattern, len(preds))
+	for i, pr := range preds {
+		out[i] = wirePred{Op: uint8(pr.Op), Val: pr.Val, Hi: pr.Hi, Set: pr.Set}
+	}
+	return out
+}
+
+func (w wirePattern) pattern() punct.Pattern {
+	preds := make([]punct.Pred, len(w))
+	for i, pr := range w {
+		preds[i] = punct.Pred{Op: punct.Op(pr.Op), Val: pr.Val, Hi: pr.Hi, Set: pr.Set}
+	}
+	return punct.NewPattern(preds...)
+}
+
+// frame kinds.
+const (
+	frameTuple = iota
+	framePunct
+	frameEOS
+	frameFeedback
+)
+
+// frame is one wire message (downstream or upstream).
+type frame struct {
+	Kind    uint8
+	Tuple   stream.Tuple
+	Pattern wirePattern // punctuation or feedback pattern
+	Intent  uint8
+	Origin  string
+	Hops    int
+	Seq     int64
+}
+
+// Sink is an exec.Operator with no outputs: everything it receives is
+// framed onto the connection. Feedback frames arriving from the remote
+// side are relayed upstream into the local plan.
+type Sink struct {
+	exec.Base
+	SinkName string
+	Schema   stream.Schema
+	Conn     net.Conn
+	// FlushEvery bounds batching: the write buffer is flushed after this
+	// many tuples (default 64) and on every punctuation, mirroring the
+	// paged-queue flush rule.
+	FlushEvery int
+
+	w       *bufio.Writer
+	enc     *gob.Encoder
+	pending int
+	readErr atomic.Value // error from the feedback reader
+	closing atomic.Bool
+	started bool
+	wg      sync.WaitGroup
+
+	sent, feedbackIn int64
+}
+
+// NewSink frames the local stream onto conn.
+func NewSink(name string, schema stream.Schema, conn net.Conn) *Sink {
+	return &Sink{SinkName: name, Schema: schema, Conn: conn}
+}
+
+// Name implements exec.Operator.
+func (s *Sink) Name() string {
+	if s.SinkName != "" {
+		return s.SinkName
+	}
+	return "remote-sink"
+}
+
+// InSchemas implements exec.Operator.
+func (s *Sink) InSchemas() []stream.Schema { return []stream.Schema{s.Schema} }
+
+// OutSchemas implements exec.Operator.
+func (s *Sink) OutSchemas() []stream.Schema { return nil }
+
+// Open implements exec.Operator: it starts the feedback reader. The
+// runtime guarantees Context.SendFeedback is safe from other goroutines.
+func (s *Sink) Open(ctx exec.Context) error {
+	s.w = bufio.NewWriter(s.Conn)
+	s.enc = gob.NewEncoder(s.w)
+	s.started = true
+	dec := gob.NewDecoder(s.Conn)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			var f frame
+			if err := dec.Decode(&f); err != nil {
+				if err != io.EOF && !s.closing.Load() {
+					s.readErr.Store(err)
+				}
+				return
+			}
+			if f.Kind != frameFeedback {
+				s.readErr.Store(fmt.Errorf("remote: unexpected frame kind %d on feedback path", f.Kind))
+				return
+			}
+			atomic.AddInt64(&s.feedbackIn, 1)
+			ctx.SendFeedback(0, core.Feedback{
+				Intent:  core.Intent(f.Intent),
+				Pattern: f.Pattern.pattern(),
+				Origin:  f.Origin,
+				Hops:    f.Hops + 1,
+				Seq:     f.Seq,
+			})
+		}
+	}()
+	return nil
+}
+
+func (s *Sink) flushEvery() int {
+	if s.FlushEvery <= 0 {
+		return 64
+	}
+	return s.FlushEvery
+}
+
+// ProcessTuple implements exec.Operator.
+func (s *Sink) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
+	if err := s.enc.Encode(frame{Kind: frameTuple, Tuple: t}); err != nil {
+		return fmt.Errorf("remote: encode tuple: %w", err)
+	}
+	s.sent++
+	s.pending++
+	if s.pending >= s.flushEvery() {
+		s.pending = 0
+		return s.w.Flush()
+	}
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: punctuation flushes, like the
+// paged queues.
+func (s *Sink) ProcessPunct(_ int, e punct.Embedded, _ exec.Context) error {
+	if err := s.enc.Encode(frame{Kind: framePunct, Pattern: toWirePattern(e.Pattern)}); err != nil {
+		return fmt.Errorf("remote: encode punct: %w", err)
+	}
+	s.pending = 0
+	return s.w.Flush()
+}
+
+// Close implements exec.Operator: EOS frame, flush, close the write half.
+func (s *Sink) Close(exec.Context) error {
+	var firstErr error
+	s.closing.Store(true)
+	if s.started {
+		if err := s.enc.Encode(frame{Kind: frameEOS}); err != nil {
+			firstErr = err
+		}
+		if err := s.w.Flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Closing the connection unblocks the feedback reader.
+	if err := s.Conn.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.wg.Wait()
+	if err, _ := s.readErr.Load().(error); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Stats reports (tuples sent, feedback received from remote).
+func (s *Sink) Stats() (sent, feedbackIn int64) {
+	return s.sent, atomic.LoadInt64(&s.feedbackIn)
+}
+
+// Source is an exec.Source replaying the frames a remote Sink sends;
+// feedback delivered to it is framed back over the connection.
+type Source struct {
+	SourceName string
+	Schema     stream.Schema
+	Conn       net.Conn
+
+	dec  *gob.Decoder
+	w    *bufio.Writer
+	enc  *gob.Encoder
+	done bool
+
+	received, feedbackOut int64
+}
+
+// NewSource replays a remote stream from conn.
+func NewSource(name string, schema stream.Schema, conn net.Conn) *Source {
+	return &Source{SourceName: name, Schema: schema, Conn: conn}
+}
+
+// Name implements exec.Source.
+func (s *Source) Name() string {
+	if s.SourceName != "" {
+		return s.SourceName
+	}
+	return "remote-source"
+}
+
+// OutSchemas implements exec.Source.
+func (s *Source) OutSchemas() []stream.Schema { return []stream.Schema{s.Schema} }
+
+// Open implements exec.Source.
+func (s *Source) Open(exec.Context) error {
+	s.dec = gob.NewDecoder(s.Conn)
+	s.w = bufio.NewWriter(s.Conn)
+	s.enc = gob.NewEncoder(s.w)
+	return nil
+}
+
+// Next implements exec.Source: one frame per call.
+func (s *Source) Next(ctx exec.Context) (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	var f frame
+	if err := s.dec.Decode(&f); err != nil {
+		if err == io.EOF {
+			s.done = true
+			return false, nil
+		}
+		return false, fmt.Errorf("remote: decode: %w", err)
+	}
+	switch f.Kind {
+	case frameTuple:
+		s.received++
+		ctx.Emit(f.Tuple)
+	case framePunct:
+		ctx.EmitPunct(punct.NewEmbedded(f.Pattern.pattern()))
+	case frameEOS:
+		s.done = true
+		return false, nil
+	default:
+		return false, fmt.Errorf("remote: unexpected frame kind %d on data path", f.Kind)
+	}
+	return true, nil
+}
+
+// ProcessFeedback implements exec.Source: feedback crosses the wire
+// against the stream direction.
+func (s *Source) ProcessFeedback(_ int, f core.Feedback, _ exec.Context) error {
+	s.feedbackOut++
+	err := s.enc.Encode(frame{
+		Kind:    frameFeedback,
+		Pattern: toWirePattern(f.Pattern),
+		Intent:  uint8(f.Intent),
+		Origin:  f.Origin,
+		Hops:    f.Hops,
+		Seq:     f.Seq,
+	})
+	if err != nil {
+		return fmt.Errorf("remote: encode feedback: %w", err)
+	}
+	return s.w.Flush()
+}
+
+// Close implements exec.Source.
+func (s *Source) Close(exec.Context) error {
+	return s.Conn.Close()
+}
+
+// Stats reports (tuples received, feedback sent to remote).
+func (s *Source) Stats() (received, feedbackOut int64) {
+	return s.received, s.feedbackOut
+}
+
+// Listen accepts exactly one upstream connection on addr ("host:0" picks a
+// free port) and returns the bound address plus a function that blocks for
+// the accepted connection.
+func Listen(addr string) (string, func() (net.Conn, error), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	accept := func() (net.Conn, error) {
+		defer l.Close()
+		return l.Accept()
+	}
+	return l.Addr().String(), accept, nil
+}

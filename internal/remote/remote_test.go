@@ -1,0 +1,244 @@
+package remote
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/queue"
+	"repro/internal/stream"
+)
+
+var schema = stream.MustSchema(
+	stream.F("segment", stream.KindInt),
+	stream.F("ts", stream.KindTime),
+	stream.F("speed", stream.KindFloat),
+)
+
+func mkTuple(seg, ts int64, speed float64) stream.Tuple {
+	return stream.NewTuple(stream.Int(seg), stream.TimeMicros(ts), stream.Float(speed)).WithSeq(seg)
+}
+
+// runDistributed wires producer-plan → [conn] → consumer-plan and runs both
+// graphs concurrently, returning the consumer's collector and the
+// producer-side feedback-aware source.
+func runDistributed(t *testing.T, conn1, conn2 net.Conn, n int, feedbackTrigger int64) (*exec.Collector, *exec.SliceSource, *Sink, *Source) {
+	t.Helper()
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = mkTuple(int64(i%5), int64(i)*1000, 50).WithSeq(int64(i))
+	}
+	src := exec.NewSliceSource("src", schema, tuples...)
+	src.FeedbackAware = true
+	src.BatchSize = 4
+
+	sink := NewSink("wire-out", schema, conn1)
+	sink.FlushEvery = 8
+
+	// Producer graph: src → select(propagating) → remote sink. Shallow
+	// queues keep the source close behind the wire so feedback lands
+	// while most of the stream is ungenerated.
+	gp := exec.NewGraph()
+	gp.SetQueueOptions(queue.Options{PageSize: 4, Depth: 2, FlushOnPunct: true})
+	sel := &selectRelay{}
+	sp := gp.AddSource(src)
+	fp := gp.Add(sel, exec.From(sp))
+	gp.Add(sink, exec.From(fp))
+
+	// Consumer graph: remote source → feedback-producing sink.
+	rsrc := NewSource("wire-in", schema, conn2)
+	col := exec.NewCollector("col", schema)
+	fbSink := &triggerSink{inner: col, trigger: feedbackTrigger}
+	gc := exec.NewGraph()
+	gc.SetQueueOptions(queue.Options{PageSize: 4, Depth: 2, FlushOnPunct: true})
+	sc := gc.AddSource(rsrc)
+	gc.Add(fbSink, exec.From(sc))
+
+	var wg sync.WaitGroup
+	var errP, errC error
+	wg.Add(2)
+	go func() { defer wg.Done(); errP = gp.Run() }()
+	go func() { defer wg.Done(); errC = gc.Run() }()
+	wg.Wait()
+	if errP != nil {
+		t.Fatalf("producer graph: %v", errP)
+	}
+	if errC != nil {
+		t.Fatalf("consumer graph: %v", errC)
+	}
+	return col, src, sink, rsrc
+}
+
+// selectRelay passes tuples and relays feedback upstream.
+type selectRelay struct {
+	exec.Base
+}
+
+func (*selectRelay) Name() string                { return "relay" }
+func (*selectRelay) InSchemas() []stream.Schema  { return []stream.Schema{schema} }
+func (*selectRelay) OutSchemas() []stream.Schema { return []stream.Schema{schema} }
+func (*selectRelay) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	ctx.Emit(t)
+	return nil
+}
+func (*selectRelay) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	ctx.EmitPunct(e)
+	return nil
+}
+func (*selectRelay) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	ctx.SendFeedback(0, f)
+	return nil
+}
+
+// triggerSink collects and, after `trigger` tuples, sends assumed feedback
+// for segment 3.
+type triggerSink struct {
+	exec.Base
+	inner   *exec.Collector
+	trigger int64
+	seen    int64
+	sent    bool
+}
+
+func (s *triggerSink) Name() string                { return "trigger" }
+func (s *triggerSink) InSchemas() []stream.Schema  { return []stream.Schema{schema} }
+func (s *triggerSink) OutSchemas() []stream.Schema { return nil }
+func (s *triggerSink) ProcessTuple(in int, t stream.Tuple, ctx exec.Context) error {
+	if err := s.inner.ProcessTuple(in, t, ctx); err != nil {
+		return err
+	}
+	s.seen++
+	if !s.sent && s.seen >= s.trigger {
+		s.sent = true
+		ctx.SendFeedback(0, core.NewAssumed(punct.OnAttr(3, 0, punct.Eq(stream.Int(3)))))
+	}
+	return nil
+}
+
+func TestRemoteEdgeOverNetPipe(t *testing.T) {
+	c1, c2 := net.Pipe()
+	col, src, sink, rsrc := runDistributed(t, c1, c2, 2000, 10)
+
+	// Data integrity: everything the producer let through arrived.
+	got := col.Tuples()
+	if len(got) == 0 {
+		t.Fatal("no tuples crossed the wire")
+	}
+	received, fbOut := rsrc.Stats()
+	sent, fbIn := sink.Stats()
+	if received != sent {
+		t.Errorf("sent %d != received %d", sent, received)
+	}
+	if fbOut != 1 || fbIn != 1 {
+		t.Errorf("feedback crossing: out=%d in=%d", fbOut, fbIn)
+	}
+	// The feedback crossed the wire AND the producer-side source
+	// exploited it: segment 3 generation stops.
+	if src.Skipped() == 0 {
+		t.Error("producer-side source must exploit remote feedback")
+	}
+	// Definition 1: all non-subset tuples arrive.
+	counts := map[int64]int{}
+	for _, tp := range got {
+		counts[tp.At(0).AsInt()]++
+	}
+	for seg := int64(0); seg < 5; seg++ {
+		if seg == 3 {
+			continue
+		}
+		if counts[seg] != 400 {
+			t.Errorf("segment %d: %d tuples, want 400", seg, counts[seg])
+		}
+	}
+	if counts[3] >= 400 {
+		t.Error("suppressed segment should be incomplete")
+	}
+}
+
+func TestRemoteEdgeOverTCP(t *testing.T) {
+	addr, accept, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consumerConn net.Conn
+	var acceptErr error
+	done := make(chan struct{})
+	go func() {
+		consumerConn, acceptErr = accept()
+		close(done)
+	}()
+	producerConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+	col, _, _, _ := runDistributed(t, producerConn, consumerConn, 1000, 1<<60)
+	if got := col.Tuples(); len(got) != 1000 {
+		t.Fatalf("TCP transfer: %d tuples, want 1000", len(got))
+	}
+}
+
+func TestWirePatternRoundTrip(t *testing.T) {
+	pats := []punct.Pattern{
+		punct.AllWild(3),
+		punct.OnAttr(3, 1, punct.Le(stream.TimeMicros(100))),
+		punct.NewPattern(
+			punct.OneOf(stream.Int(1), stream.Int(2)),
+			punct.Range(stream.TimeMicros(5), stream.TimeMicros(9)),
+			punct.Ne(stream.Float(50)),
+		),
+	}
+	for _, p := range pats {
+		back := toWirePattern(p).pattern()
+		if !p.Equal(back) {
+			t.Errorf("wire round trip: %v → %v", p, back)
+		}
+	}
+}
+
+func TestRemotePunctuationCrossesWire(t *testing.T) {
+	c1, c2 := net.Pipe()
+	sink := NewSink("out", schema, c1)
+	rsrc := NewSource("in", schema, c2)
+
+	gp := exec.NewGraph()
+	src := exec.NewSliceSource("src", schema, mkTuple(1, 10, 50))
+	src.Items = append(src.Items, itemPunct(punct.OnAttr(3, 1, punct.Le(stream.TimeMicros(10)))))
+	sp := gp.AddSource(src)
+	gp.Add(sink, exec.From(sp))
+
+	gc := exec.NewGraph()
+	col := exec.NewCollector("col", schema)
+	sc := gc.AddSource(rsrc)
+	gc.Add(col, exec.From(sc))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var e1, e2 error
+	go func() { defer wg.Done(); e1 = gp.Run() }()
+	go func() { defer wg.Done(); e2 = gc.Run() }()
+	wg.Wait()
+	if e1 != nil || e2 != nil {
+		t.Fatal(e1, e2)
+	}
+	items := col.Items()
+	var sawPunct bool
+	for _, it := range items {
+		if itIsPunct(it) {
+			sawPunct = true
+		}
+	}
+	if !sawPunct {
+		t.Fatal("embedded punctuation must cross the wire")
+	}
+}
+
+// test helpers over queue items.
+func itemPunct(p punct.Pattern) queue.Item { return queue.PunctItem(punct.NewEmbedded(p)) }
+func itIsPunct(it queue.Item) bool         { return it.Kind == queue.ItemPunct }

@@ -1,0 +1,57 @@
+package work
+
+import (
+	"sync"
+	"time"
+)
+
+// Calibration converts between cost units and wall-clock time so that
+// experiment harnesses can express stage costs in real terms ("an archival
+// lookup takes about a millisecond") while remaining portable across
+// machines.
+
+var (
+	calibrateOnce sync.Once
+	unitsPerMicro float64
+)
+
+// UnitsPerMicrosecond reports how many cost units this machine executes per
+// microsecond, measured once per process.
+func UnitsPerMicrosecond() float64 {
+	calibrateOnce.Do(func() {
+		// Warm up, then take the best of several rounds: transient CPU
+		// contention during a round only slows it down, so the maximum
+		// throughput observed is the least-biased estimate of the
+		// machine's real speed.
+		Units(100_000)
+		const n = 500_000
+		best := 0.0
+		for round := 0; round < 6; round++ {
+			start := time.Now()
+			Units(n)
+			elapsed := time.Since(start)
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			rate := float64(n) / (float64(elapsed.Nanoseconds()) / 1e3)
+			if rate > best {
+				best = rate
+			}
+		}
+		unitsPerMicro = best
+		if unitsPerMicro < 1 {
+			unitsPerMicro = 1
+		}
+	})
+	return unitsPerMicro
+}
+
+// UnitsFor returns the unit count approximating the given duration of CPU
+// work on this machine.
+func UnitsFor(d time.Duration) int {
+	u := UnitsPerMicrosecond() * float64(d.Nanoseconds()) / 1e3
+	if u < 1 {
+		return 1
+	}
+	return int(u)
+}

@@ -1,0 +1,44 @@
+// Package work provides a deterministic CPU cost model. Experiment
+// harnesses attach per-tuple costs to pipeline stages (data cleaning,
+// imputation lookups, result production) so that relative stage weights —
+// the quantity the paper's Figure 7 depends on — are reproducible on any
+// machine, without wall-clock sleeps that would make benchmarks flaky.
+//
+// One Unit is a short, fixed amount of arithmetic (a few nanoseconds); all
+// stage costs in the experiments are expressed as unit counts, so ratios
+// between schemes are architecture-independent even though absolute times
+// are not.
+package work
+
+import "sync/atomic"
+
+// sink prevents the compiler from eliminating the spin loops.
+var sink atomic.Uint64
+
+// Units burns n cost units of CPU. It is safe for concurrent use.
+func Units(n int) {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for i := 0; i < n; i++ {
+		// One unit: a small fixed block of integer mixing.
+		for j := 0; j < 8; j++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+			h ^= uint64(i + j)
+		}
+	}
+	sink.Add(h)
+}
+
+// Meter accumulates how many units a stage has burned, for reporting.
+type Meter struct {
+	units atomic.Int64
+}
+
+// Do burns n units and records them.
+func (m *Meter) Do(n int) {
+	Units(n)
+	m.units.Add(int64(n))
+}
+
+// Total returns the units burned so far.
+func (m *Meter) Total() int64 { return m.units.Load() }

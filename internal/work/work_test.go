@@ -1,0 +1,68 @@
+package work
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnitsZeroIsCheap(t *testing.T) {
+	Units(0) // must not hang or panic
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Do(10)
+	m.Do(5)
+	if m.Total() != 15 {
+		t.Errorf("total = %d", m.Total())
+	}
+}
+
+func TestCalibrationPositive(t *testing.T) {
+	u := UnitsPerMicrosecond()
+	if u < 1 {
+		t.Errorf("units/µs = %f", u)
+	}
+	if UnitsFor(time.Millisecond) < 1 {
+		t.Error("UnitsFor must return at least one unit")
+	}
+	if UnitsFor(0) != 1 {
+		t.Error("UnitsFor(0) clamps to 1")
+	}
+}
+
+func TestCalibrationRoughlyAccurate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	n := UnitsFor(2 * time.Millisecond)
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		Units(n)
+	}
+	per := time.Since(start) / 50
+	// Accept 3× in either direction: shared machines are noisy, and the
+	// experiments only depend on the order of magnitude.
+	if per < 2*time.Millisecond/3 || per > 6*time.Millisecond {
+		t.Errorf("UnitsFor(2ms) executed in %v", per)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				m.Do(1)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if m.Total() != 400 {
+		t.Errorf("concurrent total = %d", m.Total())
+	}
+}
