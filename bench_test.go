@@ -140,6 +140,7 @@ func pipelineThroughput(b *testing.B, opts queue.Options, n int) {
 			stream.TimeMicros(int64(i)*1000), stream.Float(55),
 		)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := exec.NewSliceSource("src", schema, tuples...)
@@ -269,6 +270,22 @@ func BenchmarkPatternMatch(b *testing.B) {
 		punct.Le(stream.TimeMicros(1_000_000)),
 		punct.Ge(stream.Float(50)),
 	)
+	t := stream.NewTuple(stream.Int(3), stream.Int(7), stream.TimeMicros(500_000), stream.Float(60))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Matches(t) {
+			b.Fatal("must match")
+		}
+	}
+}
+
+func BenchmarkPatternMatchCompiled(b *testing.B) {
+	p := punct.NewPattern(
+		punct.Eq(stream.Int(3)),
+		punct.Wild,
+		punct.Le(stream.TimeMicros(1_000_000)),
+		punct.Ge(stream.Float(50)),
+	).Compile(stream.Schema{})
 	t := stream.NewTuple(stream.Int(3), stream.Int(7), stream.TimeMicros(500_000), stream.Float(60))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

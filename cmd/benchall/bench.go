@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/op"
+	"repro/internal/queue"
+	"repro/internal/stream"
+)
+
+// benchResult is one benchmark measurement in BENCH_pipeline.json.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	TuplesPerOp int     `json:"tuples_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchRun is one labelled measurement set.
+type benchRun struct {
+	Label   string                 `json:"label"`
+	Date    string                 `json:"date"`
+	Results map[string]benchResult `json:"results"`
+}
+
+// benchFile mirrors BENCH_pipeline.json.
+type benchFile struct {
+	Description string                 `json:"description"`
+	Seed        map[string]benchResult `json:"seed"`
+	Runs        []benchRun             `json:"runs"`
+}
+
+// writeBenchJSON measures the pipeline hot path in-process (the same
+// source→select→sink plan as BenchmarkAblationPageSize, 100k tuples per
+// run) and appends a labelled run to the baseline file, creating it if
+// missing. It also prints the speedup against the recorded seed.
+func writeBenchJSON(path, label string) error {
+	var f benchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("benchall: parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	const n = 100_000
+	results := map[string]benchResult{}
+	for _, ps := range []int{1, 8, 64, 512} {
+		name := fmt.Sprintf("BenchmarkAblationPageSize/page=%d", ps)
+		ns := measurePipeline(ps, n)
+		results[name] = benchResult{NsPerOp: ns, TuplesPerOp: n}
+		base := ""
+		if s, ok := f.Seed[name]; ok && ns > 0 {
+			base = fmt.Sprintf("  (%.2fx vs seed)", s.NsPerOp/ns)
+		}
+		fmt.Printf("%-42s %12.0f ns/op%s\n", name, ns, base)
+	}
+
+	f.Runs = append(f.Runs, benchRun{
+		Label:   label,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Results: results,
+	})
+	out, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// measurePipeline times one source→select→sink run over n tuples at the
+// given page size and returns the best-of-3 wall time in nanoseconds.
+func measurePipeline(pageSize, n int) float64 {
+	schema := gen.TrafficSchema
+	tuples := make([]stream.Tuple, n)
+	for i := range tuples {
+		tuples[i] = stream.NewTuple(
+			stream.Int(int64(i%9)), stream.Int(int64(i%40)),
+			stream.TimeMicros(int64(i)*1000), stream.Float(55),
+		)
+	}
+	best := float64(0)
+	for rep := 0; rep < 3; rep++ {
+		src := exec.NewSliceSource("src", schema, tuples...)
+		src.BatchSize = 256
+		sel := &op.Select{Schema: schema}
+		sink := exec.NewCollector("sink", schema)
+		sink.Discard = true
+		g := exec.NewGraph()
+		g.SetQueueOptions(queue.Options{PageSize: pageSize, FlushOnPunct: true})
+		s := g.AddSource(src)
+		fl := g.Add(sel, exec.From(s))
+		g.Add(sink, exec.From(fl))
+		start := time.Now()
+		if err := g.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall: pipeline run:", err)
+			os.Exit(1)
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}

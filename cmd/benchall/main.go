@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	benchall [-quick]
+//	benchall [-quick] [-bench-json FILE] [-label NAME]
 //
 // -quick shrinks the workloads (~10× faster) while preserving every shape
-// the paper reports.
+// the paper reports. -bench-json measures the hot-path pipeline benchmarks
+// in-process and appends a labelled run to FILE (conventionally
+// BENCH_pipeline.json at the repo root), so the perf trajectory is tracked
+// across PRs against the recorded seed baseline.
 package main
 
 import (
@@ -21,7 +24,17 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
+	benchJSON := flag.String("bench-json", "", "measure hot-path benchmarks and append a run to this JSON baseline file")
+	label := flag.String("label", "manual", "label for the appended -bench-json run")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *label); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("==================================================================")
 	fmt.Println(" Reproduction: Inter-Operator Feedback in DSMSs via Punctuation")

@@ -13,6 +13,10 @@ type Guard struct {
 	Pattern punct.Pattern
 	// Source identifies the feedback that installed the guard.
 	Source Feedback
+
+	// compiled is the evaluation form used on the probe path; it is built
+	// once at Install so Suppress runs allocation-free.
+	compiled *punct.Compiled
 }
 
 // GuardTable holds the active guards of one operator port and implements
@@ -57,15 +61,16 @@ func (g *GuardTable) Install(f Feedback) bool {
 		}
 		kept = append(kept, old)
 	}
-	g.guards = append(kept, Guard{Pattern: p, Source: f})
+	g.guards = append(kept, Guard{Pattern: p, Source: f, compiled: p.Compile(stream.Schema{})})
 	return true
 }
 
 // Suppress reports whether the tuple matches any active guard (and should
-// be dropped by the caller).
+// be dropped by the caller). The probe runs against the guards' compiled
+// patterns without copying or allocating.
 func (g *GuardTable) Suppress(t stream.Tuple) bool {
-	for _, gd := range g.guards {
-		if gd.Pattern.Matches(t) {
+	for i := range g.guards {
+		if g.guards[i].compiled.Matches(t) {
 			g.hits++
 			return true
 		}

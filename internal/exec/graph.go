@@ -51,11 +51,12 @@ func (n *node) numOutputs() int {
 // Graph is a query plan: a DAG of sources and operators. Build it with
 // AddSource/Add, then execute with Run.
 type Graph struct {
-	nodes    []*node
-	opts     queue.Options
-	log      io.Writer
-	prepared bool
-	err      error // first wiring error, surfaced by Run
+	nodes     []*node
+	opts      queue.Options
+	ctrlEvery int // items between control rechecks (0 = default)
+	log       io.Writer
+	prepared  bool
+	err       error // first wiring error, surfaced by Run
 }
 
 // NewGraph creates an empty plan with default queue options.
@@ -64,6 +65,13 @@ func NewGraph() *Graph { return &Graph{opts: queue.DefaultOptions()} }
 // SetQueueOptions overrides the inter-operator connection configuration for
 // edges wired afterwards (benchmarks use this to ablate page size).
 func (g *Graph) SetQueueOptions(opts queue.Options) { g.opts = opts }
+
+// SetControlInterval sets K, the number of page items an operator
+// processes between control-queue rechecks (default
+// DefaultControlInterval). Smaller K tightens the bound on how far
+// feedback can trail the tuple it should overtake; K=1 restores the
+// per-item recheck of the original §5 loop.
+func (g *Graph) SetControlInterval(k int) { g.ctrlEvery = k }
 
 // SetLog directs operator diagnostics to w.
 func (g *Graph) SetLog(w io.Writer) { g.log = w }

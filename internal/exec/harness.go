@@ -145,7 +145,7 @@ func (h *Harness) OutPuncts(port int) []punct.Embedded {
 	var es []punct.Embedded
 	for _, it := range h.outs[port] {
 		if it.Kind == queue.ItemPunct {
-			es = append(es, it.Punct)
+			es = append(es, *it.Punct)
 		}
 	}
 	return es

@@ -3,6 +3,7 @@ package exec
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/punct"
@@ -15,9 +16,14 @@ import (
 // set, tuples matching a received assumed-feedback pattern are skipped at
 // the source — the strongest possible exploitation.
 type SliceSource struct {
-	SourceName    string
-	Schema        stream.Schema
-	Items         []queue.Item
+	SourceName string
+	Schema     stream.Schema
+	Items      []queue.Item
+	// Tuples is the tuple fast path: its tuples are replayed directly,
+	// without materializing a queue.Item per element, before anything in
+	// Items. NewSliceSource fills it; callers may still append
+	// punctuation to Items and it plays after the tuples.
+	Tuples        []stream.Tuple
 	FeedbackAware bool
 	// BatchSize items are emitted per Next call (default 16).
 	BatchSize int
@@ -30,11 +36,7 @@ type SliceSource struct {
 
 // NewSliceSource builds a source over tuples only.
 func NewSliceSource(name string, schema stream.Schema, tuples ...stream.Tuple) *SliceSource {
-	items := make([]queue.Item, len(tuples))
-	for i, t := range tuples {
-		items[i] = queue.TupleItem(t)
-	}
-	return &SliceSource{SourceName: name, Schema: schema, Items: items}
+	return &SliceSource{SourceName: name, Schema: schema, Tuples: tuples}
 }
 
 // Name implements Source.
@@ -55,8 +57,21 @@ func (s *SliceSource) Next(ctx Context) (bool, error) {
 	if n <= 0 {
 		n = 16
 	}
-	for i := 0; i < n && s.pos < len(s.Items); i++ {
-		it := s.Items[s.pos]
+	// The logical stream is Tuples followed by Items; pos indexes the
+	// concatenation.
+	total := len(s.Tuples) + len(s.Items)
+	i := 0
+	for ; i < n && s.pos < len(s.Tuples); i++ {
+		t := s.Tuples[s.pos]
+		s.pos++
+		if s.FeedbackAware && s.guards.Suppress(t) {
+			s.skipped++
+			continue
+		}
+		ctx.Emit(t)
+	}
+	for ; i < n && s.pos < total; i++ {
+		it := s.Items[s.pos-len(s.Tuples)]
 		s.pos++
 		switch it.Kind {
 		case queue.ItemTuple:
@@ -66,11 +81,11 @@ func (s *SliceSource) Next(ctx Context) (bool, error) {
 			}
 			ctx.Emit(it.Tuple)
 		case queue.ItemPunct:
-			s.guards.ObservePunct(it.Punct)
-			ctx.EmitPunct(it.Punct)
+			s.guards.ObservePunct(*it.Punct)
+			ctx.EmitPunct(*it.Punct)
 		}
 	}
-	return s.pos < len(s.Items), nil
+	return s.pos < total, nil
 }
 
 // ProcessFeedback implements Source: assumed feedback installs a guard when
@@ -195,7 +210,7 @@ type Collector struct {
 
 	mu       sync.Mutex
 	items    []queue.Item
-	tuples   int64
+	tuples   atomic.Int64
 	shutdown bool
 }
 
@@ -221,12 +236,17 @@ func (c *Collector) ProcessTuple(_ int, t stream.Tuple, ctx Context) error {
 	if c.OnTuple != nil {
 		c.OnTuple(t)
 	}
+	n := c.tuples.Add(1)
+	if c.Discard && c.Limit <= 0 {
+		// Pure-counter fast path: nothing recorded, no shutdown bookkeeping,
+		// so the mutex is not needed.
+		return nil
+	}
 	c.mu.Lock()
-	c.tuples++
 	if !c.Discard {
 		c.items = append(c.items, queue.TupleItem(t))
 	}
-	askShutdown := c.Limit > 0 && c.tuples >= c.Limit && !c.shutdown
+	askShutdown := c.Limit > 0 && n >= c.Limit && !c.shutdown
 	if askShutdown {
 		c.shutdown = true
 	}
@@ -277,8 +297,4 @@ func (c *Collector) Tuples() []stream.Tuple {
 }
 
 // Count returns the number of tuples received so far.
-func (c *Collector) Count() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tuples
-}
+func (c *Collector) Count() int64 { return c.tuples.Load() }

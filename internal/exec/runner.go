@@ -63,6 +63,33 @@ type ctrlEvent struct {
 	msg    queue.Control
 }
 
+// bitset tracks a small set of output-port indices without a map on the
+// control path.
+type bitset struct {
+	words []uint64
+	count int
+}
+
+func newBitset(n int) bitset { return bitset{words: make([]uint64, (n+63)/64)} }
+
+// set marks bit i, returning whether it was newly set.
+func (b *bitset) set(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// DefaultControlInterval is the number of page items processed between
+// control-queue rechecks. Feedback still overtakes pending tuples — the
+// paper's §5 priority property — just within a bounded window of K items
+// instead of after every single one; see DESIGN.md for the correctness
+// argument.
+const DefaultControlInterval = 32
+
 // nodeRunner drives one node goroutine. It also implements Context for the
 // node's operator.
 type nodeRunner struct {
@@ -73,15 +100,22 @@ type nodeRunner struct {
 	dataCh chan inEvent
 	ctrlCh chan ctrlEvent
 
-	shutdownOuts map[int]bool // outputs whose consumers sent shutdown
+	ctrlEvery    int    // items between control rechecks (K)
+	shutdownOuts bitset // outputs whose consumers sent shutdown
 	stopping     bool
 }
 
 func (r *nodeRunner) run() error {
 	n := r.node
-	r.shutdownOuts = map[int]bool{}
+	r.ctrlEvery = r.graph.ctrlEvery
+	if r.ctrlEvery <= 0 {
+		r.ctrlEvery = DefaultControlInterval
+	}
+	r.shutdownOuts = newBitset(len(n.outConns))
 	r.ctrlCh = make(chan ctrlEvent, 4*len(n.outConns)+1)
-	r.dataCh = make(chan inEvent)
+	// One buffered slot per input keeps single-input steady state from
+	// serializing forwarder and operator on an unbuffered rendezvous.
+	r.dataCh = make(chan inEvent, len(n.inConns))
 
 	var fwd sync.WaitGroup
 	stopFwd := make(chan struct{})
@@ -93,7 +127,8 @@ func (r *nodeRunner) run() error {
 			c.Abort()
 		}
 		go func() {
-			for range r.dataCh {
+			for ev := range r.dataCh {
+				queue.Release(ev.page)
 			}
 		}()
 		fwd.Wait()
@@ -206,30 +241,50 @@ func (r *nodeRunner) runOperator() error {
 		if r.stopping {
 			break
 		}
+		// Steady-state fast path: the control queue was just drained, so if
+		// a page is already buffered take it without the full blocking
+		// select. done stays in the non-blocking poll so a global abort is
+		// still observed within one page even while input is backlogged.
+		var ev inEvent
 		select {
 		case <-r.done:
 			r.stopping = true
-		case ce := <-r.ctrlCh:
-			if err := r.handleControl(ce, onFeedback); err != nil {
-				return err
-			}
-		case ev := <-r.dataCh:
-			for _, it := range ev.page.Items {
-				// Re-check control between items so feedback overtakes
-				// pending tuples.
-				if err := r.drainControl(onFeedback); err != nil {
+			continue
+		case ev = <-r.dataCh:
+		default:
+			select {
+			case <-r.done:
+				r.stopping = true
+				continue
+			case ce := <-r.ctrlCh:
+				if err := r.handleControl(ce, onFeedback); err != nil {
 					return err
 				}
-				if r.stopping {
-					break
+				continue
+			case ev = <-r.dataCh:
+			}
+		}
+		err := func() error {
+			items := ev.page.Items
+			for i := range items {
+				// Re-check control every K items so feedback overtakes
+				// pending tuples within a bounded window without paying
+				// a channel poll per tuple.
+				if i%r.ctrlEvery == 0 {
+					if err := r.drainControl(onFeedback); err != nil {
+						return err
+					}
+					if r.stopping {
+						return nil
+					}
 				}
-				switch it.Kind {
+				switch it := &items[i]; it.Kind {
 				case queue.ItemTuple:
 					if err := op.ProcessTuple(ev.input, it.Tuple, r); err != nil {
 						return err
 					}
 				case queue.ItemPunct:
-					if err := op.ProcessPunct(ev.input, it.Punct, r); err != nil {
+					if err := op.ProcessPunct(ev.input, *it.Punct, r); err != nil {
 						return err
 					}
 				case queue.ItemEOS:
@@ -239,6 +294,14 @@ func (r *nodeRunner) runOperator() error {
 					openInputs--
 				}
 			}
+			return nil
+		}()
+		// Ownership transfer complete on every exit: nothing above retains
+		// the page (operators copy what they keep), so it goes back to the
+		// recycling pool before any error propagates.
+		queue.Release(ev.page)
+		if err != nil {
+			return err
 		}
 	}
 	return op.Close(r)
@@ -263,8 +326,8 @@ func (r *nodeRunner) handleControl(ce ctrlEvent, onFeedback func(int, core.Feedb
 	case queue.CtrlFeedback:
 		return onFeedback(ce.output, ce.msg.Feedback)
 	case queue.CtrlShutdown:
-		r.shutdownOuts[ce.output] = true
-		if len(r.shutdownOuts) == len(r.node.outConns) && len(r.node.outConns) > 0 {
+		r.shutdownOuts.set(ce.output)
+		if r.shutdownOuts.count == len(r.node.outConns) && len(r.node.outConns) > 0 {
 			// Every consumer has asked us to stop: stop, and relay the
 			// shutdown upstream.
 			r.stopping = true

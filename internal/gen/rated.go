@@ -77,8 +77,8 @@ func (s *RatedSource) Next(ctx exec.Context) (bool, error) {
 			}
 			ctx.Emit(it.Tuple)
 		case queue.ItemPunct:
-			s.guards.ObservePunct(it.Punct)
-			ctx.EmitPunct(it.Punct)
+			s.guards.ObservePunct(*it.Punct)
+			ctx.EmitPunct(*it.Punct)
 		}
 	}
 	return s.pos < len(s.Items), nil

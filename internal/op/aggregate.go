@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -69,6 +70,16 @@ type Aggregate struct {
 	guardsOut    *core.GuardTable // emit-time guards (output patterns)
 	guardsPrefix *core.GuardTable // input-time guards (non-value patterns)
 	meter        work.Meter
+	// scratch backs probe-only tuples (prefixTuple): guards do not retain
+	// what they match against, so the buffer is reused across probes.
+	scratch []stream.Value
+	// groupScratch backs the per-tuple group-value projection until a new
+	// state entry actually needs to own it.
+	groupScratch []stream.Value
+	// keyScratch backs the per-tuple state-key encoding; the map is probed
+	// with string(keyScratch) so the key string is materialized only when
+	// a new entry is inserted.
+	keyScratch []byte
 
 	inTuples, outTuples, folded, inSuppressed, outSuppressed, purged int64
 	partialsEmitted                                                  int64
@@ -147,15 +158,24 @@ func (a *Aggregate) Open(exec.Context) error {
 	return nil
 }
 
-func (a *Aggregate) stateKey(wid int64, t stream.Tuple) string {
-	return fmt.Sprintf("%d;%s", wid, t.Key(a.GroupBy))
+func (a *Aggregate) appendStateKey(b []byte, wid int64, t stream.Tuple) []byte {
+	b = strconv.AppendInt(b, wid, 10)
+	b = append(b, ';')
+	return t.AppendKey(b, a.GroupBy)
 }
 
 // prefixTuple builds the output-schema tuple for a (window, group) with the
 // aggregate value left Null; group-bound and window-bound guards can be
 // evaluated against it before any aggregation work is done.
+//
+// The returned tuple aliases the operator's scratch buffer: it is valid
+// only until the next prefixTuple call and must never be emitted or
+// retained (guard probes satisfy both).
 func (a *Aggregate) prefixTuple(wid int64, groupVals []stream.Value) stream.Tuple {
-	vals := make([]stream.Value, a.out.Arity())
+	if cap(a.scratch) < a.out.Arity() {
+		a.scratch = make([]stream.Value, a.out.Arity())
+	}
+	vals := a.scratch[:a.out.Arity()]
 	copy(vals, groupVals)
 	vals[a.wstartIdx] = a.wstartValue(wid)
 	vals[a.valueIdx] = stream.Null
@@ -174,10 +194,13 @@ func (a *Aggregate) wstartValue(wid int64) stream.Value {
 func (a *Aggregate) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
 	a.inTuples++
 	lo, hi := a.Window.WindowsOf(t.At(a.TsAttr).I)
-	groupVals := make([]stream.Value, 0, len(a.GroupBy))
+	// The projection lives in a reused scratch buffer; it is copied into an
+	// owned slice only when a new state entry must retain it.
+	groupVals := a.groupScratch[:0]
 	for _, g := range a.GroupBy {
 		groupVals = append(groupVals, t.At(g))
 	}
+	a.groupScratch = groupVals
 	for wid := lo; wid <= hi; wid++ {
 		if a.Mode == FeedbackExploit && a.guardsPrefix.Suppress(a.prefixTuple(wid, groupVals)) {
 			a.inSuppressed++
@@ -187,11 +210,12 @@ func (a *Aggregate) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
 			a.meter.Do(a.Cost)
 		}
 		a.folded++
-		k := a.stateKey(wid, t)
-		g := a.state[k]
+		a.keyScratch = a.appendStateKey(a.keyScratch[:0], wid, t)
+		g := a.state[string(a.keyScratch)]
 		if g == nil {
-			g = &aggGroup{wid: wid, groupVals: groupVals, min: math.Inf(1), max: math.Inf(-1)}
-			a.state[k] = g
+			owned := append([]stream.Value(nil), groupVals...)
+			g = &aggGroup{wid: wid, groupVals: owned, min: math.Inf(1), max: math.Inf(-1)}
+			a.state[string(a.keyScratch)] = g
 		}
 		g.count++
 		if a.ValAttr >= 0 {

@@ -190,7 +190,12 @@ func (j *Join) Open(exec.Context) error {
 }
 
 func (j *Join) outTuple(l, r stream.Tuple) stream.Tuple {
-	return l.Concat(r.Project(j.rightCarry))
+	// One exact-size allocation; the old Concat(Project(...)) chain built
+	// and discarded an intermediate right-side tuple per emitted pair.
+	vals := make([]stream.Value, 0, j.out.Arity())
+	vals = l.AppendValues(vals)
+	vals = r.AppendProjected(vals, j.rightCarry)
+	return stream.Tuple{Values: vals, Seq: l.Seq}
 }
 
 func (j *Join) emitJoined(l, r stream.Tuple, ctx exec.Context) {

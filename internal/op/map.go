@@ -25,9 +25,10 @@ type Map struct {
 	Propagate bool
 
 	responseLog
-	out     stream.Schema
-	attrMap core.AttrMap
-	guards  *core.GuardTable
+	out      stream.Schema
+	attrMap  core.AttrMap
+	identity bool // every output attr carried in input order: no copy
+	guards   *core.GuardTable
 
 	nIn, nOut, suppressed int64
 }
@@ -97,6 +98,7 @@ func (m *Map) mustInit() {
 		panic(fmt.Sprintf("op: map %q: %v", m.Name(), err))
 	}
 	m.out = out
+	m.identity = identityMapping(toInput, m.In.Arity())
 	m.attrMap = core.AttrMap{InputArity: m.In.Arity(), ToInput: toInput}
 }
 
@@ -112,15 +114,20 @@ func (m *Map) Open(exec.Context) error {
 // ProcessTuple implements exec.Operator.
 func (m *Map) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	m.nIn++
-	vals := make([]stream.Value, len(m.Outs))
-	for i, o := range m.Outs {
-		if src := m.attrMap.ToInput[i]; src >= 0 {
-			vals[i] = t.At(src)
-		} else {
-			vals[i] = o.Fn(t)
+	// Carry-all maps (pure renames) share the input's Values: safe
+	// because tuples are immutable after emit (DESIGN.md §2.1).
+	out := t
+	if !m.identity {
+		vals := make([]stream.Value, len(m.Outs))
+		for i, o := range m.Outs {
+			if src := m.attrMap.ToInput[i]; src >= 0 {
+				vals[i] = t.At(src)
+			} else {
+				vals[i] = o.Fn(t)
+			}
 		}
+		out = stream.Tuple{Values: vals, Seq: t.Seq}
 	}
-	out := stream.Tuple{Values: vals, Seq: t.Seq}
 	if m.Mode != FeedbackIgnore && m.guards.Suppress(out) {
 		m.suppressed++
 		return nil

@@ -25,10 +25,11 @@ type Project struct {
 	Propagate bool
 
 	responseLog
-	out     stream.Schema
-	idxs    []int // output attr → input attr
-	guards  *core.GuardTable
-	attrMap core.AttrMap
+	out      stream.Schema
+	idxs     []int // output attr → input attr
+	identity bool  // output carries every input attr in order: no copy
+	guards   *core.GuardTable
+	attrMap  core.AttrMap
 
 	nIn, nOut, suppressed, punctDropped int64
 }
@@ -58,7 +59,23 @@ func (p *Project) mustInit() {
 		panic(fmt.Sprintf("op: project %q: %v", p.Name(), err))
 	}
 	p.out, p.idxs = out, idxs
+	p.identity = identityMapping(idxs, p.In.Arity())
 	p.attrMap = core.AttrMap{InputArity: p.In.Arity(), ToInput: append([]int(nil), idxs...)}
+}
+
+// identityMapping reports whether idxs carries every one of arity input
+// attributes in order, i.e. the projection is a (possibly renaming) no-op
+// on values.
+func identityMapping(idxs []int, arity int) bool {
+	if len(idxs) != arity {
+		return false
+	}
+	for i, src := range idxs {
+		if src != i {
+			return false
+		}
+	}
+	return true
 }
 
 // Open implements exec.Operator.
@@ -73,7 +90,12 @@ func (p *Project) Open(exec.Context) error {
 // ProcessTuple implements exec.Operator.
 func (p *Project) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	p.nIn++
-	projected := t.Project(p.idxs)
+	projected := t
+	if !p.identity {
+		projected = t.Project(p.idxs)
+	}
+	// Identity projections share the input's Values: safe because tuples
+	// are immutable after emit (DESIGN.md §2.1).
 	if p.Mode != FeedbackIgnore && p.guards.Suppress(projected) {
 		p.suppressed++
 		return nil

@@ -101,7 +101,7 @@ func New(opts Options) *Conn {
 		ctrlNotify: make(chan struct{}, 1),
 		stop:       make(chan struct{}),
 		prodDone:   make(chan struct{}),
-		cur:        NewPage(opts.PageSize),
+		cur:        GetPage(opts.PageSize),
 	}
 }
 
@@ -111,7 +111,7 @@ func New(opts Options) *Conn {
 
 // PutTuple appends a tuple, flushing the page if it fills.
 func (c *Conn) PutTuple(t stream.Tuple) {
-	c.cur.Append(TupleItem(t))
+	c.cur.AppendTuple(t)
 	c.tuples.Add(1)
 	if c.cur.Full(c.opts.PageSize) {
 		c.Flush()
@@ -122,7 +122,7 @@ func (c *Conn) PutTuple(t stream.Tuple) {
 // (unless FlushOnPunct is disabled) so that progress information is never
 // stuck behind a partially-filled page.
 func (c *Conn) PutPunct(e punct.Embedded) {
-	c.cur.Append(PunctItem(e))
+	c.cur.AppendPunct(&e)
 	c.puncts.Add(1)
 	if c.opts.FlushOnPunct {
 		c.punctFlushes.Add(1)
@@ -132,8 +132,9 @@ func (c *Conn) PutPunct(e punct.Embedded) {
 	}
 }
 
-// Flush sends the current page downstream if non-empty. If the consumer
-// has aborted the connection, the page is dropped instead of blocking.
+// Flush sends the current page downstream if non-empty, drawing the
+// replacement from the recycling pool. If the consumer has aborted the
+// connection, the page is recycled instead of blocking.
 func (c *Conn) Flush() {
 	if c.cur.Len() == 0 {
 		return
@@ -142,8 +143,9 @@ func (c *Conn) Flush() {
 	select {
 	case c.data <- c.cur:
 	case <-c.stop:
+		Release(c.cur)
 	}
-	c.cur = NewPage(c.opts.PageSize)
+	c.cur = GetPage(c.opts.PageSize)
 }
 
 // CloseSend appends EOS, flushes, and closes the data channel. It must be
@@ -158,8 +160,9 @@ func (c *Conn) CloseSend() {
 	select {
 	case c.data <- c.cur:
 	case <-c.stop:
+		Release(c.cur)
 	}
-	c.cur = NewPage(c.opts.PageSize)
+	c.cur = nil
 	close(c.data)
 	close(c.prodDone)
 }

@@ -10,6 +10,8 @@
 package queue
 
 import (
+	"sync"
+
 	"repro/internal/punct"
 	"repro/internal/stream"
 )
@@ -28,17 +30,20 @@ const (
 )
 
 // Item is one entry of a page: a tuple, an embedded punctuation, or EOS.
+// Punctuation is boxed behind a pointer: tuples dominate page traffic, and
+// keeping the struct at 48 bytes (vs 64 with an inline Embedded) shrinks
+// the per-item copy on the PutTuple hot path by a quarter.
 type Item struct {
 	Kind  ItemKind
 	Tuple stream.Tuple
-	Punct punct.Embedded
+	Punct *punct.Embedded
 }
 
 // TupleItem wraps a tuple.
 func TupleItem(t stream.Tuple) Item { return Item{Kind: ItemTuple, Tuple: t} }
 
 // PunctItem wraps embedded punctuation.
-func PunctItem(e punct.Embedded) Item { return Item{Kind: ItemPunct, Punct: e} }
+func PunctItem(e punct.Embedded) Item { return Item{Kind: ItemPunct, Punct: &e} }
 
 // EOSItem marks end of stream.
 func EOSItem() Item { return Item{Kind: ItemEOS} }
@@ -67,5 +72,67 @@ func (p *Page) Full(capacity int) bool { return len(p.Items) >= capacity }
 // Append adds an item.
 func (p *Page) Append(it Item) { p.Items = append(p.Items, it) }
 
-// Reset clears the page for reuse.
-func (p *Page) Reset() { p.Items = p.Items[:0] }
+// AppendTuple adds a tuple item, writing directly into the next slot (no
+// intermediate Item value on the producer's stack) when capacity allows.
+func (p *Page) AppendTuple(t stream.Tuple) {
+	n := len(p.Items)
+	if n == cap(p.Items) {
+		p.Items = append(p.Items, Item{Kind: ItemTuple, Tuple: t})
+		return
+	}
+	p.Items = p.Items[:n+1]
+	slot := &p.Items[n]
+	slot.Kind = ItemTuple
+	slot.Tuple = t
+	slot.Punct = nil
+}
+
+// AppendPunct adds a punctuation item.
+func (p *Page) AppendPunct(e *punct.Embedded) {
+	n := len(p.Items)
+	if n == cap(p.Items) {
+		p.Items = append(p.Items, Item{Kind: ItemPunct, Punct: e})
+		return
+	}
+	p.Items = p.Items[:n+1]
+	slot := &p.Items[n]
+	slot.Kind = ItemPunct
+	slot.Tuple = stream.Tuple{}
+	slot.Punct = e
+}
+
+// Reset clears the page for reuse. Item slots are zeroed so a recycled
+// page does not pin tuple values or predicate slices from its previous
+// life in the garbage collector.
+func (p *Page) Reset() {
+	clear(p.Items)
+	p.Items = p.Items[:0]
+}
+
+// pagePool recycles pages across producer/consumer goroutines. Ownership
+// transfers with the page: a producer owns a page until it is flushed into
+// a queue, the consumer owns it from Recv until Release, and nobody may
+// touch a page (or aliases into its Items) after releasing it.
+var pagePool = sync.Pool{New: func() any { return new(Page) }}
+
+// GetPage draws a cleared page with at least the given capacity from the
+// recycling pool, allocating only when the pool is empty or the pooled
+// page is too small.
+func GetPage(capacity int) *Page {
+	p := pagePool.Get().(*Page)
+	if cap(p.Items) < capacity {
+		p.Items = make([]Item, 0, capacity)
+	}
+	return p
+}
+
+// Release returns a page to the recycling pool. The caller promises it
+// holds no references into p.Items; tuples copied out of the page (their
+// Values slices are owned by the tuple, never by the page) remain valid.
+func Release(p *Page) {
+	if p == nil {
+		return
+	}
+	p.Reset()
+	pagePool.Put(p)
+}

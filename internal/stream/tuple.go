@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -47,6 +49,21 @@ func (t Tuple) Project(idxs []int) Tuple {
 	return Tuple{Values: vals, Seq: t.Seq}
 }
 
+// AppendValues appends the tuple's values to a caller-owned buffer and
+// returns the extended buffer. Emit paths that assemble composite tuples
+// (join outputs, aggregate results) use it to build the value slice in a
+// single allocation instead of chaining Project/Concat copies.
+func (t Tuple) AppendValues(buf []Value) []Value { return append(buf, t.Values...) }
+
+// AppendProjected appends the values at the given source indices to a
+// caller-owned buffer and returns the extended buffer.
+func (t Tuple) AppendProjected(buf []Value, idxs []int) []Value {
+	for _, src := range idxs {
+		buf = append(buf, t.Values[src])
+	}
+	return buf
+}
+
 // Concat returns the concatenation of t and o, keeping t's sequence number.
 func (t Tuple) Concat(o Tuple) Tuple {
 	vals := make([]Value, 0, len(t.Values)+len(o.Values))
@@ -71,23 +88,31 @@ func (t Tuple) Equal(o Tuple) bool {
 // Key returns a canonical string encoding of the projected attributes,
 // usable as a map key for grouping and joining. The encoding is injective
 // per schema (kind byte + length-prefixed payload).
-func (t Tuple) Key(idxs []int) string {
-	var b strings.Builder
+func (t Tuple) Key(idxs []int) string { return string(t.AppendKey(nil, idxs)) }
+
+// AppendKey appends the Key encoding to a caller-owned buffer and returns
+// the extended buffer. Hot paths keep a scratch buffer and look up maps
+// with string(buf) — the compiler elides that conversion's allocation — so
+// steady-state grouping and probing never allocate for the key.
+func (t Tuple) AppendKey(b []byte, idxs []int) []byte {
 	for _, i := range idxs {
 		v := t.Values[i]
-		b.WriteByte(byte(v.Kind))
+		b = append(b, byte(v.Kind))
 		switch v.Kind {
 		case KindNull:
 		case KindString:
-			fmt.Fprintf(&b, "%d:", len(v.S))
-			b.WriteString(v.S)
+			b = strconv.AppendInt(b, int64(len(v.S)), 10)
+			b = append(b, ':')
+			b = append(b, v.S...)
 		case KindFloat:
-			fmt.Fprintf(&b, "%x;", v.F)
+			b = strconv.AppendUint(b, math.Float64bits(v.F), 16)
+			b = append(b, ';')
 		default:
-			fmt.Fprintf(&b, "%x;", uint64(v.I))
+			b = strconv.AppendUint(b, uint64(v.I), 16)
+			b = append(b, ';')
 		}
 	}
-	return b.String()
+	return b
 }
 
 // Hash combines the hashes of the projected attributes.
