@@ -14,6 +14,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/stream"
 	"repro/internal/window"
+	"repro/internal/work"
 )
 
 // ---------------------------------------------------------------------------
@@ -344,6 +346,58 @@ func BenchmarkJoinProbe(b *testing.B) {
 		h.Tuple(0, stream.NewTuple(stream.Int(int64(i%1000)), stream.TimeMicros(0), stream.Float(60)))
 		if i%4096 == 0 {
 			h.Reset()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned parallel execution (exchange operators).
+// ---------------------------------------------------------------------------
+
+// BenchmarkParallelAggregate measures the scaling of a partitioned
+// aggregate: source → split(segment) → n × aggregate → merge → sink. The
+// per-tuple Cost makes the aggregate compute-bound so the speedup tracks
+// cores (flat on a single-core host). The fixture and plan are shared
+// with cmd/benchall (experiments.ParallelTrafficItems /
+// RunParallelAggregate) so BENCH_pipeline.json records this exact
+// workload.
+func BenchmarkParallelAggregate(b *testing.B) {
+	items := experiments.ParallelTrafficItems(50_000)
+	cost := work.UnitsFor(time.Microsecond)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := experiments.RunParallelAggregate(n, items, cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(50_000, "tuples/op")
+		})
+	}
+}
+
+// BenchmarkMergeAlign measures the punctuation-alignment steady state: a
+// lagging partition pins the merged frontier, so arrivals from the others
+// probe coverage and emit nothing. The acceptance bar is 0 allocs/op
+// (also pinned by TestMergeAlignmentZeroAlloc).
+func BenchmarkMergeAlign(b *testing.B) {
+	m := &op.Merge{Schema: gen.TrafficSchema, K: 4, Mode: op.FeedbackExploit}
+	h := exec.NewHarness(m)
+	mk := func(us int64) punct.Embedded {
+		return punct.NewEmbedded(punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(us))))
+	}
+	for i := 0; i < 4; i++ {
+		h.Punct(i, mk(100))
+	}
+	if h.Err() != nil {
+		b.Fatal(h.Err())
+	}
+	probes := []punct.Embedded{mk(5000), mk(6000), mk(7000)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.ProcessPunct(i%3, probes[i%3], h); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

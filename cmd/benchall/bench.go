@@ -7,10 +7,12 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/op"
 	"repro/internal/queue"
 	"repro/internal/stream"
+	"repro/internal/work"
 )
 
 // benchResult is one benchmark measurement in BENCH_pipeline.json.
@@ -61,6 +63,26 @@ func writeBenchJSON(path, label string) error {
 		fmt.Printf("%-42s %12.0f ns/op%s\n", name, ns, base)
 	}
 
+	// Partitioned-aggregate scaling: pipeline with Aggregate parallelized
+	// at n=1,2,4,8 (per-tuple cost makes it compute-bound; the curve
+	// tracks available cores).
+	const scaleTuples = 50_000
+	items := experiments.ParallelTrafficItems(scaleTuples)
+	cost := work.UnitsFor(time.Microsecond)
+	baseline := float64(0)
+	for _, parts := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("BenchmarkParallelAggregate/n=%d", parts)
+		ns := measureParallelAggregate(parts, items, cost)
+		results[name] = benchResult{NsPerOp: ns, TuplesPerOp: scaleTuples}
+		note := ""
+		if parts == 1 {
+			baseline = ns
+		} else if baseline > 0 && ns > 0 {
+			note = fmt.Sprintf("  (%.2fx vs n=1)", baseline/ns)
+		}
+		fmt.Printf("%-42s %12.0f ns/op%s\n", name, ns, note)
+	}
+
 	f.Runs = append(f.Runs, benchRun{
 		Label:   label,
 		Date:    time.Now().UTC().Format("2006-01-02"),
@@ -99,6 +121,25 @@ func measurePipeline(pageSize, n int) float64 {
 		start := time.Now()
 		if err := g.Run(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchall: pipeline run:", err)
+			os.Exit(1)
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// measureParallelAggregate times one n-way partitioned aggregate plan
+// (experiments.RunParallelAggregate — the same plan the go-test benchmark
+// runs) and returns the best-of-3 wall time in nanoseconds.
+func measureParallelAggregate(parts int, items []queue.Item, cost int) float64 {
+	best := float64(0)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		if err := experiments.RunParallelAggregate(parts, items, cost); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall: parallel aggregate run:", err)
 			os.Exit(1)
 		}
 		ns := float64(time.Since(start).Nanoseconds())

@@ -63,6 +63,45 @@ func TestGraphRunLinearPipeline(t *testing.T) {
 	}
 }
 
+// TestGraphEdgesAndReport checks the edge→consumer map built in prepare
+// (one exact consumer per edge, no node rescans) and edge labelling.
+func TestGraphEdgesAndReport(t *testing.T) {
+	g := NewGraph()
+	src := g.AddSource(NewSliceSource("src", oneInt, intTuple(1), intTuple(2)))
+	mid := g.Add(&passthrough{name: "mid"}, From(src))
+	sink := NewCollector("sink", oneInt)
+	g.Add(sink, From(mid))
+	g.LabelEdge(From(mid), "part=0/1")
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges, want 2", len(edges))
+	}
+	want := map[string]string{"src": "mid", "mid": "sink"}
+	for _, e := range edges {
+		if want[e.Producer] != e.Consumer {
+			t.Errorf("edge %s[%d] -> %s, want consumer %s", e.Producer, e.Out, e.Consumer, want[e.Producer])
+		}
+		if e.Producer == "src" && e.Stats.Tuples != 2 {
+			t.Errorf("src edge counted %d tuples, want 2", e.Stats.Tuples)
+		}
+		if e.Producer == "mid" && e.Label != "part=0/1" {
+			t.Errorf("mid edge label %q, want part=0/1", e.Label)
+		}
+	}
+	var buf strings.Builder
+	g.Report(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "mid[0]") || !strings.Contains(out, "sink[0]") || !strings.Contains(out, "part=0/1") {
+		t.Fatalf("report missing consumers or labels:\n%s", out)
+	}
+	if strings.Contains(out, "?") {
+		t.Fatalf("report has unresolved consumers:\n%s", out)
+	}
+}
+
 func TestGraphSchemasMustMatch(t *testing.T) {
 	two := stream.MustSchema(stream.F("a", stream.KindInt), stream.F("b", stream.KindInt))
 	g := NewGraph()

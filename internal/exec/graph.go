@@ -48,6 +48,18 @@ func (n *node) numOutputs() int {
 	return len(n.op.OutSchemas())
 }
 
+// edgeKey identifies the edge leaving one output port.
+type edgeKey struct {
+	node NodeID
+	out  int
+}
+
+// consumerRef locates the single consumer of an edge.
+type consumerRef struct {
+	node  *node
+	input int
+}
+
 // Graph is a query plan: a DAG of sources and operators. Build it with
 // AddSource/Add, then execute with Run.
 type Graph struct {
@@ -57,6 +69,13 @@ type Graph struct {
 	log       io.Writer
 	prepared  bool
 	err       error // first wiring error, surfaced by Run
+
+	// consumers maps each wired edge to its (unique) consumer; built once
+	// during prepare so Report and Edges need no per-edge node rescans.
+	consumers map[edgeKey]consumerRef
+	// labels annotates edges (e.g. "part=2/4" on partition edges); set any
+	// time before Run via LabelEdge.
+	labels map[edgeKey]string
 }
 
 // NewGraph creates an empty plan with default queue options.
@@ -136,11 +155,8 @@ func (g *Graph) prepare() error {
 		return g.err
 	}
 	g.prepared = true
-	type edgeKey struct {
-		node NodeID
-		out  int
-	}
 	conns := map[edgeKey]*queue.Conn{}
+	g.consumers = make(map[edgeKey]consumerRef)
 	for _, n := range g.nodes {
 		n.outConns = make([]*queue.Conn, n.numOutputs())
 	}
@@ -154,6 +170,7 @@ func (g *Graph) prepare() error {
 			}
 			c := queue.New(g.opts)
 			conns[k] = c
+			g.consumers[k] = consumerRef{node: n, input: i}
 			n.inConns[i] = c
 			g.nodes[p.Node].outConns[p.Out] = c
 		}
@@ -168,28 +185,64 @@ func (g *Graph) prepare() error {
 	return nil
 }
 
-// Report writes a per-edge traffic summary of the plan: one line per wired
-// connection with tuple/punctuation/page/control counts. Valid after Run
-// (all-zero before).
-func (g *Graph) Report(w io.Writer) {
+// LabelEdge annotates the edge leaving the given output port (partitioned
+// plans label split→replica and replica→merge edges with their partition
+// index). Call any time before or after Run; Report and Edges surface the
+// label.
+func (g *Graph) LabelEdge(p Port, label string) {
+	if g.labels == nil {
+		g.labels = make(map[edgeKey]string)
+	}
+	g.labels[edgeKey{p.Node, p.Out}] = label
+}
+
+// EdgeInfo describes one wired edge of the plan: producer output port,
+// consumer input port, optional label, and traffic counters.
+type EdgeInfo struct {
+	Producer string
+	Out      int
+	Consumer string
+	Input    int
+	Label    string
+	Stats    queue.Stats
+}
+
+// Edges returns every wired edge with its traffic counters, in node order.
+// Valid after Run (nil before prepare; counters all-zero before Run ends).
+func (g *Graph) Edges() []EdgeInfo {
+	var out []EdgeInfo
 	for _, n := range g.nodes {
-		for out, c := range n.outConns {
+		for o, c := range n.outConns {
 			if c == nil {
 				continue
 			}
-			// Find the consumer for a readable arrow.
-			consumer := "?"
-			for _, m := range g.nodes {
-				for i, p := range m.inputs {
-					if p.Node == n.id && p.Out == out {
-						consumer = fmt.Sprintf("%s[%d]", m.name(), i)
-					}
-				}
+			k := edgeKey{n.id, o}
+			e := EdgeInfo{Producer: n.name(), Out: o, Label: g.labels[k], Stats: c.Stats()}
+			if ref, ok := g.consumers[k]; ok {
+				e.Consumer = ref.node.name()
+				e.Input = ref.input
+			} else {
+				e.Consumer = "?"
 			}
-			st := c.Stats()
-			fmt.Fprintf(w, "%s[%d] -> %-16s tuples=%-8d puncts=%-6d pages=%-6d punct-flushes=%-6d controls=%d\n",
-				n.name(), out, consumer, st.Tuples, st.Puncts, st.Pages, st.PunctFlushes, st.Controls)
+			out = append(out, e)
 		}
+	}
+	return out
+}
+
+// Report writes a per-edge traffic summary of the plan: one line per wired
+// connection with tuple/punctuation/page/control counts, using the
+// edge→consumer map built in prepare. Valid after Run (all-zero before).
+func (g *Graph) Report(w io.Writer) {
+	for _, e := range g.Edges() {
+		consumer := fmt.Sprintf("%s[%d]", e.Consumer, e.Input)
+		label := ""
+		if e.Label != "" {
+			label = "  " + e.Label
+		}
+		st := e.Stats
+		fmt.Fprintf(w, "%s[%d] -> %-16s tuples=%-8d puncts=%-6d pages=%-6d punct-flushes=%-6d controls=%d%s\n",
+			e.Producer, e.Out, consumer, st.Tuples, st.Puncts, st.Pages, st.PunctFlushes, st.Controls, label)
 	}
 }
 

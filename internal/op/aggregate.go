@@ -191,7 +191,10 @@ func (a *Aggregate) wstartValue(wid int64) stream.Value {
 }
 
 // ProcessTuple implements exec.Operator.
-func (a *Aggregate) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
+func (a *Aggregate) ProcessTuple(input int, t stream.Tuple, _ exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: aggregate %q: tuple on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+	}
 	a.inTuples++
 	lo, hi := a.Window.WindowsOf(t.At(a.TsAttr).I)
 	// The projection lives in a reused scratch buffer; it is copied into an
@@ -279,7 +282,10 @@ func (a *Aggregate) emitResult(g *aggGroup, ctx exec.Context) {
 // attribute closes complete windows, emits their results, purges state, and
 // re-punctuates the output on wstart (delimiting it for downstream
 // feedback, §4.4).
-func (a *Aggregate) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+func (a *Aggregate) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: aggregate %q: punctuation on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+	}
 	bound := e.Pattern.Bound()
 	if len(bound) != 1 || bound[0] != a.TsAttr {
 		return nil
@@ -332,7 +338,10 @@ func (a *Aggregate) flushThrough(lastFull int64, ctx exec.Context) {
 }
 
 // ProcessEOS implements exec.Operator.
-func (a *Aggregate) ProcessEOS(_ int, ctx exec.Context) error {
+func (a *Aggregate) ProcessEOS(input int, ctx exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: aggregate %q: EOS on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+	}
 	a.flushThrough(math.MaxInt64, ctx)
 	return nil
 }

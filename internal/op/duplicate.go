@@ -116,24 +116,7 @@ func (d *Duplicate) ProcessFeedback(output int, f core.Feedback, ctx exec.Contex
 	d.perOut[output].Install(f)
 	// The newly asserted pattern is exploitable iff every other consumer
 	// has already asserted a superset of it.
-	exploitable := true
-	for i, g := range d.perOut {
-		if i == output {
-			continue
-		}
-		covered := false
-		for _, gd := range g.Guards() {
-			if f.Pattern.Implies(gd.Pattern) {
-				covered = true
-				break
-			}
-		}
-		if !covered {
-			exploitable = false
-			break
-		}
-	}
-	if exploitable {
+	if coveredByAllOthers(d.perOut, output, f.Pattern) {
 		resp.Actions = append(resp.Actions, core.ActGuardInput)
 		key := f.Pattern.String()
 		if d.Propagate && !d.propagated[key] {

@@ -1,0 +1,443 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+func newSplit(n int, key ...int) *Split {
+	return &Split{Schema: trafficSchema, N: n, Key: key, Mode: FeedbackExploit, Propagate: true}
+}
+
+func newMerge(k int) *Merge {
+	return &Merge{Schema: trafficSchema, K: k, Mode: FeedbackExploit, Propagate: true}
+}
+
+func TestSplitHashRoutingIsKeyConsistent(t *testing.T) {
+	s := newSplit(4, 0) // partition on segment
+	h := exec.NewHarness(s)
+	for i := int64(0); i < 200; i++ {
+		h.Tuple(0, traffic(i%9, i%40, i*1000, 55))
+	}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	// Every tuple of one segment must land on exactly one port.
+	portOf := map[int64]int{}
+	total := 0
+	for port := 0; port < 4; port++ {
+		for _, tp := range h.OutTuples(port) {
+			seg := tp.At(0).AsInt()
+			if prev, seen := portOf[seg]; seen && prev != port {
+				t.Fatalf("segment %d routed to both port %d and %d", seg, prev, port)
+			}
+			portOf[seg] = port
+			total++
+		}
+	}
+	if total != 200 {
+		t.Fatalf("routed %d of 200 tuples", total)
+	}
+	// With 9 segments over 4 partitions at least two ports must be busy.
+	busy := 0
+	for port := 0; port < 4; port++ {
+		if len(h.OutTuples(port)) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("hash routing degenerated to %d busy partitions", busy)
+	}
+}
+
+func TestSplitRoundRobinBalances(t *testing.T) {
+	s := newSplit(3) // keyless
+	h := exec.NewHarness(s)
+	for i := int64(0); i < 9; i++ {
+		h.Tuple(0, traffic(1, 1, i*1000, 50))
+	}
+	for port := 0; port < 3; port++ {
+		if got := len(h.OutTuples(port)); got != 3 {
+			t.Fatalf("port %d got %d tuples, want 3", port, got)
+		}
+	}
+}
+
+func TestSplitBroadcastsPunctuation(t *testing.T) {
+	s := newSplit(3, 0)
+	h := exec.NewHarness(s)
+	h.Punct(0, tsPunct(1000))
+	for port := 0; port < 3; port++ {
+		ps := h.OutPuncts(port)
+		if len(ps) != 1 || !ps[0].Pattern.Equal(tsPunct(1000).Pattern) {
+			t.Fatalf("port %d puncts = %v", port, ps)
+		}
+	}
+}
+
+func TestSplitRejectsUnexpectedInput(t *testing.T) {
+	h := exec.NewHarness(newSplit(2, 0))
+	h.Tuple(1, traffic(1, 1, 10, 50))
+	if h.Err() == nil {
+		t.Fatal("tuple on input 1 must error")
+	}
+}
+
+func TestSplitPartitionLocalSuppression(t *testing.T) {
+	s := newSplit(4, 0)
+	h := exec.NewHarness(s)
+	// Find segment 3's partition, then let that partition disclaim it.
+	h.Tuple(0, traffic(3, 1, 10, 50))
+	dest := -1
+	for port := 0; port < 4; port++ {
+		if len(h.OutTuples(port)) == 1 {
+			dest = port
+		}
+	}
+	if dest < 0 {
+		t.Fatal("probe tuple not routed")
+	}
+	h.Reset()
+	h.Feedback(dest, assumedOnSegment(3))
+	h.Tuple(0, traffic(3, 2, 20, 50))
+	h.Tuple(0, traffic(4, 2, 20, 50))
+	if got := len(h.OutTuples(dest)); got != 0 && h.OutTuples(dest)[0].At(0).AsInt() == 3 {
+		t.Fatalf("segment 3 must be suppressed at the split, port %d got %d tuples", dest, got)
+	}
+	_, _, suppressed := s.Stats()
+	if suppressed != 1 {
+		t.Fatalf("suppressed = %d, want 1", suppressed)
+	}
+}
+
+func TestSplitForwardsKeyPinnedFeedback(t *testing.T) {
+	s := newSplit(4, 0)
+	h := exec.NewHarness(s)
+	// Segment-equality feedback pins the route: forward upstream at once,
+	// but only when it arrives from the partition that owns the key.
+	fb := assumedOnSegment(3)
+	owner := s.routesOnlyTo(fb.Pattern)
+	if owner < 0 {
+		t.Fatal("segment equality must pin the route")
+	}
+	h.Feedback((owner+1)%4, fb) // wrong partition: hold
+	if got := h.SentFeedback(0); len(got) != 0 {
+		t.Fatalf("feedback from a non-owning partition must not be forwarded: %v", got)
+	}
+	h.Feedback(owner, fb)
+	got := h.SentFeedback(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(fb.Pattern) {
+		t.Fatalf("key-pinned feedback must forward upstream once: %v", got)
+	}
+	// Re-assertion must not duplicate the relay.
+	h.Feedback(owner, fb)
+	if got := h.SentFeedback(0); len(got) != 1 {
+		t.Fatalf("duplicate relay: %v", got)
+	}
+}
+
+func TestSplitUnpinnedFeedbackNeedsUnanimity(t *testing.T) {
+	s := newSplit(3, 0)
+	h := exec.NewHarness(s)
+	// A ts-bound pattern does not pin the key: any partition may produce
+	// matching tuples, so upstream suppression needs all three to agree.
+	fb := core.NewAssumed(punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(5000))))
+	h.Feedback(0, fb)
+	h.Feedback(1, fb)
+	if got := h.SentFeedback(0); len(got) != 0 {
+		t.Fatalf("must wait for all partitions: %v", got)
+	}
+	h.Feedback(2, fb)
+	if got := h.SentFeedback(0); len(got) != 1 {
+		t.Fatalf("unanimous feedback must forward upstream once: %v", got)
+	}
+}
+
+func TestSplitDesiredFeedbackForwardsImmediately(t *testing.T) {
+	h := exec.NewHarness(newSplit(3, 0))
+	fb := core.NewDesired(punct.OnAttr(4, 2, punct.Ge(stream.TimeMicros(5000))))
+	h.Feedback(1, fb)
+	if got := h.SentFeedback(0); len(got) != 1 {
+		t.Fatalf("desired feedback never changes the result set; forward at once: %v", got)
+	}
+}
+
+func TestMergeAlignsWatermarks(t *testing.T) {
+	m := newMerge(3)
+	h := exec.NewHarness(m)
+	h.Punct(0, tsPunct(3000))
+	h.Punct(1, tsPunct(1000))
+	if got := h.OutPuncts(0); len(got) != 0 {
+		t.Fatalf("input 2 has not punctuated; nothing may be forwarded: %v", got)
+	}
+	h.Punct(2, tsPunct(2000))
+	got := h.OutPuncts(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(tsPunct(1000).Pattern) {
+		t.Fatalf("aligned watermark must be the min (1000): %v", got)
+	}
+	// Non-advancing arrival: nothing new.
+	h.Punct(2, tsPunct(2500))
+	if got := h.OutPuncts(0); len(got) != 1 {
+		t.Fatalf("min did not advance, no punct expected: %v", got)
+	}
+	// The laggard advances: the min is now input 2's 2500.
+	h.Punct(1, tsPunct(4000))
+	got = h.OutPuncts(0)
+	if len(got) != 2 || !got[1].Pattern.Equal(tsPunct(2500).Pattern) {
+		t.Fatalf("aligned watermark must advance to 2500: %v", got)
+	}
+}
+
+func TestMergeLtPunctuationNormalizes(t *testing.T) {
+	m := newMerge(2)
+	h := exec.NewHarness(m)
+	lt := punct.NewEmbedded(punct.OnAttr(4, 2, punct.Lt(stream.TimeMicros(2001))))
+	h.Punct(0, lt)
+	h.Punct(1, tsPunct(3000))
+	got := h.OutPuncts(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(tsPunct(2000).Pattern) {
+		t.Fatalf("<2001 must align as ≤2000: %v", got)
+	}
+}
+
+func TestMergeEOSReleasesAlignment(t *testing.T) {
+	m := newMerge(3)
+	h := exec.NewHarness(m)
+	h.Punct(0, tsPunct(3000))
+	h.Punct(1, tsPunct(1000))
+	// Input 2 ends without ever punctuating: it stops constraining.
+	h.EOS(2)
+	got := h.OutPuncts(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(tsPunct(1000).Pattern) {
+		t.Fatalf("EOS input must stop constraining alignment: %v", got)
+	}
+	h.EOS(1)
+	got = h.OutPuncts(0)
+	if len(got) != 2 || !got[1].Pattern.Equal(tsPunct(3000).Pattern) {
+		t.Fatalf("after input 1 ends the min is input 0's 3000: %v", got)
+	}
+}
+
+func TestMergeAlignsGenericPatterns(t *testing.T) {
+	m := newMerge(3)
+	h := exec.NewHarness(m)
+	// "Segment 5 is closed" — an equality pattern outside the watermark
+	// fast path, as a split broadcast would deliver to every partition.
+	seg5 := punct.NewEmbedded(punct.OnAttr(4, 0, punct.Eq(stream.Int(5))))
+	h.Punct(0, seg5)
+	h.Punct(1, seg5)
+	if got := h.OutPuncts(0); len(got) != 0 {
+		t.Fatalf("partition 2 has not covered segment 5 yet: %v", got)
+	}
+	if m.PendingAlignments() != 1 {
+		t.Fatalf("pending = %d, want 1", m.PendingAlignments())
+	}
+	h.Punct(2, seg5)
+	got := h.OutPuncts(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(seg5.Pattern) {
+		t.Fatalf("unanimous generic pattern must be forwarded: %v", got)
+	}
+	if m.PendingAlignments() != 0 {
+		t.Fatalf("pending not drained: %d", m.PendingAlignments())
+	}
+}
+
+func TestMergeGenericCoveredByWatermark(t *testing.T) {
+	m := newMerge(2)
+	h := exec.NewHarness(m)
+	// Input 1's ts watermark ≥ the pattern's ts bound covers it by
+	// implication, with no equal pattern ever asserted there.
+	old := punct.NewEmbedded(punct.OnAttr(4, 0, punct.Eq(stream.Int(5))).With(2, punct.Le(stream.TimeMicros(500))))
+	h.Punct(1, tsPunct(1000))
+	h.Punct(0, old)
+	got := h.OutPuncts(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(old.Pattern) {
+		t.Fatalf("watermark implication must cover the generic pattern: %v", got)
+	}
+}
+
+func TestMergePassThroughAndGuards(t *testing.T) {
+	m := newMerge(2)
+	h := exec.NewHarness(m)
+	h.Tuple(0, traffic(1, 1, 10, 50))
+	h.Tuple(1, traffic(2, 1, 20, 60))
+	if got := len(h.OutTuples(0)); got != 2 {
+		t.Fatalf("pass-through broke: %d tuples", got)
+	}
+	h.Feedback(0, assumedOnSegment(2))
+	h.Tuple(0, traffic(2, 2, 30, 61))
+	h.Tuple(1, traffic(3, 2, 30, 62))
+	got := h.OutTuples(0)
+	if len(got) != 3 || got[2].At(0).AsInt() != 3 {
+		t.Fatalf("disclaimed segment 2 must be suppressed: %v", got)
+	}
+	// Feedback fanned to every partition.
+	for in := 0; in < 2; in++ {
+		if fb := h.SentFeedback(in); len(fb) != 1 {
+			t.Fatalf("input %d got %d feedbacks, want 1", in, len(fb))
+		}
+	}
+}
+
+func TestMergeRejectsUnexpectedInput(t *testing.T) {
+	h := exec.NewHarness(newMerge(2))
+	h.Tuple(2, traffic(1, 1, 10, 50))
+	if h.Err() == nil {
+		t.Fatal("tuple on input 2 must error")
+	}
+}
+
+// TestMergeAlignmentZeroAlloc pins the acceptance bar: the steady-state
+// alignment path — a punctuation arrival that does not advance the merged
+// frontier, with no generic patterns pending — performs no allocation.
+func TestMergeAlignmentZeroAlloc(t *testing.T) {
+	m := newMerge(4)
+	h := exec.NewHarness(m)
+	// Partition 3 lags at ts=100, pinning the frontier; 0..2 run ahead.
+	for i := 0; i < 3; i++ {
+		h.Punct(i, tsPunct(100))
+	}
+	h.Punct(3, tsPunct(100)) // frontier emitted here, once
+	probes := []punct.Embedded{tsPunct(5_000), tsPunct(6_000), tsPunct(7_000)}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		e := probes[i%len(probes)]
+		if err := m.ProcessPunct(i%3, e, h); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("merge alignment steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+	if got := h.OutPuncts(0); len(got) != 1 {
+		t.Fatalf("laggard never advanced; only the initial frontier may be emitted: %v", got)
+	}
+}
+
+// TestSplitRouteZeroAlloc pins the split's tuple hot path at 0 allocs/op.
+func TestSplitRouteZeroAlloc(t *testing.T) {
+	s := &Split{Schema: trafficSchema, N: 4, Key: []int{0}, Mode: FeedbackExploit}
+	sink := discardCtx{}
+	if err := s.Open(sink); err != nil {
+		t.Fatal(err)
+	}
+	tuples := []stream.Tuple{traffic(1, 1, 10, 50), traffic(2, 1, 20, 51), traffic(3, 1, 30, 52)}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.ProcessTuple(0, tuples[i%len(tuples)], sink); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("split routing allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// discardCtx is a no-op exec.Context for allocation measurements (the
+// Harness records emissions, which would itself allocate).
+type discardCtx struct{}
+
+func (discardCtx) Emit(stream.Tuple)               {}
+func (discardCtx) EmitTo(int, stream.Tuple)        {}
+func (discardCtx) EmitPunct(punct.Embedded)        {}
+func (discardCtx) EmitPunctTo(int, punct.Embedded) {}
+func (discardCtx) SendFeedback(int, core.Feedback) {}
+func (discardCtx) ShutdownUpstream(int)            {}
+func (discardCtx) NumInputs() int                  { return 1 }
+func (discardCtx) NumOutputs() int                 { return 4 }
+func (discardCtx) Logf(string, ...any)             {}
+
+func TestSplitDemandedFeedbackUnanimity(t *testing.T) {
+	s := newSplit(3, 0)
+	h := exec.NewHarness(s)
+	// An unpinned demand (timestamp range) relays upstream only once every
+	// partition has demanded a covering subset — which a merge fan-out
+	// produces naturally.
+	fb := core.NewDemanded(punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(5000))))
+	h.Feedback(0, fb)
+	h.Feedback(1, fb)
+	if got := h.SentFeedback(0); len(got) != 0 {
+		t.Fatalf("partial demand must be withheld: %v", got)
+	}
+	h.Feedback(2, fb)
+	if got := h.SentFeedback(0); len(got) != 1 || got[0].Intent != core.Demanded {
+		t.Fatalf("unanimous demand must forward upstream once: %v", got)
+	}
+}
+
+// TestSplitSinglePartitionIsNeutral pins Parallel(1, ...) feedback
+// neutrality: with one partition, pinned-or-unanimous degenerates to
+// immediate relay for every intent.
+func TestSplitSinglePartitionIsNeutral(t *testing.T) {
+	s := &Split{Schema: trafficSchema, N: 1, Key: []int{0}, Mode: FeedbackExploit, Propagate: true}
+	h := exec.NewHarness(s)
+	h.Feedback(0, core.NewDemanded(punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(5000)))))
+	h.Feedback(0, core.NewAssumed(punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(9000)))))
+	h.Feedback(0, core.NewDesired(punct.OnAttr(4, 2, punct.Ge(stream.TimeMicros(9000)))))
+	if got := h.SentFeedback(0); len(got) != 3 {
+		t.Fatalf("n=1 split must relay every feedback immediately: %v", got)
+	}
+}
+
+func TestSplitRejectsUnexpectedFeedbackOutput(t *testing.T) {
+	s := newSplit(2, 0)
+	h := exec.NewHarness(s)
+	if err := s.ProcessFeedback(2, assumedOnSegment(1), h); err == nil {
+		t.Fatal("feedback on output 2 of a 2-way split must error")
+	}
+}
+
+// TestMergeAlignmentStateBounded pins the long-running-stream bound:
+// generic patterns carrying a timestamp bound are pruned from per-input
+// state once the input's watermark passes them, and pending patterns are
+// dropped once the emitted merged frontier subsumes them.
+func TestMergeAlignmentStateBounded(t *testing.T) {
+	m := newMerge(2)
+	h := exec.NewHarness(m)
+	// Per-group closure patterns [seg=k, *, ts≤k·100, *]: multi-attribute,
+	// so the generic path holds them.
+	for k := int64(0); k < 50; k++ {
+		pat := punct.OnAttr(4, 0, punct.Eq(stream.Int(k))).With(2, punct.Le(stream.TimeMicros(k*100)))
+		h.Punct(0, punct.NewEmbedded(pat))
+	}
+	if got := len(m.ins[0].asserted); got != 50 {
+		t.Fatalf("asserted = %d, want 50", got)
+	}
+	if got := m.PendingAlignments(); got != 50 {
+		t.Fatalf("pending = %d, want 50", got)
+	}
+	// Input 0's watermark passes every bound: its asserted list drains.
+	h.Punct(0, tsPunct(10_000))
+	if got := len(m.ins[0].asserted); got != 0 {
+		t.Fatalf("asserted after watermark = %d, want 0", got)
+	}
+	// Input 1 catches up: the merged frontier ≤10000 is emitted and
+	// subsumes every pending pattern — dropped, not re-emitted.
+	h.Punct(1, tsPunct(10_000))
+	if got := m.PendingAlignments(); got != 0 {
+		t.Fatalf("pending after frontier = %d, want 0", got)
+	}
+	got := h.OutPuncts(0)
+	if len(got) != 1 || !got[0].Pattern.Equal(tsPunct(10_000).Pattern) {
+		t.Fatalf("only the subsuming frontier may be emitted: %v", got)
+	}
+	// A late duplicate below the frontier neither re-pends nor re-asserts.
+	late := punct.OnAttr(4, 0, punct.Eq(stream.Int(1))).With(2, punct.Le(stream.TimeMicros(100)))
+	h.Punct(0, punct.NewEmbedded(late))
+	if len(m.ins[0].asserted) != 0 || m.PendingAlignments() != 0 {
+		t.Fatalf("late covered pattern must not accumulate state: asserted=%d pending=%d",
+			len(m.ins[0].asserted), m.PendingAlignments())
+	}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+}

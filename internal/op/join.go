@@ -228,10 +228,13 @@ func (j *Join) emitOuter(l stream.Tuple, ctx exec.Context) {
 
 // ProcessTuple implements exec.Operator.
 func (j *Join) ProcessTuple(input int, t stream.Tuple, ctx exec.Context) error {
-	if input == 0 {
+	switch input {
+	case 0:
 		return j.processLeft(t, ctx)
+	case 1:
+		return j.processRight(t, ctx)
 	}
-	return j.processRight(t, ctx)
+	return fmt.Errorf("op: join %q: tuple on unexpected input %d (two-input operator; check plan wiring)", j.Name(), input)
 }
 
 func (j *Join) processLeft(t stream.Tuple, ctx exec.Context) error {
@@ -371,6 +374,9 @@ func (j *Join) tsValue(input int, v int64) stream.Value {
 // ProcessPunct implements exec.Operator: timestamp punctuation purges the
 // opposite table and may emit output punctuation and thrifty feedback.
 func (j *Join) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error {
+	if input != 0 && input != 1 {
+		return fmt.Errorf("op: join %q: punctuation on unexpected input %d (two-input operator; check plan wiring)", j.Name(), input)
+	}
 	tsAttr := j.LeftTs
 	if input == 1 {
 		tsAttr = j.RightTs
@@ -479,6 +485,9 @@ func (j *Join) emitOutputPunct(ctx exec.Context) {
 
 // ProcessEOS implements exec.Operator.
 func (j *Join) ProcessEOS(input int, ctx exec.Context) error {
+	if input != 0 && input != 1 {
+		return fmt.Errorf("op: join %q: EOS on unexpected input %d (two-input operator; check plan wiring)", j.Name(), input)
+	}
 	if input == 0 {
 		j.leftEOS = true
 		j.purgeTable(j.rightTable, math.MaxInt64, false, ctx)

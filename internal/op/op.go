@@ -64,6 +64,31 @@ func (l *responseLog) Responses() []core.Response {
 	return append([]core.Response(nil), l.responses...)
 }
 
+// coveredByAllOthers reports whether every per-output guard table except
+// tables[skip] holds an installed guard whose pattern p implies — the
+// unanimity test shared by Duplicate (outputs must stay identical) and
+// Split (an unpinned pattern may route anywhere): a consumer-asserted
+// pattern becomes exploitable upstream of the fan-out/split only once
+// every other consumer has asserted a superset of it.
+func coveredByAllOthers(tables []*core.GuardTable, skip int, p punct.Pattern) bool {
+	for i, g := range tables {
+		if i == skip {
+			continue
+		}
+		covered := false
+		for _, gd := range g.Guards() {
+			if p.Implies(gd.Pattern) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
 // relayPunct decides whether embedded punctuation with the given pattern
 // survives an attribute projection, and produces the projected pattern.
 //

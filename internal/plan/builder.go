@@ -241,6 +241,85 @@ func (s Stream) Join(name string, right Stream, leftKeys, rightKeys []string, le
 	return Stream{b: s.b, port: exec.From(id), schema: j.OutSchemas()[0]}
 }
 
+// Through appends a caller-constructed single-input single-output operator
+// — the escape hatch for operator knobs the fluent methods do not expose
+// (e.g. op.Aggregate.Cost in benchmarks). The operator's input schema must
+// match the stream.
+func (s Stream) Through(o exec.Operator) Stream {
+	if s.bad {
+		return s
+	}
+	if len(o.InSchemas()) != 1 || len(o.OutSchemas()) != 1 {
+		return s.b.fail("plan: through %q: need exactly one input and one output", o.Name())
+	}
+	if !o.InSchemas()[0].Equal(s.schema) {
+		return s.b.fail("plan: through %q: input schema %s does not match stream schema %s",
+			o.Name(), o.InSchemas()[0], s.schema)
+	}
+	id := s.b.g.Add(o, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: o.OutSchemas()[0]}
+}
+
+// Parallel replicates a sub-plan n ways between a partitioning Split and a
+// punctuation-aligning Merge: tuples are hash-routed on the named key
+// attributes (round-robin when key is empty — only safe for stateless,
+// keyless stages), each partition runs its own replica of the operators
+// sub builds, and the merged output forwards punctuation only once every
+// partition has covered it. Feedback crosses both exchange boundaries:
+// the merge fans it to every partition, and the split relays it toward
+// the producer (see op.Split/op.Merge).
+//
+// sub is invoked n times, once per partition, and must consume exactly the
+// stream it is given; every invocation must produce the same schema. For a
+// partitioned stateful operator (Aggregate, Join) the key must cover its
+// grouping attributes so all tuples of one group land in one partition.
+func (s Stream) Parallel(name string, n int, key []string, sub func(Stream) Stream) Stream {
+	if s.bad {
+		return s
+	}
+	if n <= 0 {
+		return s.b.fail("plan: parallel %q: need n ≥ 1, got %d", name, n)
+	}
+	if sub == nil {
+		return s.b.fail("plan: parallel %q: nil sub-plan", name)
+	}
+	keyIdx := make([]int, 0, len(key))
+	for _, k := range key {
+		i := s.schema.Index(k)
+		if i < 0 {
+			return s.b.fail("plan: parallel %q: no attribute %q in %s", name, k, s.schema)
+		}
+		keyIdx = append(keyIdx, i)
+	}
+	sp := &op.Split{OpName: name + ".split", Schema: s.schema, N: n, Key: keyIdx, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	sid := s.b.g.Add(sp, s.port)
+	branches := make([]Stream, n)
+	for i := range branches {
+		in := Stream{b: s.b, port: exec.FromPort(sid, i), schema: s.schema}
+		s.b.g.LabelEdge(in.port, fmt.Sprintf("part=%d/%d", i, n))
+		out := sub(in)
+		if out.bad {
+			return out
+		}
+		if out.b != s.b {
+			return s.b.fail("plan: parallel %q: sub-plan returned a stream from another builder", name)
+		}
+		if i > 0 && !out.schema.Equal(branches[0].schema) {
+			return s.b.fail("plan: parallel %q: replica %d schema %s differs from replica 0 schema %s",
+				name, i, out.schema, branches[0].schema)
+		}
+		branches[i] = out
+		s.b.g.LabelEdge(out.port, fmt.Sprintf("part=%d/%d", i, n))
+	}
+	mg := &op.Merge{OpName: name + ".merge", Schema: branches[0].schema, K: n, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	ports := make([]exec.Port, n)
+	for i, br := range branches {
+		ports[i] = br.port
+	}
+	mid := s.b.g.Add(mg, ports...)
+	return Stream{b: s.b, port: exec.From(mid), schema: branches[0].schema}
+}
+
 // Prioritize appends a desired-feedback-aware reorder buffer.
 func (s Stream) Prioritize(name string, bufferCap int) Stream {
 	if s.bad {

@@ -22,7 +22,12 @@ type Catalog map[string]exec.Source
 //	SELECT a, b FROM s [WHERE ...]
 //	SELECT g, AGG(v) [AS name] FROM s [WHERE ...]
 //	    GROUP BY g[, ...] WINDOW n UNIT [SLIDE n UNIT] ON ts
+//	    [PARTITION BY g[, ...] INTO n]
 //	SELECT * FROM s1 UNION s2 [WITH PACE ON ts n UNIT]
+//
+// PARTITION BY runs the aggregate n-way data-parallel (Stream.Parallel):
+// tuples are hash-routed on the named attributes, which must be a subset
+// of GROUP BY.
 //
 // AGG ∈ {COUNT, SUM, AVG, MAX, MIN}; UNIT ∈ {MS, SECOND, MINUTE, HOUR}
 // (plural accepted); op ∈ {=, !=, <, <=, >, >=}.
@@ -358,10 +363,64 @@ func (p *parser) parseGroupBy(s Stream, items []selItem, star bool) (Stream, err
 			valueName += "_" + valAttr
 		}
 	}
+	partBy, partN, err := p.parsePartition()
+	if err != nil {
+		return Stream{}, err
+	}
 	if p.pos < len(p.toks) {
 		return Stream{}, fmt.Errorf("plan: unexpected trailing token %q", p.raw())
 	}
-	return s.Aggregate("aggregate", kind, tsAttr, valAttr, groups, window.Sliding(rng, slide), valueName), nil
+	buildAgg := func(in Stream) Stream {
+		return in.Aggregate("aggregate", kind, tsAttr, valAttr, groups, window.Sliding(rng, slide), valueName)
+	}
+	if partN == 0 {
+		return buildAgg(s), nil
+	}
+	// Partition-correctness: every tuple of one group must reach one
+	// partition, so the partition key must be a subset of GROUP BY.
+	for _, pa := range partBy {
+		found := false
+		for _, g := range groups {
+			if g == pa {
+				found = true
+			}
+		}
+		if !found {
+			return Stream{}, fmt.Errorf("plan: PARTITION BY attribute %q must appear in GROUP BY (grouped state must stay partition-local)", pa)
+		}
+	}
+	return s.Parallel("partition", partN, partBy, buildAgg), nil
+}
+
+// parsePartition reads an optional `PARTITION BY attr[, ...] INTO n`
+// clause; n == 0 reports the clause was absent.
+func (p *parser) parsePartition() (attrs []string, n int, err error) {
+	if p.peek() != "PARTITION" {
+		return nil, 0, nil
+	}
+	p.pos++
+	if err := p.expect("BY"); err != nil {
+		return nil, 0, err
+	}
+	for {
+		attrs = append(attrs, p.next())
+		if p.peek() != "," {
+			break
+		}
+		p.pos++
+	}
+	if err := p.expect("INTO"); err != nil {
+		return nil, 0, err
+	}
+	numTok := p.next()
+	v, err := stream.ParseValue(stream.KindInt, numTok)
+	if err != nil {
+		return nil, 0, fmt.Errorf("plan: PARTITION BY ... INTO expects a partition count, got %q", numTok)
+	}
+	if v.AsInt() < 1 {
+		return nil, 0, fmt.Errorf("plan: PARTITION BY ... INTO needs at least 1 partition, got %d", v.AsInt())
+	}
+	return attrs, int(v.AsInt()), nil
 }
 
 func (p *parser) parseUnionTail(l, r Stream) (Stream, error) {
