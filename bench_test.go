@@ -12,6 +12,7 @@ package repro
 //	                  microseconds (feedback handling is cheap).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -397,6 +398,52 @@ func BenchmarkMergeAlign(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.ProcessPunct(i%3, probes[i%3], h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint & recovery (internal/snapshot).
+// ---------------------------------------------------------------------------
+
+// BenchmarkCheckpoint measures the end-to-end latency of one
+// punctuation-aligned checkpoint of a running Parallel(4) aggregate plan:
+// barrier injection at the source, alignment across the exchange, state
+// serialization at every Stater, and the coordinator's final assembly.
+func BenchmarkCheckpoint(b *testing.B) {
+	rb, err := experiments.StartRecoveryBench(4, 50_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rb.Stop()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rb.Checkpoint(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures crash-and-recover: rebuild the plan, restore
+// the snapshot (staging + per-operator LoadState), and replay the last 10%
+// of the stream to completion.
+func BenchmarkRecovery(b *testing.B) {
+	rb, err := experiments.StartRecoveryBench(4, 50_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := rb.Checkpoint(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rb.Stop(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rb.Recover(snap); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/op"
 	"repro/internal/queue"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/work"
 )
@@ -83,6 +85,18 @@ func writeBenchJSON(path, label string) error {
 		fmt.Printf("%-42s %12.0f ns/op%s\n", name, ns, note)
 	}
 
+	// Checkpoint overhead and crash-recovery time on the Parallel(4)
+	// aggregate plan (same workload as BenchmarkCheckpoint/BenchmarkRecovery
+	// in bench_test.go).
+	ckptNs, recNs, err := measureRecovery(4, scaleTuples)
+	if err != nil {
+		return err
+	}
+	results["BenchmarkCheckpoint"] = benchResult{NsPerOp: ckptNs}
+	results["BenchmarkRecovery"] = benchResult{NsPerOp: recNs, TuplesPerOp: scaleTuples / 10}
+	fmt.Printf("%-42s %12.0f ns/op\n", "BenchmarkCheckpoint", ckptNs)
+	fmt.Printf("%-42s %12.0f ns/op\n", "BenchmarkRecovery", recNs)
+
 	f.Runs = append(f.Runs, benchRun{
 		Label:   label,
 		Date:    time.Now().UTC().Format("2006-01-02"),
@@ -129,6 +143,46 @@ func measurePipeline(pageSize, n int) float64 {
 		}
 	}
 	return best
+}
+
+// measureRecovery starts the parked Parallel(n) aggregate plan once, takes
+// several checkpoints (best-of), then kills the plan and measures
+// crash-and-recover (restore + catch-up replay of the last 10%) from the
+// final snapshot.
+func measureRecovery(parts, tuples int) (ckptNs, recNs float64, err error) {
+	rb, err := experiments.StartRecoveryBench(parts, tuples, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	ctx := context.Background()
+	var snap *snapshot.Snapshot
+	for rep := 0; rep < 5; rep++ {
+		start := time.Now()
+		s, err := rb.Checkpoint(ctx)
+		if err != nil {
+			rb.Stop()
+			return 0, 0, err
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if ckptNs == 0 || ns < ckptNs {
+			ckptNs = ns
+		}
+		snap = s
+	}
+	if err := rb.Stop(); err != nil {
+		return 0, 0, err
+	}
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		if err := rb.Recover(snap); err != nil {
+			return 0, 0, err
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if recNs == 0 || ns < recNs {
+			recNs = ns
+		}
+	}
+	return ckptNs, recNs, nil
 }
 
 // measureParallelAggregate times one n-way partitioned aggregate plan

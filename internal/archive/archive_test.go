@@ -1,0 +1,113 @@
+package archive
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLookupSemantics pins the seeded-store contract the imputation plan
+// (and snapshot restore in the imputation example) leans on: a lookup
+// returns the bucket mean for the (segment, detector, time-of-day bucket)
+// key, misses report ok=false with no invented history, and every lookup
+// is accounted.
+func TestLookupSemantics(t *testing.T) {
+	s := NewStore(0)
+	if _, ok := s.Lookup(1, 1, 480); ok {
+		t.Fatal("empty store must miss")
+	}
+	s.Add(Reading{Segment: 1, Detector: 1, MinuteOfDay: 480, Speed: 30})
+	s.Add(Reading{Segment: 1, Detector: 1, MinuteOfDay: 481, Speed: 50})
+
+	// Same 15-minute bucket → mean of both readings.
+	got, ok := s.Lookup(1, 1, 489)
+	if !ok || got != 40 {
+		t.Fatalf("Lookup(1,1,489) = %g, %v; want 40 within the shared bucket", got, ok)
+	}
+	// Next bucket (minute 495) has no history.
+	if _, ok := s.Lookup(1, 1, 495); ok {
+		t.Fatal("adjacent bucket must miss")
+	}
+	// Other locations must not see this history.
+	if _, ok := s.Lookup(1, 2, 480); ok {
+		t.Fatal("detector mismatch must miss")
+	}
+	if _, ok := s.Lookup(2, 1, 480); ok {
+		t.Fatal("segment mismatch must miss")
+	}
+	if s.Lookups() != 5 {
+		t.Fatalf("lookup accounting: %d, want 5", s.Lookups())
+	}
+	if s.Size() != 1 {
+		t.Fatalf("entries: %d, want 1", s.Size())
+	}
+}
+
+// TestSeedDiurnalCoverage: the seeded profile answers every (location,
+// bucket) combination in the grid with the deterministic diurnal value.
+func TestSeedDiurnalCoverage(t *testing.T) {
+	s := NewStore(0)
+	s.SeedDiurnal(3, 2)
+	const buckets = 24 * 60 / bucketMinutes
+	if want := 3 * 2 * buckets; s.Size() != want {
+		t.Fatalf("seeded entries = %d, want %d", s.Size(), want)
+	}
+	for seg := int64(0); seg < 3; seg++ {
+		got, ok := s.Lookup(seg, 1, 8*60)
+		if !ok {
+			t.Fatalf("segment %d rush hour missing", seg)
+		}
+		if want := DiurnalSpeed(8*60, seg); got != want {
+			t.Fatalf("segment %d: lookup %g, profile %g", seg, got, want)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers the store from writers and readers at once;
+// run under -race (CI does) it proves the locking discipline. The
+// imputation example's restore path reads the same store another plan may
+// still be seeding.
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(0)
+	const (
+		writers = 4
+		readers = 4
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Add(Reading{
+					Segment:     int64(w),
+					Detector:    int64(i % 3),
+					MinuteOfDay: (i * 7) % (24 * 60),
+					Speed:       float64(20 + i%40),
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if v, ok := s.Lookup(int64(r), int64(i%3), (i*11)%(24*60)); ok {
+					if v < 20 || v >= 60 {
+						t.Errorf("lookup outside written range: %g", v)
+						return
+					}
+				}
+				_ = s.Size()
+			}
+		}(r)
+	}
+	wg.Wait()
+	if s.Lookups() != readers*perG {
+		t.Fatalf("lookups = %d, want %d", s.Lookups(), readers*perG)
+	}
+	if s.String() == "" {
+		t.Error("String")
+	}
+}

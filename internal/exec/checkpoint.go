@@ -1,0 +1,322 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/snapshot"
+)
+
+// Checkpointing: the runtime half of the internal/snapshot subsystem.
+//
+// Graph.Checkpoint injects one barrier epoch at every source; barriers flow
+// in-band through the paged queues, the node runner aligns them across
+// inputs (runner.go), and each node deposits its snapshot.Stater blob here
+// at its cut. The checkpoint completes when every live node has acked —
+// i.e. when the barrier has drained past every sink — at which point the
+// collected blobs form a consistent cut of the whole plan.
+//
+// Graph.Restore stages a previously taken snapshot on a freshly *rebuilt*
+// plan; each node's LoadState runs right after its Open, before any data.
+
+// ErrKilled is the error Run returns after Kill: the graph was stopped
+// mid-stream deliberately (crash simulation, operator-initiated teardown).
+var ErrKilled = errors.New("exec: graph killed")
+
+// inflight is one in-progress checkpoint.
+type inflight struct {
+	epoch   int64
+	pending map[NodeID]bool   // nodes that have not acked yet
+	blobs   map[NodeID][]byte // per-node state (Staters only)
+	err     error             // first node failure; poisons the checkpoint
+	done    chan struct{}     // closed when pending drains
+}
+
+// A node that leaves the plan cleanly (source exhausted, downstream
+// shutdown) is marked in exitClean; checkpoints taken afterwards use its
+// final state as that node's cut — everything the node ever produced has
+// already drained past it, so that state composes consistently with later
+// cuts of the surviving nodes. The state itself is serialized lazily, at
+// checkpoint creation: a dead node is quiescent, so reading it off its
+// goroutine is safe, and plans that never checkpoint never pay for
+// serialization.
+
+// Kill aborts a running graph: every node shuts down as on a node error and
+// Run returns ErrKilled. It is the crash half of the crash-and-recover
+// tests and a no-op when the graph is not running.
+func (g *Graph) Kill() {
+	g.chkMu.Lock()
+	kill := g.killFn
+	g.chkMu.Unlock()
+	if kill != nil {
+		kill(ErrKilled)
+	}
+}
+
+// Checkpoint takes a punctuation-aligned snapshot of the running plan. It
+// blocks until every node has contributed its cut (the barrier drained past
+// every sink) or ctx is cancelled. One checkpoint may be in flight at a
+// time. The returned snapshot persists with Snapshot.Save and restores into
+// an identically rebuilt plan with Graph.Restore.
+func (g *Graph) Checkpoint(ctx context.Context) (*snapshot.Snapshot, error) {
+	g.chkMu.Lock()
+	if !g.running {
+		g.chkMu.Unlock()
+		return nil, fmt.Errorf("exec: checkpoint: graph is not running")
+	}
+	if g.activeChk != nil {
+		g.chkMu.Unlock()
+		return nil, fmt.Errorf("exec: checkpoint %d already in progress", g.activeChk.epoch)
+	}
+	g.chkEpoch++
+	c := &inflight{
+		epoch:   g.chkEpoch,
+		pending: make(map[NodeID]bool, len(g.liveNodes)),
+		blobs:   make(map[NodeID][]byte),
+		done:    make(chan struct{}),
+	}
+	for id := range g.liveNodes {
+		c.pending[id] = true
+	}
+	// Nodes that already left the plan contribute their exit state,
+	// serialized now (they are quiescent). A node that died — rather than
+	// finished — has no consistent cut to offer.
+	for _, n := range g.nodes {
+		if g.liveNodes[n.id] {
+			continue
+		}
+		if !g.exitClean[n.id] {
+			if c.err == nil {
+				c.err = fmt.Errorf("exec: node %q died before checkpoint %d", n.name(), c.epoch)
+			}
+			continue
+		}
+		blob, err := saveNodeState(n)
+		if err != nil && c.err == nil {
+			c.err = err
+		}
+		if len(blob) > 0 {
+			c.blobs[n.id] = blob
+		}
+	}
+	if len(c.pending) == 0 {
+		err := c.err
+		g.chkMu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return g.assembleSnapshot(c), nil
+	}
+	g.activeChk = c
+	g.pendingChk.Store(c)
+	g.chkMu.Unlock()
+
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		g.chkMu.Lock()
+		if g.activeChk == c {
+			g.activeChk = nil
+			g.pendingChk.Store(nil)
+		}
+		g.chkMu.Unlock()
+		return nil, fmt.Errorf("exec: checkpoint %d: %w", c.epoch, ctx.Err())
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return g.assembleSnapshot(c), nil
+}
+
+// assembleSnapshot builds the manifest: every node is listed (stateless
+// ones with an empty blob) so restore can validate the plan's shape.
+func (g *Graph) assembleSnapshot(c *inflight) *snapshot.Snapshot {
+	s := &snapshot.Snapshot{Epoch: c.epoch}
+	for _, n := range g.nodes {
+		s.Nodes = append(s.Nodes, snapshot.NodeState{ID: int(n.id), Name: n.name(), State: c.blobs[n.id]})
+	}
+	return s
+}
+
+// ackNode records one node's contribution to the active checkpoint. Stale
+// epochs (a cancelled checkpoint's barrier still draining) are ignored.
+func (g *Graph) ackNode(id NodeID, epoch int64, blob []byte, err error) {
+	g.chkMu.Lock()
+	defer g.chkMu.Unlock()
+	c := g.activeChk
+	if c == nil || c.epoch != epoch || !c.pending[id] {
+		return
+	}
+	delete(c.pending, id)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	if len(blob) > 0 {
+		c.blobs[id] = blob
+	}
+	if len(c.pending) == 0 {
+		g.activeChk = nil
+		g.pendingChk.Store(nil)
+		close(c.done)
+	}
+}
+
+// cutNode captures one node's state for the given epoch and acks it. It is
+// called on the node's own goroutine at the node's consistent cut (barrier
+// alignment for operators, between Next calls for sources), before the
+// barrier is forwarded downstream. A SaveState failure poisons the
+// checkpoint but never the stream: checkpointing is auxiliary to the plan.
+func (g *Graph) cutNode(n *node, epoch int64) {
+	g.chkMu.Lock()
+	c := g.activeChk
+	g.chkMu.Unlock()
+	if c == nil || c.epoch != epoch {
+		return
+	}
+	blob, err := saveNodeState(n)
+	g.ackNode(n.id, epoch, blob, err)
+}
+
+// nodeExit retires a node from checkpoint bookkeeping. A clean exit (source
+// exhausted, voluntary shutdown) records the node's final state as its cut
+// for the active and all future checkpoints; a dying exit (node error,
+// Kill) fails the active checkpoint instead — the surviving nodes' cuts
+// would not compose with a state captured mid-teardown.
+func (g *Graph) nodeExit(n *node, runErr error) {
+	dying := runErr != nil
+	if !dying {
+		select {
+		case <-g.failCh:
+			dying = true
+		default:
+		}
+	}
+	if dying {
+		g.chkMu.Lock()
+		delete(g.liveNodes, n.id)
+		c := g.activeChk
+		g.chkMu.Unlock()
+		if c != nil {
+			g.ackNode(n.id, c.epoch, nil,
+				fmt.Errorf("exec: node %q stopped before checkpoint %d completed", n.name(), c.epoch))
+		}
+		return
+	}
+	g.chkMu.Lock()
+	delete(g.liveNodes, n.id)
+	if g.exitClean == nil {
+		g.exitClean = make(map[NodeID]bool)
+	}
+	g.exitClean[n.id] = true
+	c := g.activeChk
+	g.chkMu.Unlock()
+	if c != nil {
+		// The active checkpoint is waiting on this node's ack, so its cut
+		// is serialized eagerly; future checkpoints re-serialize lazily.
+		blob, err := saveNodeState(n)
+		g.ackNode(n.id, c.epoch, blob, err)
+	}
+}
+
+// stater returns the node's snapshot participant, or nil.
+func (n *node) stater() snapshot.Stater {
+	if n.op != nil {
+		s, _ := n.op.(snapshot.Stater)
+		return s
+	}
+	s, _ := n.src.(snapshot.Stater)
+	return s
+}
+
+// saveNodeState serializes one node's state (nil for non-Staters).
+func saveNodeState(n *node) ([]byte, error) {
+	st := n.stater()
+	if st == nil {
+		return nil, nil
+	}
+	enc := snapshot.NewEncoder()
+	if err := st.SaveState(enc); err != nil {
+		return nil, fmt.Errorf("exec: node %q: save state: %w", n.name(), err)
+	}
+	blob, err := enc.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("exec: node %q: save state: %w", n.name(), err)
+	}
+	return blob, nil
+}
+
+// Restore loads the snapshot stored under id and stages it so the next Run
+// resumes from the cut: each node's LoadState runs immediately after its
+// Open, before any data. The plan must be rebuilt identically (same node
+// order and names); prepare validates the match.
+func (g *Graph) Restore(backend snapshot.Backend, id string) error {
+	s, err := snapshot.Load(backend, id)
+	if err != nil {
+		return err
+	}
+	return g.RestoreSnapshot(s)
+}
+
+// RestoreSnapshot stages an already-loaded snapshot (see Restore).
+func (g *Graph) RestoreSnapshot(s *snapshot.Snapshot) error {
+	if g.prepared {
+		return fmt.Errorf("exec: restore: graph already run")
+	}
+	staged := make(map[NodeID][]byte, len(s.Nodes))
+	names := make(map[NodeID]string, len(s.Nodes))
+	for _, ns := range s.Nodes {
+		id := NodeID(ns.ID)
+		if _, dup := names[id]; dup {
+			return fmt.Errorf("exec: restore: snapshot lists node %d twice", ns.ID)
+		}
+		staged[id] = ns.State
+		names[id] = ns.Name
+	}
+	g.staged = staged
+	g.stagedNames = names
+	return nil
+}
+
+// checkStaged validates a staged snapshot against the built plan; called
+// from prepare.
+func (g *Graph) checkStaged() error {
+	if g.stagedNames == nil {
+		return nil
+	}
+	if len(g.stagedNames) != len(g.nodes) {
+		return fmt.Errorf("exec: restore: snapshot has %d nodes but the plan has %d (plan drift)",
+			len(g.stagedNames), len(g.nodes))
+	}
+	for id, name := range g.stagedNames {
+		if int(id) < 0 || int(id) >= len(g.nodes) {
+			return fmt.Errorf("exec: restore: snapshot node %d not in plan", id)
+		}
+		if got := g.nodes[id].name(); got != name {
+			return fmt.Errorf("exec: restore: node %d is %q in the plan but %q in the snapshot (plan drift)",
+				id, got, name)
+		}
+	}
+	return nil
+}
+
+// restoreNode applies a staged blob to a node; called by the runner right
+// after Open, before any data or feedback is delivered.
+func (g *Graph) restoreNode(n *node) error {
+	blob := g.staged[n.id]
+	if len(blob) == 0 {
+		return nil
+	}
+	st := n.stater()
+	if st == nil {
+		return fmt.Errorf("exec: restore: node %q carries state but does not implement snapshot.Stater", n.name())
+	}
+	dec := snapshot.NewDecoder(blob)
+	if err := st.LoadState(dec); err != nil {
+		return fmt.Errorf("exec: restore: node %q: %w", n.name(), err)
+	}
+	if err := dec.Err(); err != nil {
+		return fmt.Errorf("exec: restore: node %q: %w", n.name(), err)
+	}
+	return nil
+}

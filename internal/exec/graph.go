@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/queue"
 	"repro/internal/stream"
@@ -76,6 +78,21 @@ type Graph struct {
 	// labels annotates edges (e.g. "part=2/4" on partition edges); set any
 	// time before Run via LabelEdge.
 	labels map[edgeKey]string
+
+	// Checkpoint coordination (checkpoint.go). chkMu guards the rare
+	// lifecycle events — checkpoint creation, node acks, node exits; the
+	// steady state pays only the pendingChk atomic load in source loops.
+	chkMu       sync.Mutex
+	running     bool
+	failCh      chan struct{} // Run's abort channel (closed on error/Kill)
+	killFn      func(error)
+	chkEpoch    int64
+	activeChk   *inflight
+	pendingChk  atomic.Pointer[inflight]
+	liveNodes   map[NodeID]bool
+	exitClean   map[NodeID]bool
+	staged      map[NodeID][]byte // Restore: per-node state blobs
+	stagedNames map[NodeID]string // Restore: node names for drift checks
 }
 
 // NewGraph creates an empty plan with default queue options.
@@ -153,6 +170,9 @@ func (g *Graph) prepare() error {
 	}
 	if g.err != nil {
 		return g.err
+	}
+	if err := g.checkStaged(); err != nil {
+		return err
 	}
 	g.prepared = true
 	conns := map[edgeKey]*queue.Conn{}

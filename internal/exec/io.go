@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/punct"
 	"repro/internal/queue"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -100,6 +102,29 @@ func (s *SliceSource) ProcessFeedback(_ int, f core.Feedback, _ Context) error {
 
 // Close implements Source.
 func (s *SliceSource) Close(Context) error { return nil }
+
+// SaveState implements snapshot.Stater: the source's durable state is its
+// replay position plus its feedback guards, so a restored source resumes
+// exactly behind the barrier it cut — the tuples downstream did not capture
+// are regenerated, nothing is replayed twice.
+func (s *SliceSource) SaveState(enc *snapshot.Encoder) error {
+	enc.PutInt(s.pos)
+	enc.PutInt64(s.skipped)
+	snapshot.PutGuards(enc, s.guards)
+	return nil
+}
+
+// LoadState implements snapshot.Stater.
+func (s *SliceSource) LoadState(dec *snapshot.Decoder) error {
+	s.pos = dec.GetInt()
+	s.skipped = dec.GetInt64()
+	s.guards = snapshot.GetGuards(dec, s.Schema.Arity())
+	if total := len(s.Tuples) + len(s.Items); s.pos < 0 || s.pos > total {
+		return fmt.Errorf("exec: slice source %q: restored position %d outside replay log of %d items (source data changed?)",
+			s.SourceName, s.pos, total)
+	}
+	return dec.Err()
+}
 
 // Received returns the feedback the source has seen (diagnostics).
 func (s *SliceSource) Received() []core.Feedback { return s.received }
@@ -275,6 +300,54 @@ func (c *Collector) ProcessEOS(int, Context) error { return nil }
 
 // Close implements Operator.
 func (c *Collector) Close(Context) error { return nil }
+
+// SaveState implements snapshot.Stater: everything received up to the cut
+// is part of the sink's state, so a restored run appends the regenerated
+// post-cut stream to the pre-cut record — the union is exactly-once.
+func (c *Collector) SaveState(enc *snapshot.Encoder) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	enc.PutInt64(c.tuples.Load())
+	enc.PutInt(len(c.items))
+	for _, it := range c.items {
+		switch it.Kind {
+		case queue.ItemTuple:
+			enc.PutBool(true)
+			enc.PutTuple(it.Tuple)
+		case queue.ItemPunct:
+			enc.PutBool(false)
+			enc.PutPattern(it.Punct.Pattern)
+		default:
+			return fmt.Errorf("exec: collector %q: unexpected recorded item kind %d", c.SinkName, it.Kind)
+		}
+	}
+	return nil
+}
+
+// LoadState implements snapshot.Stater.
+func (c *Collector) LoadState(dec *snapshot.Decoder) error {
+	count := dec.GetInt64()
+	n := dec.GetInt()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	items := make([]queue.Item, 0, dec.CountHint(n))
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		if dec.GetBool() {
+			items = append(items, queue.TupleItem(dec.GetTuple()))
+		} else {
+			items = append(items, queue.PunctItem(punct.NewEmbedded(dec.GetPattern())))
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.items = items
+	c.mu.Unlock()
+	c.tuples.Store(count)
+	return nil
+}
 
 // Items returns a copy of everything received.
 func (c *Collector) Items() []queue.Item {

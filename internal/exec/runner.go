@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/queue"
@@ -34,17 +35,36 @@ func (g *Graph) Run() error {
 			close(done)
 		})
 	}
+	g.chkMu.Lock()
+	g.running = true
+	g.failCh = done
+	g.killFn = fail
+	g.liveNodes = make(map[NodeID]bool, len(g.nodes))
+	for _, n := range g.nodes {
+		g.liveNodes[n.id] = true
+	}
+	g.chkMu.Unlock()
 	for _, n := range g.nodes {
 		wg.Add(1)
 		go func(n *node) {
 			defer wg.Done()
 			r := &nodeRunner{node: n, graph: g, done: done}
-			if err := r.run(); err != nil {
+			err := r.run()
+			if err != nil {
 				fail(fmt.Errorf("exec: node %q: %w", n.name(), err))
 			}
+			// Checkpoint bookkeeping: a clean exit records the node's
+			// final state as its cut; a dying one fails any active
+			// checkpoint. Runs after run()'s deferred cleanup, so EOS has
+			// already been sent downstream.
+			g.nodeExit(n, err)
 		}(n)
 	}
 	wg.Wait()
+	g.chkMu.Lock()
+	g.running = false
+	g.killFn = nil
+	g.chkMu.Unlock()
 	mu.Lock()
 	defer mu.Unlock()
 	return runErr
@@ -103,6 +123,26 @@ type nodeRunner struct {
 	ctrlEvery    int    // items between control rechecks (K)
 	shutdownOuts bitset // outputs whose consumers sent shutdown
 	stopping     bool
+
+	onFeedback func(int, core.Feedback) error
+
+	// Checkpoint state (see checkpoint.go): openInputs/inEOS track input
+	// liveness for barrier alignment; align is the in-progress alignment;
+	// lastCutEpoch is the newest epoch a source has cut.
+	openInputs   int
+	inEOS        []bool
+	align        *alignState
+	lastCutEpoch int64
+}
+
+// alignState is one in-progress barrier alignment: inputs that have
+// delivered the epoch's barrier are frozen — their post-barrier items are
+// buffered in deferred — until every live input delivers it, at which
+// point the node's state is the consistent cut.
+type alignState struct {
+	epoch    int64
+	got      []bool
+	deferred [][]queue.Item
 }
 
 func (r *nodeRunner) run() error {
@@ -199,15 +239,23 @@ func (r *nodeRunner) runSource() error {
 	if err := src.Open(r); err != nil {
 		return err
 	}
+	if err := r.graph.restoreNode(r.node); err != nil {
+		return err
+	}
+	r.onFeedback = func(out int, f core.Feedback) error {
+		return src.ProcessFeedback(out, f, r)
+	}
 	for !r.stopping {
-		if err := r.drainControl(func(out int, f core.Feedback) error {
-			return src.ProcessFeedback(out, f, r)
-		}); err != nil {
+		if err := r.drainControl(r.onFeedback); err != nil {
 			return err
 		}
 		if r.stopping {
 			break
 		}
+		// Between two Next calls the source's state is exactly its replay
+		// position, so saving state and injecting the barrier here makes
+		// the source's cut consistent by construction.
+		r.maybeCutSource()
 		select {
 		case <-r.done:
 			r.stopping = true
@@ -224,22 +272,48 @@ func (r *nodeRunner) runSource() error {
 	return src.Close(r)
 }
 
+// maybeCutSource checks for a newly requested checkpoint and, if one is
+// pending, captures the source's state and emits its barrier on every
+// output.
+func (r *nodeRunner) maybeCutSource() {
+	c := r.graph.pendingChk.Load()
+	if c == nil || c.epoch <= r.lastCutEpoch {
+		return
+	}
+	r.lastCutEpoch = c.epoch
+	r.graph.cutNode(r.node, c.epoch)
+	for _, conn := range r.node.outConns {
+		conn.PutBarrier(c.epoch)
+	}
+}
+
 func (r *nodeRunner) runOperator() error {
 	op := r.node.op
 	if err := op.Open(r); err != nil {
 		return err
 	}
-	onFeedback := func(out int, f core.Feedback) error {
+	if err := r.graph.restoreNode(r.node); err != nil {
+		return err
+	}
+	r.onFeedback = func(out int, f core.Feedback) error {
 		return op.ProcessFeedback(out, f, r)
 	}
-	openInputs := len(r.node.inConns)
-	for openInputs > 0 && !r.stopping {
+	r.openInputs = len(r.node.inConns)
+	r.inEOS = make([]bool, len(r.node.inConns))
+	for r.openInputs > 0 && !r.stopping {
 		// Control before data (§5: control messages are high-priority).
-		if err := r.drainControl(onFeedback); err != nil {
+		if err := r.drainControl(r.onFeedback); err != nil {
 			return err
 		}
 		if r.stopping {
 			break
+		}
+		// A cancelled checkpoint's freeze must lift even if the frozen
+		// input never sees another item (its EOS may already be deferred).
+		if r.align != nil && r.alignmentStale() {
+			if err := r.abandonAlignment(); err != nil {
+				return err
+			}
 		}
 		// Steady-state fast path: the control queue was just drained, so if
 		// a page is already buffered take it without the full blocking
@@ -252,52 +326,43 @@ func (r *nodeRunner) runOperator() error {
 			continue
 		case ev = <-r.dataCh:
 		default:
+			if r.align != nil {
+				// Aligning: wake periodically so a checkpoint cancelled
+				// while every channel is quiet is still noticed above.
+				t := time.NewTimer(10 * time.Millisecond)
+				select {
+				case <-r.done:
+					r.stopping = true
+				case ce := <-r.ctrlCh:
+					if err := r.handleControl(ce, r.onFeedback); err != nil {
+						t.Stop()
+						return err
+					}
+				case ev = <-r.dataCh:
+				case <-t.C:
+				}
+				t.Stop()
+				if ev.page == nil {
+					continue
+				}
+				break
+			}
 			select {
 			case <-r.done:
 				r.stopping = true
 				continue
 			case ce := <-r.ctrlCh:
-				if err := r.handleControl(ce, onFeedback); err != nil {
+				if err := r.handleControl(ce, r.onFeedback); err != nil {
 					return err
 				}
 				continue
 			case ev = <-r.dataCh:
 			}
 		}
-		err := func() error {
-			items := ev.page.Items
-			for i := range items {
-				// Re-check control every K items so feedback overtakes
-				// pending tuples within a bounded window without paying
-				// a channel poll per tuple.
-				if i%r.ctrlEvery == 0 {
-					if err := r.drainControl(onFeedback); err != nil {
-						return err
-					}
-					if r.stopping {
-						return nil
-					}
-				}
-				switch it := &items[i]; it.Kind {
-				case queue.ItemTuple:
-					if err := op.ProcessTuple(ev.input, it.Tuple, r); err != nil {
-						return err
-					}
-				case queue.ItemPunct:
-					if err := op.ProcessPunct(ev.input, *it.Punct, r); err != nil {
-						return err
-					}
-				case queue.ItemEOS:
-					if err := op.ProcessEOS(ev.input, r); err != nil {
-						return err
-					}
-					openInputs--
-				}
-			}
-			return nil
-		}()
+		err := r.processPage(ev)
 		// Ownership transfer complete on every exit: nothing above retains
-		// the page (operators copy what they keep), so it goes back to the
+		// the page (operators copy what they keep, and frozen-input items
+		// are copied into the alignment buffer), so it goes back to the
 		// recycling pool before any error propagates.
 		queue.Release(ev.page)
 		if err != nil {
@@ -305,6 +370,146 @@ func (r *nodeRunner) runOperator() error {
 		}
 	}
 	return op.Close(r)
+}
+
+func (r *nodeRunner) processPage(ev inEvent) error {
+	items := ev.page.Items
+	for i := range items {
+		// Re-check control every K items so feedback overtakes
+		// pending tuples within a bounded window without paying
+		// a channel poll per tuple.
+		if i%r.ctrlEvery == 0 {
+			if err := r.drainControl(r.onFeedback); err != nil {
+				return err
+			}
+			if r.stopping {
+				return nil
+			}
+		}
+		if err := r.processItem(ev.input, &items[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// processItem dispatches one item to the operator, diverting items from
+// barrier-frozen inputs into the alignment buffer.
+func (r *nodeRunner) processItem(input int, it *queue.Item) error {
+	if a := r.align; a != nil && a.got[input] {
+		if !r.alignmentStale() {
+			// Input already delivered this epoch's barrier: everything
+			// behind it is on the far side of the cut, so it waits until
+			// the cut is taken. The item is copied out — the page is
+			// recycled first.
+			a.deferred[input] = append(a.deferred[input], *it)
+			return nil
+		}
+		// The aligning epoch's checkpoint was cancelled: lift the freeze
+		// (replaying what was deferred) and process this item normally.
+		if err := r.abandonAlignment(); err != nil {
+			return err
+		}
+	}
+	op := r.node.op
+	switch it.Kind {
+	case queue.ItemTuple:
+		return op.ProcessTuple(input, it.Tuple, r)
+	case queue.ItemPunct:
+		return op.ProcessPunct(input, *it.Punct, r)
+	case queue.ItemEOS:
+		if err := op.ProcessEOS(input, r); err != nil {
+			return err
+		}
+		r.inEOS[input] = true
+		r.openInputs--
+		if r.align != nil {
+			// An input at EOS stops constraining alignment — the same
+			// rule Merge applies to punctuation alignment (DESIGN.md
+			// §5.1).
+			return r.maybeCompleteAlignment()
+		}
+		return nil
+	case queue.ItemBarrier:
+		return r.onBarrier(input, it.BarrierEpoch())
+	}
+	return fmt.Errorf("unknown item kind %d", it.Kind)
+}
+
+// alignmentStale reports whether the in-progress alignment belongs to a
+// checkpoint that is no longer active (cancelled): its missing barriers may
+// never arrive, so the freeze must not be held.
+func (r *nodeRunner) alignmentStale() bool {
+	c := r.graph.pendingChk.Load()
+	return c == nil || c.epoch != r.align.epoch
+}
+
+// abandonAlignment lifts a cancelled epoch's freeze: the alignment is
+// discarded (no cut was or will be taken for it) and the deferred items
+// replay in per-input order. A deferred barrier for a newer epoch restarts
+// alignment from inside the replay.
+func (r *nodeRunner) abandonAlignment() error {
+	a := r.align
+	r.align = nil
+	for in := range a.deferred {
+		for i := range a.deferred[in] {
+			if err := r.processItem(in, &a.deferred[in][i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// onBarrier records a checkpoint barrier's arrival on one input. The
+// coordinator admits one checkpoint at a time, so a second epoch can only
+// appear after the first completed or was cancelled: a completed epoch's
+// alignment is already resolved, so an epoch mismatch always means the
+// aligning epoch was cancelled (newer arrival) or this barrier is a
+// cancelled epoch's leftover still draining (older arrival — dropped).
+func (r *nodeRunner) onBarrier(input int, epoch int64) error {
+	if r.align != nil && r.align.epoch != epoch {
+		if epoch < r.align.epoch {
+			return nil
+		}
+		if err := r.abandonAlignment(); err != nil {
+			return err
+		}
+		// Replay may have restarted alignment (a deferred newer barrier);
+		// re-enter so this barrier joins whatever state now stands.
+		return r.onBarrier(input, epoch)
+	}
+	if r.align == nil {
+		n := len(r.node.inConns)
+		r.align = &alignState{epoch: epoch, got: make([]bool, n), deferred: make([][]queue.Item, n)}
+	}
+	r.align.got[input] = true
+	return r.maybeCompleteAlignment()
+}
+
+// maybeCompleteAlignment takes the node's cut once every live input has
+// delivered the barrier: capture state, forward the barrier ahead of any
+// post-barrier output, then replay the buffered post-barrier items.
+func (r *nodeRunner) maybeCompleteAlignment() error {
+	a := r.align
+	for i, got := range a.got {
+		if !got && !r.inEOS[i] {
+			return nil
+		}
+	}
+	r.align = nil
+	r.graph.cutNode(r.node, a.epoch)
+	for _, c := range r.node.outConns {
+		c.PutBarrier(a.epoch)
+	}
+	for in := range a.deferred {
+		for i := range a.deferred[in] {
+			if err := r.processItem(in, &a.deferred[in][i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // drainControl handles all pending control messages without blocking.

@@ -1,6 +1,8 @@
 package op
 
 import (
+	"fmt"
+
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -60,7 +62,10 @@ func (im *Impute) Open(exec.Context) error {
 }
 
 // ProcessTuple implements exec.Operator.
-func (im *Impute) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+func (im *Impute) ProcessTuple(input int, t stream.Tuple, ctx exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: impute %q: tuple on unexpected input %d (single-input operator; check plan wiring)", im.Name(), input)
+	}
 	// The guard fires before the expensive lookup: this is the entire
 	// point of the feedback (§4.3 strategy 2, guard on input).
 	if im.Mode != FeedbackIgnore && im.guards.Suppress(t) {
@@ -101,7 +106,10 @@ func minuteOfDayOf(micros int64) int {
 // ProcessPunct implements exec.Operator: imputation preserves every
 // attribute except the (unpunctuated) speed value, so punctuation passes
 // through; it also expires guards.
-func (im *Impute) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+func (im *Impute) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: impute %q: punctuation on unexpected input %d (single-input operator; check plan wiring)", im.Name(), input)
+	}
 	im.guards.ObservePunct(e)
 	ctx.EmitPunct(e)
 	return nil

@@ -177,3 +177,20 @@ func TestArchiveDiurnalProfile(t *testing.T) {
 		t.Error("per-segment dip depths must vary")
 	}
 }
+
+// TestImputeRejectsUnexpectedInput: the runner-facing index guard added to
+// every single-input operator (mirrors Aggregate's and Join's).
+func TestImputeRejectsUnexpectedInput(t *testing.T) {
+	im := newTestImpute(FeedbackIgnore)
+	h := exec.NewHarness(im)
+	if err := im.ProcessTuple(1, trafficNull(1, 1, 0), h); err == nil {
+		t.Error("tuple on input 1 accepted")
+	}
+	if err := im.ProcessPunct(-1, tsPunct(10), h); err == nil {
+		t.Error("punctuation on input -1 accepted")
+	}
+	// Input 0 keeps working.
+	if err := im.ProcessTuple(0, trafficNull(1, 1, 0), h); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,8 @@
 package op
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
@@ -104,6 +106,9 @@ func (p *Pace) Open(exec.Context) error {
 
 // ProcessTuple implements exec.Operator.
 func (p *Pace) ProcessTuple(input int, t stream.Tuple, ctx exec.Context) error {
+	if input < 0 || input >= p.k() {
+		return fmt.Errorf("op: pace %q: tuple on unexpected input %d (have %d inputs; check plan wiring)", p.Name(), input, p.k())
+	}
 	ts := t.At(p.TsAttr).I
 	if p.Tolerance > 0 && p.hwSet && ts < p.hw-p.Tolerance {
 		p.perIn[input].Dropped++
@@ -168,6 +173,9 @@ func (p *Pace) tsValue(v int64) stream.Value {
 // ProcessPunct implements exec.Operator: progress punctuation is combined
 // across inputs like UNION's.
 func (p *Pace) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error {
+	if input < 0 || input >= p.k() {
+		return fmt.Errorf("op: pace %q: punctuation on unexpected input %d (have %d inputs; check plan wiring)", p.Name(), input, p.k())
+	}
 	bound := e.Pattern.Bound()
 	if len(bound) != 1 || bound[0] != p.TsAttr {
 		return nil
@@ -217,6 +225,9 @@ func (p *Pace) minWM() watermark {
 
 // ProcessEOS implements exec.Operator.
 func (p *Pace) ProcessEOS(input int, ctx exec.Context) error {
+	if input < 0 || input >= p.k() {
+		return fmt.Errorf("op: pace %q: EOS on unexpected input %d (have %d inputs; check plan wiring)", p.Name(), input, p.k())
+	}
 	p.wm[input].eos = true
 	if m := p.minWM(); m.set {
 		ctx.EmitPunct(punct.NewEmbedded(

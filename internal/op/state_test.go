@@ -1,0 +1,365 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+// saveLoad round-trips an operator's state through the snapshot codec into
+// a freshly opened twin. It mimics the runtime sequence exactly: SaveState
+// on the live operator, Open on the twin, then LoadState.
+func saveLoad(t *testing.T, from, to snapshot.Stater, openTo func() error) {
+	t.Helper()
+	enc := snapshot.NewEncoder()
+	if err := from.SaveState(enc); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	blob, err := enc.Bytes()
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := openTo(); err != nil {
+		t.Fatalf("open twin: %v", err)
+	}
+	dec := snapshot.NewDecoder(blob)
+	if err := to.LoadState(dec); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if dec.Remaining() != 0 {
+		t.Fatalf("load left %d bytes unread", dec.Remaining())
+	}
+}
+
+// TestAggregateStateRoundTrip interrupts an aggregate mid-window and checks
+// the restored twin finishes the stream with byte-identical output.
+func TestAggregateStateRoundTrip(t *testing.T) {
+	feedFirst := func(h *exec.Harness) {
+		h.Tuples(
+			traffic(1, 1, 10*1_000_000, 40),
+			traffic(2, 1, 20*1_000_000, 30),
+			traffic(1, 2, 30*1_000_000, 60),
+		)
+	}
+	feedRest := func(h *exec.Harness) {
+		h.Tuples(traffic(2, 2, 40*1_000_000, 50))
+		h.Punct(0, tsPunct(2*minute))
+	}
+
+	// Uninterrupted reference.
+	ref := minuteAvg(FeedbackExploit, false)
+	hr := exec.NewHarness(ref)
+	feedFirst(hr)
+	feedRest(hr)
+
+	// Interrupted: save after the first batch, restore into a twin, finish.
+	a1 := minuteAvg(FeedbackExploit, false)
+	h1 := exec.NewHarness(a1)
+	feedFirst(h1)
+	a2 := minuteAvg(FeedbackExploit, false)
+	h2 := exec.NewHarness(a2) // calls Open
+	saveLoad(t, a1, a2, func() error { return h2.Err() })
+	feedRest(h2)
+
+	want, got := hr.OutTuples(0), h2.OutTuples(0)
+	if len(got) != len(want) || len(want) == 0 {
+		t.Fatalf("restored run emitted %d results, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("result %d: restored %v, reference %v", i, got[i], want[i])
+		}
+	}
+	if a2.Stats().In != a1.Stats().In+1 {
+		t.Fatalf("input accounting lost: %d after restore", a2.Stats().In)
+	}
+}
+
+// TestAggregateRestoreDropsAssumedState pins the recovery-time state
+// purge: in guard-output mode the live aggregate keeps folding a
+// disclaimed group (F1 keeps state, suppresses only emission), but the
+// restored twin drops it — the paper's state-purging argument applied at
+// recovery.
+func TestAggregateRestoreDropsAssumedState(t *testing.T) {
+	a1 := minuteAvg(FeedbackGuardOutput, false)
+	h1 := exec.NewHarness(a1)
+	h1.Tuples(
+		traffic(1, 1, 10*1_000_000, 40),
+		traffic(2, 1, 20*1_000_000, 30),
+	)
+	// ¬[segment=2, *, *] over the output schema.
+	h1.Feedback(0, core.NewAssumed(punct.OnAttr(3, 0, punct.Eq(stream.Int(2)))))
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+	if got := a1.Stats().OpenGroups; got != 2 {
+		t.Fatalf("guard-output mode must retain state; open groups = %d", got)
+	}
+
+	a2 := minuteAvg(FeedbackGuardOutput, false)
+	h2 := exec.NewHarness(a2)
+	saveLoad(t, a1, a2, func() error { return h2.Err() })
+	if got := a2.Stats().OpenGroups; got != 1 {
+		t.Fatalf("restore must drop the disclaimed group; open groups = %d", got)
+	}
+	h2.Punct(0, tsPunct(2 * minute))
+	for _, tp := range h2.OutTuples(0) {
+		if tp.At(0).AsInt() == 2 {
+			t.Fatalf("disclaimed segment emitted after restore: %v", tp)
+		}
+	}
+}
+
+func testJoin(mode FeedbackMode) *Join {
+	return &Join{
+		OpName: "j", Left: trafficSchema, Right: trafficSchema,
+		LeftKeys: []int{0}, RightKeys: []int{0}, LeftTs: 2, RightTs: 2,
+		Mode: mode,
+	}
+}
+
+// TestJoinStateRoundTrip interrupts a symmetric hash join with both tables
+// populated and checks the twin joins the remaining stream identically.
+func TestJoinStateRoundTrip(t *testing.T) {
+	feedFirst := func(h *exec.Harness) {
+		h.Tuple(0, traffic(1, 1, 10, 40))
+		h.Tuple(0, traffic(2, 1, 20, 30))
+		h.Tuple(1, traffic(1, 9, 15, 70))
+	}
+	feedRest := func(h *exec.Harness) {
+		h.Tuple(1, traffic(2, 8, 25, 75)) // partners the buffered left 2
+		h.Tuple(0, traffic(1, 3, 30, 45)) // partners the buffered right 1
+		h.Punct(0, tsPunct(100))
+		h.Punct(1, tsPunct(100))
+	}
+
+	ref := testJoin(FeedbackExploit)
+	hr := exec.NewHarness(ref)
+	feedFirst(hr)
+	feedRest(hr)
+
+	j1 := testJoin(FeedbackExploit)
+	h1 := exec.NewHarness(j1)
+	feedFirst(h1)
+	j2 := testJoin(FeedbackExploit)
+	h2 := exec.NewHarness(j2)
+	saveLoad(t, j1, j2, func() error { return h2.Err() })
+	feedRest(h2)
+
+	// The interrupted run's output is what it emitted before the cut plus
+	// what the twin emits after it.
+	want := hr.OutTuples(0)
+	got := append(h1.OutTuples(0), h2.OutTuples(0)...)
+	if len(got) != len(want) || len(want) == 0 {
+		t.Fatalf("interrupted run emitted %d, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("pair %d: restored %v, reference %v", i, got[i], want[i])
+		}
+	}
+	if s := j2.Stats(); s.LeftEntries != 0 || s.RightEntries != 0 {
+		t.Fatalf("punctuation must purge restored tables: %+v", s)
+	}
+}
+
+// TestJoinRestoreDropsGuardedEntries: hash-table entries covered by a
+// restored input guard are dropped at load.
+func TestJoinRestoreDropsGuardedEntries(t *testing.T) {
+	j1 := testJoin(FeedbackExploit)
+	h1 := exec.NewHarness(j1)
+	h1.Tuple(0, traffic(1, 1, 10, 40))
+	h1.Tuple(0, traffic(2, 1, 20, 30))
+	// Left-bound assumed feedback on the output: detector (a left
+	// attribute) equals 1 → guards and purges the left side.
+	outArity := j1.OutSchemas()[0].Arity()
+	h1.Feedback(0, core.NewAssumed(punct.OnAttr(outArity, 1, punct.Eq(stream.Int(1)))))
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+
+	j2 := testJoin(FeedbackExploit)
+	h2 := exec.NewHarness(j2)
+	saveLoad(t, j1, j2, func() error { return h2.Err() })
+	if s := j2.Stats(); s.LeftEntries != 0 {
+		t.Fatalf("restored left table keeps %d guarded entries", s.LeftEntries)
+	}
+	// New matching tuples stay suppressed by the restored guard.
+	h2.Tuple(0, traffic(3, 1, 30, 50))
+	h2.Tuple(1, traffic(3, 7, 31, 55))
+	if got := h2.OutTuples(0); len(got) != 0 {
+		t.Fatalf("restored guard must keep suppressing: %v", got)
+	}
+}
+
+// TestPaceStateRoundTrip: a restored PACE keeps dropping tuples its
+// pre-crash feedback disclaimed, instead of re-admitting them with a fresh
+// watermark.
+func TestPaceStateRoundTrip(t *testing.T) {
+	mk := func() *Pace {
+		return &Pace{OpName: "pace", Schema: trafficSchema, K: 2, TsAttr: 2,
+			Tolerance: 1000, FeedbackEnabled: true}
+	}
+	p1 := mk()
+	h1 := exec.NewHarness(p1)
+	h1.Tuple(0, traffic(1, 1, 10_000, 50))
+	h1.Tuple(1, traffic(1, 2, 500, 50)) // late: dropped, feedback produced
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+	if p1.FeedbackSent() == 0 {
+		t.Fatal("setup: no feedback produced")
+	}
+
+	p2 := mk()
+	h2 := exec.NewHarness(p2)
+	saveLoad(t, p1, p2, func() error { return h2.Err() })
+	if hw, ok := p2.HighWatermark(); !ok || hw != 10_000 {
+		t.Fatalf("high watermark lost: %d %v", hw, ok)
+	}
+	// A tuple older than hw−tolerance must still be dropped.
+	h2.Tuple(0, traffic(1, 3, 600, 50))
+	if got := h2.OutTuples(0); len(got) != 0 {
+		t.Fatalf("restored pace re-admitted a late tuple: %v", got)
+	}
+	if st := p2.InputStats(); st[0].Dropped != 1 || st[1].Dropped != 1 {
+		t.Fatalf("drop accounting: %+v", st)
+	}
+}
+
+// TestImputeStateRoundTrip: the restored impute keeps skipping lookups for
+// the disclaimed subset.
+func TestImputeStateRoundTrip(t *testing.T) {
+	mk := func() *Impute { return newTestImpute(FeedbackExploit) }
+	im1 := mk()
+	h1 := exec.NewHarness(im1)
+	h1.Feedback(0, core.NewAssumed(punct.OnAttr(4, 2, punct.Lt(stream.TimeMicros(1000)))))
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+
+	im2 := mk()
+	h2 := exec.NewHarness(im2)
+	saveLoad(t, im1, im2, func() error { return h2.Err() })
+	h2.Tuple(0, trafficNull(1, 1, 500)) // disclaimed: no lookup, no output
+	h2.Tuple(0, trafficNull(1, 1, 5000))
+	if got := h2.OutTuples(0); len(got) != 1 {
+		t.Fatalf("restored impute guard: %d outputs, want 1", len(got))
+	}
+	if _, skipped, _ := im2.Stats(); skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+}
+
+// TestMergeStateRoundTrip: the restored merge still withholds punctuation a
+// lagging partition has not covered, and remembers the frontier it already
+// promised downstream.
+func TestMergeStateRoundTrip(t *testing.T) {
+	mk := func() *Merge {
+		return &Merge{OpName: "m", Schema: trafficSchema, K: 3, Mode: FeedbackExploit}
+	}
+	m1 := mk()
+	h1 := exec.NewHarness(m1)
+	// Inputs 0 and 1 punctuate to 1000; input 2 lags at 200.
+	h1.Punct(0, tsPunct(1000))
+	h1.Punct(1, tsPunct(1000))
+	h1.Punct(2, tsPunct(200))
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+	if got := len(h1.OutPuncts(0)); got != 1 {
+		t.Fatalf("aligned frontier emissions = %d, want 1 (ts≤200)", got)
+	}
+
+	m2 := mk()
+	h2 := exec.NewHarness(m2)
+	saveLoad(t, m1, m2, func() error { return h2.Err() })
+	// Input 2 catching up to 1000 must release exactly the min frontier.
+	h2.Punct(2, tsPunct(1000))
+	ps := h2.OutPuncts(0)
+	if len(ps) != 1 {
+		t.Fatalf("restored merge emitted %d punctuations, want 1", len(ps))
+	}
+	want := punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(1000)))
+	if !ps[0].Pattern.Equal(want) {
+		t.Fatalf("restored merge emitted %v, want %v", ps[0], want)
+	}
+}
+
+// TestSplitStateRoundTrip: per-partition guards and the round-robin cursor
+// survive restore.
+func TestSplitStateRoundTrip(t *testing.T) {
+	mk := func() *Split {
+		return &Split{OpName: "s", Schema: trafficSchema, N: 3, Mode: FeedbackExploit}
+	}
+	s1 := mk()
+	h1 := exec.NewHarness(s1)
+	h1.Tuple(0, traffic(1, 1, 10, 50)) // rr → out 0
+	h1.Tuple(0, traffic(1, 1, 11, 50)) // rr → out 1
+	h1.Feedback(2, assumedOnSegment(9))
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+
+	s2 := mk()
+	h2 := exec.NewHarness(s2)
+	saveLoad(t, s1, s2, func() error { return h2.Err() })
+	// Round-robin continues at partition 2.
+	h2.Tuple(0, traffic(1, 1, 12, 50))
+	if got := len(h2.Out(2)); got != 1 {
+		t.Fatalf("round-robin cursor lost: partition 2 got %d items", got)
+	}
+	// Partition 2's restored guard suppresses its disclaimed subset.
+	h2.Tuple(0, traffic(9, 1, 13, 50)) // rr → partition 0: passes (guard is per-destination)
+	_, _, suppressed := s2.Stats()
+	if suppressed != 0 {
+		t.Fatalf("tuple for unguarded partition suppressed")
+	}
+}
+
+// TestStateRoundTripRejectsFanChange: restoring into an operator with a
+// different partition/input fan fails loudly.
+func TestStateRoundTripRejectsFanChange(t *testing.T) {
+	m1 := &Merge{OpName: "m", Schema: trafficSchema, K: 3}
+	h1 := exec.NewHarness(m1)
+	if h1.Err() != nil {
+		t.Fatal(h1.Err())
+	}
+	enc := snapshot.NewEncoder()
+	if err := m1.SaveState(enc); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := enc.Bytes()
+
+	m2 := &Merge{OpName: "m", Schema: trafficSchema, K: 2}
+	h2 := exec.NewHarness(m2)
+	if h2.Err() != nil {
+		t.Fatal(h2.Err())
+	}
+	if err := m2.LoadState(snapshot.NewDecoder(blob)); err == nil {
+		t.Fatal("fan change accepted")
+	}
+}
+
+// aggregate window state sanity: restoring must not resurrect windows the
+// reference run would have closed — covered by TestAggregateStateRoundTrip
+// comparing full outputs; this test pins the purge-at-load counter.
+func TestAggregateRestorePurgeCounter(t *testing.T) {
+	a1 := minuteAvg(FeedbackGuardOutput, false)
+	h1 := exec.NewHarness(a1)
+	h1.Tuples(traffic(5, 1, 10*1_000_000, 40))
+	h1.Feedback(0, core.NewAssumed(punct.OnAttr(3, 0, punct.Eq(stream.Int(5)))))
+	a2 := minuteAvg(FeedbackGuardOutput, false)
+	h2 := exec.NewHarness(a2)
+	saveLoad(t, a1, a2, func() error { return h2.Err() })
+	if a2.Stats().Purged != a1.Stats().Purged+1 {
+		t.Fatalf("restore purge not accounted: %d vs %d", a2.Stats().Purged, a1.Stats().Purged)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/op"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -55,6 +56,16 @@ func (b *Builder) Run() error {
 		return err
 	}
 	return b.g.Run()
+}
+
+// Restore stages a checkpoint (taken by Graph.Checkpoint on an identically
+// built plan) so Run resumes from the cut. Build the full plan first —
+// restore validation compares the snapshot against every node.
+func (b *Builder) Restore(backend snapshot.Backend, id string) error {
+	if err := b.Err(); err != nil {
+		return err
+	}
+	return b.g.Restore(backend, id)
 }
 
 // Stream is a named handle on one operator output port.

@@ -132,6 +132,14 @@ func (c *Conn) PutPunct(e punct.Embedded) {
 	}
 }
 
+// PutBarrier appends a checkpoint barrier and flushes unconditionally: the
+// barrier marks a cut of the stream, so it must reach the consumer without
+// waiting behind a partially-filled page.
+func (c *Conn) PutBarrier(epoch int64) {
+	c.cur.Append(BarrierItem(epoch))
+	c.Flush()
+}
+
 // Flush sends the current page downstream if non-empty, drawing the
 // replacement from the recycling pool. If the consumer has aborted the
 // connection, the page is recycled instead of blocking.

@@ -27,6 +27,12 @@ const (
 	// ItemEOS marks the end of the stream; it is always the last item of
 	// the last page.
 	ItemEOS
+	// ItemBarrier is a checkpoint barrier injected at sources by the
+	// snapshot coordinator. It flows in-band (it must not be reordered
+	// past data) and is consumed by the node runner, never by operators:
+	// a multi-input node captures its state when every live input has
+	// delivered the barrier, then forwards it on every output.
+	ItemBarrier
 )
 
 // Item is one entry of a page: a tuple, an embedded punctuation, or EOS.
@@ -47,6 +53,16 @@ func PunctItem(e punct.Embedded) Item { return Item{Kind: ItemPunct, Punct: &e} 
 
 // EOSItem marks end of stream.
 func EOSItem() Item { return Item{Kind: ItemEOS} }
+
+// BarrierItem wraps a checkpoint barrier. The epoch rides in the unused
+// Tuple.Seq slot so the hot-path Item struct does not grow for a message
+// that appears once per checkpoint.
+func BarrierItem(epoch int64) Item {
+	return Item{Kind: ItemBarrier, Tuple: stream.Tuple{Seq: epoch}}
+}
+
+// BarrierEpoch returns the checkpoint epoch of an ItemBarrier.
+func (it Item) BarrierEpoch() int64 { return it.Tuple.Seq }
 
 // Page is a batch of items moved between operators as a unit.
 type Page struct {

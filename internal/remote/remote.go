@@ -22,39 +22,13 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/stream"
 )
-
-// wirePred mirrors punct.Pred for gob (Pattern's fields are unexported).
-type wirePred struct {
-	Op  uint8
-	Val stream.Value
-	Hi  stream.Value
-	Set []stream.Value
-}
-
-type wirePattern []wirePred
-
-func toWirePattern(p punct.Pattern) wirePattern {
-	preds := p.Preds()
-	out := make(wirePattern, len(preds))
-	for i, pr := range preds {
-		out[i] = wirePred{Op: uint8(pr.Op), Val: pr.Val, Hi: pr.Hi, Set: pr.Set}
-	}
-	return out
-}
-
-func (w wirePattern) pattern() punct.Pattern {
-	preds := make([]punct.Pred, len(w))
-	for i, pr := range w {
-		preds[i] = punct.Pred{Op: punct.Op(pr.Op), Val: pr.Val, Hi: pr.Hi, Set: pr.Set}
-	}
-	return punct.NewPattern(preds...)
-}
 
 // frame kinds.
 const (
@@ -64,15 +38,28 @@ const (
 	frameFeedback
 )
 
-// frame is one wire message (downstream or upstream).
+// frame is one wire message (downstream or upstream). Punctuation patterns
+// travel in the shared binary encoding (punct.Pattern.MarshalBinary — the
+// same codec the checkpoint subsystem uses), so there is exactly one
+// pattern wire format in the system.
 type frame struct {
 	Kind    uint8
 	Tuple   stream.Tuple
-	Pattern wirePattern // punctuation or feedback pattern
+	Pattern []byte // punctuation or feedback pattern (punct wire encoding)
 	Intent  uint8
 	Origin  string
 	Hops    int
 	Seq     int64
+}
+
+func marshalPattern(p punct.Pattern) []byte { return p.AppendBinary(nil) }
+
+func unmarshalPattern(raw []byte) (punct.Pattern, error) {
+	var p punct.Pattern
+	if err := p.UnmarshalBinary(raw); err != nil {
+		return punct.Pattern{}, err
+	}
+	return p, nil
 }
 
 // Sink is an exec.Operator with no outputs: everything it receives is
@@ -140,10 +127,15 @@ func (s *Sink) Open(ctx exec.Context) error {
 				s.readErr.Store(fmt.Errorf("remote: unexpected frame kind %d on feedback path", f.Kind))
 				return
 			}
+			pat, err := unmarshalPattern(f.Pattern)
+			if err != nil {
+				s.readErr.Store(fmt.Errorf("remote: decode feedback pattern: %w", err))
+				return
+			}
 			atomic.AddInt64(&s.feedbackIn, 1)
 			ctx.SendFeedback(0, core.Feedback{
 				Intent:  core.Intent(f.Intent),
-				Pattern: f.Pattern.pattern(),
+				Pattern: pat,
 				Origin:  f.Origin,
 				Hops:    f.Hops + 1,
 				Seq:     f.Seq,
@@ -177,14 +169,26 @@ func (s *Sink) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
 // ProcessPunct implements exec.Operator: punctuation flushes, like the
 // paged queues.
 func (s *Sink) ProcessPunct(_ int, e punct.Embedded, _ exec.Context) error {
-	if err := s.enc.Encode(frame{Kind: framePunct, Pattern: toWirePattern(e.Pattern)}); err != nil {
+	if err := s.enc.Encode(frame{Kind: framePunct, Pattern: marshalPattern(e.Pattern)}); err != nil {
 		return fmt.Errorf("remote: encode punct: %w", err)
 	}
 	s.pending = 0
 	return s.w.Flush()
 }
 
+// closeWriter is the half-close surface of duplex transports (TCP).
+type closeWriter interface{ CloseWrite() error }
+
+// closeDrainTimeout bounds how long Sink.Close waits for the consumer to
+// close its half after EOS.
+const closeDrainTimeout = 10 * time.Second
+
 // Close implements exec.Operator: EOS frame, flush, close the write half.
+//
+// On transports that support it, the write half is closed first and the
+// feedback reader drains until the remote side closes: a full Close with
+// feedback bytes still in flight would make TCP reset the connection,
+// destroying the EOS frame (and any data) the consumer has not read yet.
 func (s *Sink) Close(exec.Context) error {
 	var firstErr error
 	s.closing.Store(true)
@@ -196,11 +200,28 @@ func (s *Sink) Close(exec.Context) error {
 			firstErr = err
 		}
 	}
-	// Closing the connection unblocks the feedback reader.
-	if err := s.Conn.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	if cw, ok := s.Conn.(closeWriter); ok && s.started && firstErr == nil {
+		if err := cw.CloseWrite(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// The consumer closes its side once it has read EOS (Source.Close
+		// runs even on shutdown), which ends the feedback reader with EOF.
+		// The read deadline bounds the drain against a peer that stays
+		// alive but never closes; the resulting timeout error is ignored
+		// by the reader because closing is already set.
+		_ = s.Conn.SetReadDeadline(time.Now().Add(closeDrainTimeout))
+		s.wg.Wait()
+		if err := s.Conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	} else {
+		// No half-close (net.Pipe, error paths): closing the connection
+		// unblocks the feedback reader.
+		if err := s.Conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.wg.Wait()
 	}
-	s.wg.Wait()
 	if err, _ := s.readErr.Load().(error); err != nil && firstErr == nil {
 		firstErr = err
 	}
@@ -269,7 +290,11 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 		s.received++
 		ctx.Emit(f.Tuple)
 	case framePunct:
-		ctx.EmitPunct(punct.NewEmbedded(f.Pattern.pattern()))
+		pat, err := unmarshalPattern(f.Pattern)
+		if err != nil {
+			return false, fmt.Errorf("remote: decode punct pattern: %w", err)
+		}
+		ctx.EmitPunct(punct.NewEmbedded(pat))
 	case frameEOS:
 		s.done = true
 		return false, nil
@@ -285,7 +310,7 @@ func (s *Source) ProcessFeedback(_ int, f core.Feedback, _ exec.Context) error {
 	s.feedbackOut++
 	err := s.enc.Encode(frame{
 		Kind:    frameFeedback,
-		Pattern: toWirePattern(f.Pattern),
+		Pattern: marshalPattern(f.Pattern),
 		Intent:  uint8(f.Intent),
 		Origin:  f.Origin,
 		Hops:    f.Hops,

@@ -195,7 +195,10 @@ func TestWirePatternRoundTrip(t *testing.T) {
 		),
 	}
 	for _, p := range pats {
-		back := toWirePattern(p).pattern()
+		back, err := unmarshalPattern(marshalPattern(p))
+		if err != nil {
+			t.Fatalf("wire round trip %v: %v", p, err)
+		}
 		if !p.Equal(back) {
 			t.Errorf("wire round trip: %v → %v", p, back)
 		}

@@ -1,0 +1,50 @@
+package snapshot
+
+import (
+	"repro/internal/core"
+)
+
+// Guard-table persistence. A guard table's durable content is the set of
+// installed feedback punctuations (each Guard's pattern equals its source
+// feedback's pattern); the compiled probe forms are rebuilt by Install on
+// load, and the punctuation-expiration tracker restarts empty — guards
+// whose subsets the stream has already promised complete simply expire
+// again when the next covering punctuation arrives, which is safe because
+// an unexpired guard can only suppress tuples the stream will never
+// produce (DESIGN.md §6.3).
+
+// PutGuards appends the table's installed guards to the encoder. A nil
+// table encodes as empty.
+func PutGuards(e *Encoder, g *core.GuardTable) {
+	if g == nil {
+		e.PutInt(0)
+		return
+	}
+	guards := g.Guards()
+	e.PutInt(len(guards))
+	for _, gd := range guards {
+		e.PutFeedback(gd.Source)
+	}
+}
+
+// GetGuards reads back a guard table for streams of the given arity. A
+// guard whose pattern arity does not match is corruption or plan drift
+// (its compiled probe would index past the tuple) and poisons the decoder
+// rather than panicking later on the probe path.
+func GetGuards(d *Decoder, arity int) *core.GuardTable {
+	g := core.NewGuardTable(arity)
+	n := d.GetInt()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		f := d.GetFeedback()
+		if d.Err() != nil {
+			break
+		}
+		if f.Pattern.Arity() != arity {
+			d.fail("guard pattern arity %d does not match stream arity %d (corrupt snapshot or plan drift)",
+				f.Pattern.Arity(), arity)
+			break
+		}
+		g.Install(f)
+	}
+	return g
+}

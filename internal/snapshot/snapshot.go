@@ -1,0 +1,125 @@
+// Package snapshot is the punctuation-aligned checkpoint subsystem: the
+// serialized form of a consistent cut through a running plan, plus the
+// pluggable storage it persists to.
+//
+// The mechanism is the paper's own coordination primitive turned inward:
+// a checkpoint barrier is an in-band marker that every source injects at
+// one point of its stream, and a multi-input operator's state is captured
+// exactly when every live input has delivered the barrier — the same
+// alignment rule the partitioned Merge applies to embedded punctuation
+// (DESIGN.md §5.1), here enforced by the runtime for a marker that must
+// not be reordered past data. Tuples in flight *behind* a barrier are
+// deliberately not captured: sources save their replay position at the
+// cut, so restore regenerates them (exactly-once for deterministic
+// sources).
+//
+// The runtime half lives in internal/exec (Graph.Checkpoint / Restore /
+// barrier alignment in the node runner); this package holds everything
+// the runtime serializes: the per-node Stater contract, the state
+// encoder/decoder, guard-table persistence, the snapshot manifest, and
+// the storage backends.
+package snapshot
+
+import (
+	"fmt"
+)
+
+// Stater is the optional interface operators and sources implement to
+// participate in checkpoints. SaveState is called on the operator's own
+// goroutine at a consistent cut (barrier alignment for operators, between
+// Next calls for sources); LoadState is called after Open, before any
+// data, on a freshly built plan. The contract is documented in DESIGN.md
+// §6.2: capture owned mutable state (accumulators, guards, replay
+// positions), never in-flight tuples or anything derived from schema or
+// configuration.
+type Stater interface {
+	SaveState(enc *Encoder) error
+	LoadState(dec *Decoder) error
+}
+
+// NodeState is one node's contribution to a snapshot.
+type NodeState struct {
+	// ID is the node's position in the plan (exec.NodeID); restore
+	// requires the rebuilt plan to assign the same ids, i.e. to be built
+	// by the same construction order.
+	ID int
+	// Name is the node's operator/source name, validated on restore so a
+	// drifted plan fails loudly instead of loading state into the wrong
+	// operator.
+	Name string
+	// State is the blob the node's Stater wrote (empty for stateless
+	// nodes, which are recorded for plan-shape validation only).
+	State []byte
+}
+
+// Snapshot is one consistent cut of a plan.
+type Snapshot struct {
+	// Epoch is the checkpoint's sequence number within the run that took
+	// it (monotonically increasing per graph).
+	Epoch int64
+	// Nodes holds per-node state in node-id order.
+	Nodes []NodeState
+}
+
+// magic guards against feeding arbitrary files to Decode.
+var magic = []byte("pasnap1\n")
+
+// Encode serializes the snapshot.
+func (s *Snapshot) Encode() []byte {
+	e := NewEncoder()
+	e.buf = append(e.buf, magic...)
+	e.PutInt64(s.Epoch)
+	e.PutInt(len(s.Nodes))
+	for _, n := range s.Nodes {
+		e.PutInt(n.ID)
+		e.PutString(n.Name)
+		e.PutBytes(n.State)
+	}
+	b, _ := e.Bytes() // the encoder has no failing paths
+	return b
+}
+
+// Decode parses a snapshot serialized by Encode.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("snapshot: not a snapshot (bad magic)")
+	}
+	d := NewDecoder(data[len(magic):])
+	s := &Snapshot{Epoch: d.GetInt64()}
+	n := d.GetInt()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("snapshot: negative node count")
+	}
+	for i := 0; i < n; i++ {
+		ns := NodeState{ID: d.GetInt(), Name: d.GetString(), State: d.GetBytes()}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes", d.Remaining())
+	}
+	return s, nil
+}
+
+// Save persists the snapshot under the given id.
+func (s *Snapshot) Save(b Backend, id string) error {
+	return b.Put(id, s.Encode())
+}
+
+// Load retrieves and parses the snapshot stored under id.
+func Load(b Backend, id string) (*Snapshot, error) {
+	data, err := b.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// Size returns the total encoded size in bytes (diagnostics). It is
+// computed by encoding, so it matches what Save writes exactly.
+func (s *Snapshot) Size() int { return len(s.Encode()) }

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary value codec shared by the network edge (internal/remote) and the
+// checkpoint subsystem (internal/snapshot): kind byte followed by a
+// kind-specific payload. Integer domains use zigzag varints (timestamps and
+// small ints dominate real streams), floats are fixed 8-byte IEEE bits,
+// strings are length-prefixed. The encoding is self-delimiting, so values
+// can be concatenated without framing.
+
+// AppendBinary appends the value's binary encoding to b and returns the
+// extended buffer.
+func (v Value) AppendBinary(b []byte) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case KindNull:
+	case KindInt, KindTime, KindBool:
+		b = binary.AppendVarint(b, v.I)
+	case KindFloat:
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.F))
+	case KindString:
+		b = binary.AppendUvarint(b, uint64(len(v.S)))
+		b = append(b, v.S...)
+	}
+	return b
+}
+
+// DecodeValue decodes one value from the front of b, returning the value
+// and the remaining bytes.
+func DecodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Null, nil, fmt.Errorf("stream: decode value: empty buffer")
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindNull:
+		return Null, b, nil
+	case KindInt, KindTime, KindBool:
+		i, n := binary.Varint(b)
+		if n <= 0 {
+			return Null, nil, fmt.Errorf("stream: decode value: bad varint for kind %v", kind)
+		}
+		return Value{Kind: kind, I: i}, b[n:], nil
+	case KindFloat:
+		if len(b) < 8 {
+			return Null, nil, fmt.Errorf("stream: decode value: short float payload")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(b))
+		return Float(f), b[8:], nil
+	case KindString:
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return Null, nil, fmt.Errorf("stream: decode value: bad string length")
+		}
+		return String_(string(b[n : n+int(l)])), b[n+int(l):], nil
+	}
+	return Null, nil, fmt.Errorf("stream: decode value: unknown kind %d", kind)
+}
