@@ -24,6 +24,7 @@ import (
 	"repro/internal/op"
 	"repro/internal/punct"
 	"repro/internal/queue"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/window"
 	"repro/internal/work"
@@ -423,6 +424,68 @@ func BenchmarkCheckpoint(b *testing.B) {
 		if _, err := rb.Checkpoint(ctx); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCheckpointLargeState measures the end-to-end latency of one
+// full checkpoint (capture + background encode + assembly) as aggregate
+// state grows 100×. This is the path whose cost inherently scales with
+// state — it exists as the contrast for BenchmarkBarrierHold: the encode
+// grows linearly, but it happens off the pipeline.
+func BenchmarkCheckpointLargeState(b *testing.B) {
+	for _, groups := range []int{2_000, 20_000, 200_000} {
+		b.Run(fmt.Sprintf("state=%d", groups), func(b *testing.B) {
+			lb, err := experiments.StartLargeStateBench(groups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lb.Stop()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lb.Touch(512)
+				if _, err := lb.Checkpoint(ctx, snapshot.CaptureFull); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBarrierHold measures the hot-path stall of an incremental
+// checkpoint — the longest any node spends in phase-1 capture while the
+// barrier holds its stream — as aggregate state grows 100× with a fixed
+// write rate (512 touched groups per checkpoint). The acceptance bar
+// (ISSUE 4) is that the reported barrier-ns/op stays roughly constant
+// (within 2×) across the state sizes, while the one-phase path of PR 3
+// scaled linearly; ns/op for the surrounding call is reported too but
+// includes background encode wait.
+func BenchmarkBarrierHold(b *testing.B) {
+	for _, groups := range []int{2_000, 20_000, 200_000} {
+		b.Run(fmt.Sprintf("state=%d", groups), func(b *testing.B) {
+			lb, err := experiments.StartLargeStateBench(groups)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lb.Stop()
+			ctx := context.Background()
+			// Base snapshot: establishes the delta baseline.
+			if _, err := lb.Checkpoint(ctx, snapshot.CaptureFull); err != nil {
+				b.Fatal(err)
+			}
+			var hold time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lb.Touch(512)
+				st, err := lb.Checkpoint(ctx, snapshot.CaptureDelta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hold += st.BarrierHold
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(hold.Nanoseconds())/float64(b.N), "barrier-ns/op")
+		})
 	}
 }
 

@@ -97,6 +97,27 @@ func writeBenchJSON(path, label string) error {
 	fmt.Printf("%-42s %12.0f ns/op\n", "BenchmarkCheckpoint", ckptNs)
 	fmt.Printf("%-42s %12.0f ns/op\n", "BenchmarkRecovery", recNs)
 
+	// Two-phase snapshot scaling: full end-to-end checkpoint cost grows
+	// with state, the barrier-hold of incremental checkpoints must not
+	// (ISSUE 4's acceptance bar: flat within 2× across 100× state).
+	var holdAt [3]float64
+	for i, groups := range []int{2_000, 20_000, 200_000} {
+		fullNs, holdNs, err := measureLargeState(groups)
+		if err != nil {
+			return err
+		}
+		holdAt[i] = holdNs
+		fn := fmt.Sprintf("BenchmarkCheckpointLargeState/state=%d", groups)
+		hn := fmt.Sprintf("BenchmarkBarrierHold/state=%d", groups)
+		results[fn] = benchResult{NsPerOp: fullNs}
+		results[hn] = benchResult{NsPerOp: holdNs}
+		fmt.Printf("%-42s %12.0f ns/op\n", fn, fullNs)
+		fmt.Printf("%-42s %12.0f ns/op\n", hn, holdNs)
+	}
+	if holdAt[0] > 0 {
+		fmt.Printf("%-42s %12.2fx (flat ≤ 2x wanted)\n", "barrier-hold growth over 100x state", holdAt[2]/holdAt[0])
+	}
+
 	f.Runs = append(f.Runs, benchRun{
 		Label:   label,
 		Date:    time.Now().UTC().Format("2006-01-02"),
@@ -183,6 +204,42 @@ func measureRecovery(parts, tuples int) (ckptNs, recNs float64, err error) {
 		}
 	}
 	return ckptNs, recNs, nil
+}
+
+// measureLargeState starts the parked single-aggregate plan with the given
+// group count and measures (a) a full checkpoint end-to-end and (b) the
+// barrier-hold of incremental checkpoints with 512 touched groups per cut
+// (both best-of-5).
+func measureLargeState(groups int) (fullNs, holdNs float64, err error) {
+	lb, err := experiments.StartLargeStateBench(groups)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer lb.Stop()
+	ctx := context.Background()
+	for rep := 0; rep < 5; rep++ {
+		lb.Touch(512)
+		start := time.Now()
+		if _, err := lb.Checkpoint(ctx, snapshot.CaptureFull); err != nil {
+			return 0, 0, err
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if fullNs == 0 || ns < fullNs {
+			fullNs = ns
+		}
+	}
+	for rep := 0; rep < 5; rep++ {
+		lb.Touch(512)
+		st, err := lb.Checkpoint(ctx, snapshot.CaptureDelta)
+		if err != nil {
+			return 0, 0, err
+		}
+		ns := float64(st.BarrierHold.Nanoseconds())
+		if holdNs == 0 || ns < holdNs {
+			holdNs = ns
+		}
+	}
+	return fullNs, holdNs, nil
 }
 
 // measureParallelAggregate times one n-way partitioned aggregate plan

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/snapshot"
 )
@@ -12,35 +13,88 @@ import (
 //
 // Graph.Checkpoint injects one barrier epoch at every source; barriers flow
 // in-band through the paged queues, the node runner aligns them across
-// inputs (runner.go), and each node deposits its snapshot.Stater blob here
-// at its cut. The checkpoint completes when every live node has acked —
-// i.e. when the barrier has drained past every sink — at which point the
-// collected blobs form a consistent cut of the whole plan.
+// inputs (runner.go), and each node deposits its phase-1 capture here at
+// its cut. The cut is two-phase (DESIGN.md §7): at the barrier the node
+// only takes a cheap consistent view of its state (snapshot.TwoPhase) and
+// the barrier releases immediately; serialization — and, for chain-backed
+// checkpoints, persistence — happens afterwards on a background goroutine,
+// so the stall a checkpoint imposes on the pipeline no longer scales with
+// state size. Checkpoints can also be incremental: CaptureDelta asks every
+// node for only the state changed since the previous capture, and the
+// resulting snapshot chains off its predecessor (snapshot.Chain).
 //
-// Graph.Restore stages a previously taken snapshot on a freshly *rebuilt*
-// plan; each node's LoadState runs right after its Open, before any data.
+// Graph.Restore stages a previously taken snapshot — or a base+delta chain
+// — on a freshly *rebuilt* plan; each node's LoadState (then ApplyDelta per
+// delta) runs right after its Open, before any data.
 
 // ErrKilled is the error Run returns after Kill: the graph was stopped
 // mid-stream deliberately (crash simulation, operator-initiated teardown).
 var ErrKilled = errors.New("exec: graph killed")
 
+// CheckpointStatus reports one checkpoint's outcome; failed background
+// encodes/writes surface here (and through the blocking Checkpoint calls).
+type CheckpointStatus struct {
+	// Epoch identifies the checkpoint; Base is the epoch it chains from
+	// (0 for a full snapshot).
+	Epoch, Base int64
+	// Done is false only for checkpoints cancelled before completing.
+	Done bool
+	// Persisted reports a successful chain write (always false for
+	// checkpoints taken without a chain).
+	Persisted bool
+	// Err is the first failure: a capture error, a node death during
+	// alignment, an encode error, or a chain-write error.
+	Err error
+	// BarrierHold is the longest any single node spent in phase-1 capture —
+	// the checkpoint's hot-path stall. Encoding time is excluded by
+	// construction.
+	BarrierHold time.Duration
+	// Encode is the background serialization+assembly time; Bytes the
+	// encoded snapshot size.
+	Encode time.Duration
+	Bytes  int
+}
+
+// nodeCut is one node's phase-1 contribution.
+type nodeCut struct {
+	cap  snapshot.Capture
+	blob []byte // legacy one-phase Staters: encoded synchronously at the cut
+}
+
+// chkResult is delivered to blocking Checkpoint callers.
+type chkResult struct {
+	snap *snapshot.Snapshot
+	err  error
+}
+
 // inflight is one in-progress checkpoint.
 type inflight struct {
-	epoch   int64
-	pending map[NodeID]bool   // nodes that have not acked yet
-	blobs   map[NodeID][]byte // per-node state (Staters only)
-	err     error             // first node failure; poisons the checkpoint
-	done    chan struct{}     // closed when pending drains
+	epoch int64
+	base  int64 // delta parent epoch; 0 for full
+	mode  snapshot.CaptureMode
+	chain *snapshot.Chain // optional persistence target
+
+	pending  map[NodeID]bool    // nodes that have not cut yet
+	cuts     map[NodeID]nodeCut // phase-1 captures
+	err      error              // first failure; poisons the checkpoint
+	hold     time.Duration      // max single-node capture duration
+	captured chan struct{}      // closed when every node has cut
+	result   chan chkResult     // buffered; delivered by the finisher
+	prevDone chan struct{}      // previous checkpoint's finish ticket
+	done     chan struct{}      // closed when finished or cancelled
+
+	// abandoned/finished (under chkMu) coordinate a caller that gives up
+	// after the capture phase with the background finisher: a chain-less
+	// snapshot nobody will receive must not become a delta parent.
+	abandoned bool
+	finished  bool
 }
 
 // A node that leaves the plan cleanly (source exhausted, downstream
 // shutdown) is marked in exitClean; checkpoints taken afterwards use its
 // final state as that node's cut — everything the node ever produced has
 // already drained past it, so that state composes consistently with later
-// cuts of the surviving nodes. The state itself is serialized lazily, at
-// checkpoint creation: a dead node is quiescent, so reading it off its
-// goroutine is safe, and plans that never checkpoint never pay for
-// serialization.
+// cuts of the surviving nodes.
 
 // Kill aborts a running graph: every node shuts down as on a node error and
 // Run returns ErrKilled. It is the crash half of the crash-and-recover
@@ -54,12 +108,87 @@ func (g *Graph) Kill() {
 	}
 }
 
-// Checkpoint takes a punctuation-aligned snapshot of the running plan. It
-// blocks until every node has contributed its cut (the barrier drained past
-// every sink) or ctx is cancelled. One checkpoint may be in flight at a
-// time. The returned snapshot persists with Snapshot.Save and restores into
-// an identically rebuilt plan with Graph.Restore.
+// Checkpoint takes a full punctuation-aligned snapshot of the running plan.
+// It blocks until the snapshot is assembled (captures at every node, then
+// background encoding) or ctx is cancelled; the pipeline itself is only
+// held for the capture phase. One checkpoint may be in flight at a time.
+// The returned snapshot persists with Snapshot.Save or Chain.Put and
+// restores into an identically rebuilt plan with Graph.Restore.
 func (g *Graph) Checkpoint(ctx context.Context) (*snapshot.Snapshot, error) {
+	return g.checkpointWait(ctx, snapshot.CaptureFull)
+}
+
+// CheckpointIncremental takes a delta checkpoint: every node contributes
+// only the state changed since the previous checkpoint, and the returned
+// snapshot's Base names the epoch it chains from. The first checkpoint of
+// a run — and the first after any failed or cancelled checkpoint — is
+// silently upgraded to a full snapshot (Base == 0), so callers can simply
+// loop on CheckpointIncremental.
+func (g *Graph) CheckpointIncremental(ctx context.Context) (*snapshot.Snapshot, error) {
+	return g.checkpointWait(ctx, snapshot.CaptureDelta)
+}
+
+func (g *Graph) checkpointWait(ctx context.Context, mode snapshot.CaptureMode) (*snapshot.Snapshot, error) {
+	c, err := g.triggerCheckpoint(mode, nil)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-c.result:
+		return r.snap, r.err
+	case <-ctx.Done():
+		g.cancelCheckpoint(c, ctx.Err())
+		return nil, fmt.Errorf("exec: checkpoint %d: %w", c.epoch, ctx.Err())
+	}
+}
+
+// CheckpointInto triggers a checkpoint persisted to the chain in the
+// background and returns its epoch as soon as the capture phase is under
+// way — it does not wait for the barrier, the encode, or the write. The
+// outcome lands in CheckpointStatus; WaitCheckpoints drains stragglers.
+func (g *Graph) CheckpointInto(chain *snapshot.Chain, mode snapshot.CaptureMode) (int64, error) {
+	c, err := g.triggerCheckpoint(mode, chain)
+	if err != nil {
+		return 0, err
+	}
+	return c.epoch, nil
+}
+
+// WaitCheckpoints blocks until every background encode/persist has
+// finished (including cancelled stragglers).
+func (g *Graph) WaitCheckpoints() { g.chkWG.Wait() }
+
+// CheckpointStatuses returns the recorded outcomes, oldest first (the ring
+// keeps the most recent 64).
+func (g *Graph) CheckpointStatuses() []CheckpointStatus {
+	g.chkMu.Lock()
+	defer g.chkMu.Unlock()
+	return append([]CheckpointStatus(nil), g.statuses...)
+}
+
+// CheckpointStatus returns the recorded outcome for one epoch.
+func (g *Graph) CheckpointStatus(epoch int64) (CheckpointStatus, bool) {
+	g.chkMu.Lock()
+	defer g.chkMu.Unlock()
+	for i := len(g.statuses) - 1; i >= 0; i-- {
+		if g.statuses[i].Epoch == epoch {
+			return g.statuses[i], true
+		}
+	}
+	return CheckpointStatus{}, false
+}
+
+func (g *Graph) recordStatusLocked(st CheckpointStatus) {
+	if len(g.statuses) >= 64 {
+		g.statuses = g.statuses[1:]
+	}
+	g.statuses = append(g.statuses, st)
+}
+
+// triggerCheckpoint starts one checkpoint: it registers the epoch so
+// sources inject barriers, captures already-exited nodes, and spawns the
+// background finisher chain. It returns without waiting for alignment.
+func (g *Graph) triggerCheckpoint(mode snapshot.CaptureMode, chain *snapshot.Chain) (*inflight, error) {
 	g.chkMu.Lock()
 	if !g.running {
 		g.chkMu.Unlock()
@@ -69,19 +198,40 @@ func (g *Graph) Checkpoint(ctx context.Context) (*snapshot.Snapshot, error) {
 		g.chkMu.Unlock()
 		return nil, fmt.Errorf("exec: checkpoint %d already in progress", g.activeChk.epoch)
 	}
+	// A delta needs an intact parent: the first checkpoint, and the first
+	// after any failure or cancellation (whose captures drained the
+	// operators' changelogs), must be full.
+	if mode == snapshot.CaptureDelta && (g.lastCapEpoch == 0 || g.chainBroken) {
+		mode = snapshot.CaptureFull
+	}
 	g.chkEpoch++
 	c := &inflight{
-		epoch:   g.chkEpoch,
-		pending: make(map[NodeID]bool, len(g.liveNodes)),
-		blobs:   make(map[NodeID][]byte),
-		done:    make(chan struct{}),
+		epoch:    g.chkEpoch,
+		mode:     mode,
+		chain:    chain,
+		pending:  make(map[NodeID]bool, len(g.liveNodes)),
+		cuts:     make(map[NodeID]nodeCut),
+		captured: make(chan struct{}),
+		result:   make(chan chkResult, 1),
+		done:     make(chan struct{}),
+		prevDone: g.lastFinish,
 	}
+	// A delta's content is relative to the previous *capture* — the
+	// operators drained their changelogs into it — which may still be
+	// encoding in the background. If that parent epoch later fails to
+	// assemble or persist, the ordered finisher chain fails this one too
+	// (see finishCheckpoint's parent check).
+	if mode == snapshot.CaptureDelta {
+		c.base = g.lastCapEpoch
+	}
+	g.lastFinish = c.done
 	for id := range g.liveNodes {
 		c.pending[id] = true
 	}
 	// Nodes that already left the plan contribute their exit state,
-	// serialized now (they are quiescent). A node that died — rather than
-	// finished — has no consistent cut to offer.
+	// captured now (they are quiescent, so reading them off their
+	// goroutine is safe). A node that died — rather than finished — has no
+	// consistent cut to offer.
 	for _, n := range g.nodes {
 		if g.liveNodes[n.id] {
 			continue
@@ -92,56 +242,64 @@ func (g *Graph) Checkpoint(ctx context.Context) (*snapshot.Snapshot, error) {
 			}
 			continue
 		}
-		blob, err := saveNodeState(n)
+		cut, err := captureNode(n, c.mode)
 		if err != nil && c.err == nil {
 			c.err = err
 		}
-		if len(blob) > 0 {
-			c.blobs[n.id] = blob
-		}
+		c.cuts[n.id] = cut
 	}
+	g.chkWG.Add(1)
 	if len(c.pending) == 0 {
-		err := c.err
+		g.lastCapEpoch = c.epoch
+		close(c.captured)
+		go g.finishCheckpoint(c)
 		g.chkMu.Unlock()
-		if err != nil {
-			return nil, err
-		}
-		return g.assembleSnapshot(c), nil
+		return c, nil
 	}
 	g.activeChk = c
 	g.pendingChk.Store(c)
 	g.chkMu.Unlock()
+	return c, nil
+}
 
-	select {
-	case <-c.done:
-	case <-ctx.Done():
-		g.chkMu.Lock()
-		if g.activeChk == c {
-			g.activeChk = nil
-			g.pendingChk.Store(nil)
+// cancelCheckpoint abandons a checkpoint whose caller gave up waiting. If
+// the capture phase had already completed, the background finisher keeps
+// going (the snapshot may still persist); otherwise the epoch is dead —
+// and because some nodes may already have drained their changelogs into
+// the lost captures, the next incremental checkpoint upgrades to full.
+func (g *Graph) cancelCheckpoint(c *inflight, cause error) {
+	g.chkMu.Lock()
+	defer g.chkMu.Unlock()
+	if g.activeChk != c {
+		// Capture phase already complete; the finisher owns the epoch. A
+		// chain-backed snapshot still persists and stays a valid parent,
+		// but a chain-less one has only this caller to receive it — once
+		// abandoned, the assembled epoch is lost and the lineage with it.
+		if c.chain == nil {
+			if c.finished {
+				g.chainBroken = true
+			} else {
+				c.abandoned = true // the finisher applies the break
+			}
 		}
-		g.chkMu.Unlock()
-		return nil, fmt.Errorf("exec: checkpoint %d: %w", c.epoch, ctx.Err())
+		return
 	}
-	if c.err != nil {
-		return nil, c.err
-	}
-	return g.assembleSnapshot(c), nil
+	g.activeChk = nil
+	g.pendingChk.Store(nil)
+	g.chainBroken = true
+	g.recordStatusLocked(CheckpointStatus{
+		Epoch: c.epoch, Base: c.base, Done: false, BarrierHold: c.hold,
+		Err: fmt.Errorf("exec: checkpoint %d cancelled: %w", c.epoch, cause),
+	})
+	close(c.done)
+	g.chkWG.Done()
 }
 
-// assembleSnapshot builds the manifest: every node is listed (stateless
-// ones with an empty blob) so restore can validate the plan's shape.
-func (g *Graph) assembleSnapshot(c *inflight) *snapshot.Snapshot {
-	s := &snapshot.Snapshot{Epoch: c.epoch}
-	for _, n := range g.nodes {
-		s.Nodes = append(s.Nodes, snapshot.NodeState{ID: int(n.id), Name: n.name(), State: c.blobs[n.id]})
-	}
-	return s
-}
-
-// ackNode records one node's contribution to the active checkpoint. Stale
+// ackNode records one node's capture for the active checkpoint. Stale
 // epochs (a cancelled checkpoint's barrier still draining) are ignored.
-func (g *Graph) ackNode(id NodeID, epoch int64, blob []byte, err error) {
+// When the last node acks, the barrier phase is over: the checkpoint
+// leaves the coordinator and finishes on a background goroutine.
+func (g *Graph) ackNode(id NodeID, epoch int64, cut nodeCut, err error, hold time.Duration) {
 	g.chkMu.Lock()
 	defer g.chkMu.Unlock()
 	c := g.activeChk
@@ -152,21 +310,117 @@ func (g *Graph) ackNode(id NodeID, epoch int64, blob []byte, err error) {
 	if err != nil && c.err == nil {
 		c.err = err
 	}
-	if len(blob) > 0 {
-		c.blobs[id] = blob
+	if hold > c.hold {
+		c.hold = hold
 	}
+	c.cuts[id] = cut
 	if len(c.pending) == 0 {
 		g.activeChk = nil
 		g.pendingChk.Store(nil)
-		close(c.done)
+		g.lastCapEpoch = c.epoch
+		close(c.captured)
+		go g.finishCheckpoint(c)
 	}
 }
 
-// cutNode captures one node's state for the given epoch and acks it. It is
-// called on the node's own goroutine at the node's consistent cut (barrier
-// alignment for operators, between Next calls for sources), before the
-// barrier is forwarded downstream. A SaveState failure poisons the
-// checkpoint but never the stream: checkpointing is auxiliary to the plan.
+// finishCheckpoint is phase 2: encode every captured view, assemble the
+// manifest, persist to the chain if one was given, and publish the status.
+// Finishers chain on prevDone so chain writes land in epoch order.
+func (g *Graph) finishCheckpoint(c *inflight) {
+	defer g.chkWG.Done()
+	defer close(c.done)
+	if c.prevDone != nil {
+		<-c.prevDone
+	}
+	start := time.Now()
+	err := c.err
+	if err == nil && c.base != 0 {
+		// Finishers run in epoch order, so the parent capture has finished
+		// by now; if it failed to assemble or persist, this delta's
+		// baseline is gone and the epoch must fail with it (the next
+		// trigger then upgrades to full via chainBroken).
+		g.chkMu.Lock()
+		if g.lastDoneEpoch != c.base {
+			err = fmt.Errorf("exec: checkpoint %d: delta parent epoch %d was lost (last durable epoch %d)",
+				c.epoch, c.base, g.lastDoneEpoch)
+		}
+		g.chkMu.Unlock()
+	}
+	var snap *snapshot.Snapshot
+	bytes := 0
+	if err == nil {
+		snap = &snapshot.Snapshot{Epoch: c.epoch, Base: c.base}
+		for _, n := range g.nodes {
+			cut := c.cuts[n.id]
+			ns := snapshot.NodeState{ID: int(n.id), Name: n.name()}
+			switch {
+			case len(cut.blob) > 0:
+				ns.State = cut.blob
+			case cut.cap.Encode != nil:
+				enc := snapshot.NewEncoder()
+				if eerr := cut.cap.Encode(enc); eerr != nil && err == nil {
+					err = fmt.Errorf("exec: node %q: encode state: %w", n.name(), eerr)
+				}
+				blob, berr := enc.Bytes()
+				if berr != nil && err == nil {
+					err = fmt.Errorf("exec: node %q: encode state: %w", n.name(), berr)
+				}
+				ns.State = blob
+				ns.Delta = cut.cap.Delta
+			}
+			bytes += len(ns.State)
+			snap.Nodes = append(snap.Nodes, ns)
+		}
+	}
+	encodeDur := time.Since(start)
+	persisted := false
+	if err == nil && c.chain != nil {
+		werr := func() error {
+			if _, perr := c.chain.Put(snap); perr != nil {
+				return perr
+			}
+			// A write-behind backend has only enqueued the write; the epoch
+			// counts as persisted — and may serve as a delta parent — only
+			// once it is durably applied.
+			if f, ok := c.chain.Backend().(snapshot.Flusher); ok {
+				return f.Flush()
+			}
+			return nil
+		}()
+		if werr != nil {
+			err = fmt.Errorf("exec: checkpoint %d: persist: %w", c.epoch, werr)
+		} else {
+			persisted = true
+		}
+	}
+	g.chkMu.Lock()
+	if err == nil && c.abandoned {
+		err = fmt.Errorf("exec: checkpoint %d: abandoned by caller before delivery", c.epoch)
+	}
+	c.finished = true
+	if err == nil {
+		g.lastDoneEpoch = c.epoch
+		if c.base == 0 {
+			g.chainBroken = false
+		}
+	} else {
+		g.chainBroken = true
+		snap = nil
+	}
+	g.recordStatusLocked(CheckpointStatus{
+		Epoch: c.epoch, Base: c.base, Done: true, Persisted: persisted,
+		Err: err, BarrierHold: c.hold, Encode: encodeDur, Bytes: bytes,
+	})
+	g.chkMu.Unlock()
+	c.result <- chkResult{snap: snap, err: err}
+}
+
+// cutNode captures one node's state for the given epoch (phase 1 only) and
+// acks it. It is called on the node's own goroutine at the node's
+// consistent cut (barrier alignment for operators, between Next calls for
+// sources), before the barrier is forwarded downstream. A capture failure
+// poisons the checkpoint but never the stream: checkpointing is auxiliary
+// to the plan.
 func (g *Graph) cutNode(n *node, epoch int64) {
 	g.chkMu.Lock()
 	c := g.activeChk
@@ -174,8 +428,9 @@ func (g *Graph) cutNode(n *node, epoch int64) {
 	if c == nil || c.epoch != epoch {
 		return
 	}
-	blob, err := saveNodeState(n)
-	g.ackNode(n.id, epoch, blob, err)
+	start := time.Now()
+	cut, err := captureNode(n, c.mode)
+	g.ackNode(n.id, epoch, cut, err, time.Since(start))
 }
 
 // nodeExit retires a node from checkpoint bookkeeping. A clean exit (source
@@ -198,8 +453,8 @@ func (g *Graph) nodeExit(n *node, runErr error) {
 		c := g.activeChk
 		g.chkMu.Unlock()
 		if c != nil {
-			g.ackNode(n.id, c.epoch, nil,
-				fmt.Errorf("exec: node %q stopped before checkpoint %d completed", n.name(), c.epoch))
+			g.ackNode(n.id, c.epoch, nodeCut{},
+				fmt.Errorf("exec: node %q stopped before checkpoint %d completed", n.name(), c.epoch), 0)
 		}
 		return
 	}
@@ -212,10 +467,11 @@ func (g *Graph) nodeExit(n *node, runErr error) {
 	c := g.activeChk
 	g.chkMu.Unlock()
 	if c != nil {
-		// The active checkpoint is waiting on this node's ack, so its cut
-		// is serialized eagerly; future checkpoints re-serialize lazily.
-		blob, err := saveNodeState(n)
-		g.ackNode(n.id, c.epoch, blob, err)
+		// The active checkpoint is waiting on this node's ack; it is
+		// quiescent now, so capture on the exiting goroutine.
+		start := time.Now()
+		cut, err := captureNode(n, c.mode)
+		g.ackNode(n.id, c.epoch, cut, err, time.Since(start))
 	}
 }
 
@@ -229,27 +485,42 @@ func (n *node) stater() snapshot.Stater {
 	return s
 }
 
-// saveNodeState serializes one node's state (nil for non-Staters).
-func saveNodeState(n *node) ([]byte, error) {
+// captureNode takes one node's phase-1 capture. Two-phase Staters hand
+// back a view; legacy one-phase Staters are serialized on the spot (their
+// cut still pays O(state) at the barrier, as before the refactor).
+func captureNode(n *node, mode snapshot.CaptureMode) (nodeCut, error) {
 	st := n.stater()
 	if st == nil {
-		return nil, nil
+		return nodeCut{}, nil
+	}
+	if tp, ok := st.(snapshot.TwoPhase); ok {
+		cap, err := tp.CaptureState(mode)
+		if err != nil {
+			return nodeCut{}, fmt.Errorf("exec: node %q: capture state: %w", n.name(), err)
+		}
+		return nodeCut{cap: cap}, nil
 	}
 	enc := snapshot.NewEncoder()
 	if err := st.SaveState(enc); err != nil {
-		return nil, fmt.Errorf("exec: node %q: save state: %w", n.name(), err)
+		return nodeCut{}, fmt.Errorf("exec: node %q: save state: %w", n.name(), err)
 	}
 	blob, err := enc.Bytes()
 	if err != nil {
-		return nil, fmt.Errorf("exec: node %q: save state: %w", n.name(), err)
+		return nodeCut{}, fmt.Errorf("exec: node %q: save state: %w", n.name(), err)
 	}
-	return blob, nil
+	return nodeCut{blob: blob}, nil
 }
 
-// Restore loads the snapshot stored under id and stages it so the next Run
-// resumes from the cut: each node's LoadState runs immediately after its
-// Open, before any data. The plan must be rebuilt identically (same node
-// order and names); prepare validates the match.
+// stagedState is the restore payload for one node: a complete base blob
+// plus delta blobs to apply in order.
+type stagedState struct {
+	full   []byte
+	deltas [][]byte
+}
+
+// Restore loads the self-contained snapshot stored under id and stages it
+// so the next Run resumes from the cut. For chained (incremental)
+// checkpoints use RestoreLatest/RestoreChain instead.
 func (g *Graph) Restore(backend snapshot.Backend, id string) error {
 	s, err := snapshot.Load(backend, id)
 	if err != nil {
@@ -258,23 +529,84 @@ func (g *Graph) Restore(backend snapshot.Backend, id string) error {
 	return g.RestoreSnapshot(s)
 }
 
-// RestoreSnapshot stages an already-loaded snapshot (see Restore).
+// RestoreLatest stages the newest restorable epoch of a chain; it is a
+// no-op (ok=false) on an empty chain, so cold starts and recoveries share
+// one call site.
+func (g *Graph) RestoreLatest(chain *snapshot.Chain) (ok bool, err error) {
+	snaps, err := chain.Latest()
+	if err != nil {
+		return false, err
+	}
+	if len(snaps) == 0 {
+		return false, nil
+	}
+	return true, g.RestoreChain(snaps)
+}
+
+// RestoreSnapshot stages one self-contained snapshot (see Restore).
 func (g *Graph) RestoreSnapshot(s *snapshot.Snapshot) error {
+	return g.RestoreChain([]*snapshot.Snapshot{s})
+}
+
+// RestoreChain stages a base-first snapshot chain: each node's LoadState
+// runs on the base blob immediately after its Open, then ApplyDelta on
+// every delta blob, all before any data. The plan must be rebuilt
+// identically (same node order and names); prepare validates the match.
+func (g *Graph) RestoreChain(snaps []*snapshot.Snapshot) error {
 	if g.prepared {
 		return fmt.Errorf("exec: restore: graph already run")
 	}
-	staged := make(map[NodeID][]byte, len(s.Nodes))
-	names := make(map[NodeID]string, len(s.Nodes))
-	for _, ns := range s.Nodes {
-		id := NodeID(ns.ID)
-		if _, dup := names[id]; dup {
-			return fmt.Errorf("exec: restore: snapshot lists node %d twice", ns.ID)
+	if len(snaps) == 0 {
+		return fmt.Errorf("exec: restore: empty snapshot chain")
+	}
+	if !snaps[0].IsFull() {
+		return fmt.Errorf("exec: restore: chain starts at delta epoch %d (base %d missing)",
+			snaps[0].Epoch, snaps[0].Base)
+	}
+	staged := make(map[NodeID]stagedState, len(snaps[0].Nodes))
+	names := make(map[NodeID]string, len(snaps[0].Nodes))
+	prevEpoch := int64(0)
+	for si, s := range snaps {
+		if si > 0 && s.Base != prevEpoch {
+			return fmt.Errorf("exec: restore: epoch %d chains from %d but follows %d", s.Epoch, s.Base, prevEpoch)
 		}
-		staged[id] = ns.State
-		names[id] = ns.Name
+		prevEpoch = s.Epoch
+		seen := make(map[NodeID]bool, len(s.Nodes))
+		for _, ns := range s.Nodes {
+			id := NodeID(ns.ID)
+			if seen[id] {
+				return fmt.Errorf("exec: restore: snapshot %d lists node %d twice", s.Epoch, ns.ID)
+			}
+			seen[id] = true
+			if prev, ok := names[id]; ok && prev != ns.Name {
+				return fmt.Errorf("exec: restore: node %d is %q at epoch %d but %q earlier in the chain",
+					ns.ID, ns.Name, s.Epoch, prev)
+			}
+			names[id] = ns.Name
+			st := staged[id]
+			if ns.Delta {
+				if len(ns.State) > 0 {
+					st.deltas = append(st.deltas, ns.State)
+				}
+			} else {
+				st = stagedState{full: ns.State}
+			}
+			st.deltas = append(st.deltas, ns.Deltas...)
+			staged[id] = st
+		}
+		if si > 0 && len(seen) != len(names) {
+			return fmt.Errorf("exec: restore: epoch %d covers %d nodes but the chain has %d", s.Epoch, len(seen), len(names))
+		}
 	}
 	g.staged = staged
 	g.stagedNames = names
+	// Resume epoch numbering and delta lineage from the restored cut, so a
+	// recovered run's checkpoints extend the same chain instead of
+	// colliding with it.
+	last := snaps[len(snaps)-1].Epoch
+	g.chkEpoch = last
+	g.lastCapEpoch = last
+	g.lastDoneEpoch = last
 	return nil
 }
 
@@ -300,23 +632,39 @@ func (g *Graph) checkStaged() error {
 	return nil
 }
 
-// restoreNode applies a staged blob to a node; called by the runner right
-// after Open, before any data or feedback is delivered.
+// restoreNode applies a node's staged base+deltas; called by the runner
+// right after Open, before any data or feedback is delivered.
 func (g *Graph) restoreNode(n *node) error {
-	blob := g.staged[n.id]
-	if len(blob) == 0 {
+	st := g.staged[n.id]
+	if len(st.full) == 0 && len(st.deltas) == 0 {
 		return nil
 	}
-	st := n.stater()
-	if st == nil {
+	sp := n.stater()
+	if sp == nil {
 		return fmt.Errorf("exec: restore: node %q carries state but does not implement snapshot.Stater", n.name())
 	}
-	dec := snapshot.NewDecoder(blob)
-	if err := st.LoadState(dec); err != nil {
+	if len(st.full) == 0 {
+		return fmt.Errorf("exec: restore: node %q has delta state but no base (broken chain)", n.name())
+	}
+	dec := snapshot.NewDecoder(st.full)
+	if err := sp.LoadState(dec); err != nil {
 		return fmt.Errorf("exec: restore: node %q: %w", n.name(), err)
 	}
 	if err := dec.Err(); err != nil {
 		return fmt.Errorf("exec: restore: node %q: %w", n.name(), err)
+	}
+	for i, blob := range st.deltas {
+		ds, ok := sp.(snapshot.DeltaStater)
+		if !ok {
+			return fmt.Errorf("exec: restore: node %q carries delta state but does not implement snapshot.DeltaStater", n.name())
+		}
+		dec := snapshot.NewDecoder(blob)
+		if err := ds.ApplyDelta(dec); err != nil {
+			return fmt.Errorf("exec: restore: node %q delta %d: %w", n.name(), i, err)
+		}
+		if err := dec.Err(); err != nil {
+			return fmt.Errorf("exec: restore: node %q delta %d: %w", n.name(), i, err)
+		}
 	}
 	return nil
 }

@@ -91,8 +91,18 @@ type Graph struct {
 	pendingChk  atomic.Pointer[inflight]
 	liveNodes   map[NodeID]bool
 	exitClean   map[NodeID]bool
-	staged      map[NodeID][]byte // Restore: per-node state blobs
-	stagedNames map[NodeID]string // Restore: node names for drift checks
+	staged      map[NodeID]stagedState // Restore: per-node base+delta blobs
+	stagedNames map[NodeID]string      // Restore: node names for drift checks
+
+	// Two-phase checkpointing (checkpoint.go): encode/persist run on
+	// background goroutines after the barrier releases. chkWG tracks them;
+	// lastFinish chains them so chain writes land in epoch order.
+	chkWG         sync.WaitGroup
+	lastFinish    chan struct{}
+	lastCapEpoch  int64 // newest epoch whose captures completed (delta parent)
+	lastDoneEpoch int64 // newest fully assembled epoch
+	chainBroken   bool  // a capture set was lost; next delta upgrades to full
+	statuses      []CheckpointStatus
 }
 
 // NewGraph creates an empty plan with default queue options.

@@ -103,15 +103,24 @@ func (s *SliceSource) ProcessFeedback(_ int, f core.Feedback, _ Context) error {
 // Close implements Source.
 func (s *SliceSource) Close(Context) error { return nil }
 
-// SaveState implements snapshot.Stater: the source's durable state is its
-// replay position plus its feedback guards, so a restored source resumes
-// exactly behind the barrier it cut — the tuples downstream did not capture
-// are regenerated, nothing is replayed twice.
+// CaptureState implements snapshot.TwoPhase: the source's durable state is
+// its replay position plus its feedback guards, so a restored source
+// resumes exactly behind the barrier it cut — the tuples downstream did
+// not capture are regenerated, nothing is replayed twice.
+func (s *SliceSource) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	pos, skipped := s.pos, s.skipped
+	guards := snapshot.GuardsView(s.guards)
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt(pos)
+		enc.PutInt64(skipped)
+		snapshot.PutGuardsView(enc, guards)
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
 func (s *SliceSource) SaveState(enc *snapshot.Encoder) error {
-	enc.PutInt(s.pos)
-	enc.PutInt64(s.skipped)
-	snapshot.PutGuards(enc, s.guards)
-	return nil
+	return snapshot.EncodeCapture(s, enc)
 }
 
 // LoadState implements snapshot.Stater.
@@ -152,6 +161,9 @@ type ReaderSource struct {
 	count   int
 	lastV   stream.Value
 	skipped int64
+	// base is the byte offset the current decoder started at (non-zero
+	// after a restore seeked R); base+dec.Offset() is the replay position.
+	base int64
 }
 
 // NewReaderSource decodes tuples of the given schema from r.
@@ -169,6 +181,7 @@ func (s *ReaderSource) OutSchemas() []stream.Schema { return []stream.Schema{s.S
 func (s *ReaderSource) Open(Context) error {
 	s.dec = stream.NewDecoder(s.R, s.Schema)
 	s.guards = core.NewGuardTable(s.Schema.Arity())
+	s.base = 0
 	if s.PunctEvery <= 0 {
 		s.PunctEvery = 100
 	}
@@ -213,6 +226,52 @@ func (s *ReaderSource) ProcessFeedback(_ int, f core.Feedback, _ Context) error 
 // Close implements Source.
 func (s *ReaderSource) Close(Context) error { return nil }
 
+// CaptureState implements snapshot.TwoPhase: the replay position is the
+// exact byte offset of consumed input (plus tuple count for sequence-number
+// continuity), so a restored source re-reads from the cut onwards — byte
+// identical to the uninterrupted run for any io.ReadSeeker input.
+func (s *ReaderSource) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	offset := s.base + s.dec.Offset()
+	count, skipped := s.count, s.skipped
+	guards := snapshot.GuardsView(s.guards)
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt64(offset)
+		enc.PutInt(count)
+		enc.PutInt64(skipped)
+		snapshot.PutGuardsView(enc, guards)
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (s *ReaderSource) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(s, enc)
+}
+
+// LoadState implements snapshot.Stater: R must be an io.Seeker (a file,
+// not a pipe) unless the saved position is 0.
+func (s *ReaderSource) LoadState(dec *snapshot.Decoder) error {
+	offset := dec.GetInt64()
+	s.count = dec.GetInt()
+	s.skipped = dec.GetInt64()
+	s.guards = snapshot.GetGuards(dec, s.Schema.Arity())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if offset > 0 {
+		seeker, ok := s.R.(io.Seeker)
+		if !ok {
+			return fmt.Errorf("exec: reader source %q: restore needs a seekable reader (%T is not)", s.SourceName, s.R)
+		}
+		if _, err := seeker.Seek(offset, io.SeekStart); err != nil {
+			return fmt.Errorf("exec: reader source %q: seek to replay position %d: %w", s.SourceName, offset, err)
+		}
+		s.dec = stream.NewDecoder(s.R, s.Schema)
+	}
+	s.base = offset
+	return nil
+}
+
 // Skipped reports tuples suppressed by feedback before emission.
 func (s *ReaderSource) Skipped() int64 { return s.skipped }
 
@@ -237,6 +296,10 @@ type Collector struct {
 	items    []queue.Item
 	tuples   atomic.Int64
 	shutdown bool
+	// capPos/capOn track how much of items previous captures covered, so
+	// delta captures ship only the suffix (items is append-only).
+	capPos int
+	capOn  bool
 }
 
 // NewCollector builds a named sink.
@@ -301,36 +364,51 @@ func (c *Collector) ProcessEOS(int, Context) error { return nil }
 // Close implements Operator.
 func (c *Collector) Close(Context) error { return nil }
 
-// SaveState implements snapshot.Stater: everything received up to the cut
-// is part of the sink's state, so a restored run appends the regenerated
-// post-cut stream to the pre-cut record — the union is exactly-once.
-func (c *Collector) SaveState(enc *snapshot.Encoder) error {
+// CaptureState implements snapshot.TwoPhase: everything received up to the
+// cut is part of the sink's state, so a restored run appends the
+// regenerated post-cut stream to the pre-cut record — the union is
+// exactly-once. Deltas ship only the items recorded since the previous
+// capture; the view aliases the append-only record, whose captured prefix
+// is never mutated in place.
+func (c *Collector) CaptureState(mode snapshot.CaptureMode) (snapshot.Capture, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	enc.PutInt64(c.tuples.Load())
-	enc.PutInt(len(c.items))
-	for _, it := range c.items {
-		switch it.Kind {
-		case queue.ItemTuple:
-			enc.PutBool(true)
-			enc.PutTuple(it.Tuple)
-		case queue.ItemPunct:
-			enc.PutBool(false)
-			enc.PutPattern(it.Punct.Pattern)
-		default:
-			return fmt.Errorf("exec: collector %q: unexpected recorded item kind %d", c.SinkName, it.Kind)
-		}
+	n := len(c.items)
+	delta := mode == snapshot.CaptureDelta && c.capOn
+	from := 0
+	if delta {
+		from = c.capPos
 	}
-	return nil
+	view := c.items[from:n:n]
+	c.capPos, c.capOn = n, true
+	c.mu.Unlock()
+	count := c.tuples.Load()
+	return snapshot.Capture{Delta: delta, Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt64(count)
+		enc.PutInt(len(view))
+		for _, it := range view {
+			switch it.Kind {
+			case queue.ItemTuple:
+				enc.PutBool(true)
+				enc.PutTuple(it.Tuple)
+			case queue.ItemPunct:
+				enc.PutBool(false)
+				enc.PutPattern(it.Punct.Pattern)
+			default:
+				return fmt.Errorf("exec: collector %q: unexpected recorded item kind %d", c.SinkName, it.Kind)
+			}
+		}
+		return nil
+	}}, nil
 }
 
-// LoadState implements snapshot.Stater.
-func (c *Collector) LoadState(dec *snapshot.Decoder) error {
+// SaveState implements snapshot.Stater.
+func (c *Collector) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(c, enc)
+}
+
+func decodeCollectorItems(dec *snapshot.Decoder) ([]queue.Item, int64) {
 	count := dec.GetInt64()
 	n := dec.GetInt()
-	if err := dec.Err(); err != nil {
-		return err
-	}
 	items := make([]queue.Item, 0, dec.CountHint(n))
 	for i := 0; i < n && dec.Err() == nil; i++ {
 		if dec.GetBool() {
@@ -339,11 +417,33 @@ func (c *Collector) LoadState(dec *snapshot.Decoder) error {
 			items = append(items, queue.PunctItem(punct.NewEmbedded(dec.GetPattern())))
 		}
 	}
+	return items, count
+}
+
+// LoadState implements snapshot.Stater.
+func (c *Collector) LoadState(dec *snapshot.Decoder) error {
+	items, count := decodeCollectorItems(dec)
 	if err := dec.Err(); err != nil {
 		return err
 	}
 	c.mu.Lock()
 	c.items = items
+	c.capPos, c.capOn = len(items), true
+	c.mu.Unlock()
+	c.tuples.Store(count)
+	return nil
+}
+
+// ApplyDelta implements snapshot.DeltaStater: the delta's items append to
+// the record and its count replaces the total.
+func (c *Collector) ApplyDelta(dec *snapshot.Decoder) error {
+	items, count := decodeCollectorItems(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.items = append(c.items, items...)
+	c.capPos = len(c.items)
 	c.mu.Unlock()
 	c.tuples.Store(count)
 	return nil

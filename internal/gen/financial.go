@@ -1,12 +1,13 @@
 package gen
 
 import (
+	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -54,7 +55,7 @@ type TickSource struct {
 	Config TickConfig
 
 	cfg   TickConfig
-	rng   *rand.Rand
+	rng   rng
 	now   int64
 	rates []float64
 	seq   int64
@@ -69,7 +70,7 @@ func (s *TickSource) OutSchemas() []stream.Schema { return []stream.Schema{TickS
 // Open implements exec.Source.
 func (s *TickSource) Open(exec.Context) error {
 	s.cfg = s.Config.withDefaults()
-	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.rng = newRNG(s.cfg.Seed)
 	s.now = s.cfg.Start
 	s.rates = make([]float64, len(s.cfg.Pairs))
 	for i := range s.rates {
@@ -108,3 +109,44 @@ func (s *TickSource) ProcessFeedback(int, core.Feedback, exec.Context) error {
 
 // Close implements exec.Source.
 func (s *TickSource) Close(exec.Context) error { return nil }
+
+// CaptureState implements snapshot.TwoPhase: the stream clock, the
+// per-pair random-walk levels, and the RNG state replay the tick stream
+// bit-identically from the cut.
+func (s *TickSource) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	now, seq, r := s.now, s.seq, s.rng
+	rates := append([]float64(nil), s.rates...)
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt64(now)
+		enc.PutInt64(seq)
+		r.save(enc)
+		enc.PutInt(len(rates))
+		for _, v := range rates {
+			enc.PutFloat64(v)
+		}
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (s *TickSource) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(s, enc)
+}
+
+// LoadState implements snapshot.Stater.
+func (s *TickSource) LoadState(dec *snapshot.Decoder) error {
+	s.now = dec.GetInt64()
+	s.seq = dec.GetInt64()
+	s.rng.load(dec)
+	n := dec.GetInt()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(s.rates) {
+		return fmt.Errorf("gen: ticks: snapshot carries %d pairs but the config has %d (config drift)", n, len(s.rates))
+	}
+	for i := range s.rates {
+		s.rates[i] = dec.GetFloat64()
+	}
+	return dec.Err()
+}

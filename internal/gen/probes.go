@@ -1,13 +1,11 @@
 package gen
 
 import (
-	"math"
-	"math/rand"
-
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -64,7 +62,7 @@ type ProbeSource struct {
 	Config ProbeConfig
 
 	cfg     ProbeConfig
-	rng     *rand.Rand
+	rng     rng
 	now     int64
 	seq     int64
 	guards  *core.GuardTable
@@ -81,7 +79,7 @@ func (s *ProbeSource) OutSchemas() []stream.Schema { return []stream.Schema{Prob
 // Open implements exec.Source.
 func (s *ProbeSource) Open(exec.Context) error {
 	s.cfg = s.Config.withDefaults()
-	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.rng = newRNG(s.cfg.Seed)
 	s.now = s.cfg.Start
 	s.guards = core.NewGuardTable(ProbeSchema.Arity())
 	return nil
@@ -97,7 +95,7 @@ func (s *ProbeSource) Next(ctx exec.Context) (bool, error) {
 		trueSpeed := diurnal(minuteOfDay, seg)
 		// Congestion breeds probes: density scales inversely with speed.
 		mean := s.cfg.VehiclesPerPeriod * (60 / maxf(trueSpeed, 10))
-		n := poisson(s.rng, mean)
+		n := s.rng.Poisson(mean)
 		for v := 0; v < n; v++ {
 			s.seq++
 			speed := trueSpeed + s.rng.NormFloat64()*s.cfg.Noise
@@ -138,18 +136,36 @@ func (s *ProbeSource) Close(exec.Context) error { return nil }
 // Stats reports (emitted, suppressed-at-source).
 func (s *ProbeSource) Stats() (emitted, skipped int64) { return s.emitted, s.skipped }
 
-// poisson samples a Poisson variate by inversion (mean ≤ ~30 in practice).
-func poisson(r *rand.Rand, mean float64) int {
-	if mean <= 0 {
-		return 0
-	}
-	l := math.Exp(-mean)
-	k, p := 0, 1.0
-	for p > l && k < 1000 {
-		k++
-		p *= r.Float64()
-	}
-	return k - 1
+// CaptureState implements snapshot.TwoPhase (replayable position: period
+// clock, sequence counter, RNG state).
+func (s *ProbeSource) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	now, seq, emitted, skipped, r := s.now, s.seq, s.emitted, s.skipped, s.rng
+	guards := snapshot.GuardsView(s.guards)
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt64(now)
+		enc.PutInt64(seq)
+		enc.PutInt64(emitted)
+		enc.PutInt64(skipped)
+		r.save(enc)
+		snapshot.PutGuardsView(enc, guards)
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (s *ProbeSource) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(s, enc)
+}
+
+// LoadState implements snapshot.Stater.
+func (s *ProbeSource) LoadState(dec *snapshot.Decoder) error {
+	s.now = dec.GetInt64()
+	s.seq = dec.GetInt64()
+	s.emitted = dec.GetInt64()
+	s.skipped = dec.GetInt64()
+	s.rng.load(dec)
+	s.guards = snapshot.GetGuards(dec, ProbeSchema.Arity())
+	return dec.Err()
 }
 
 func maxf(a, b float64) float64 {

@@ -1,12 +1,14 @@
 package gen
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/queue"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -97,6 +99,45 @@ func (s *RatedSource) Close(exec.Context) error { return nil }
 
 // Skipped reports tuples suppressed at the source.
 func (s *RatedSource) Skipped() int64 { return s.skipped }
+
+// CaptureState implements snapshot.TwoPhase: the replay position is the
+// item cursor; the wall-clock anchor is re-derived on restore so the
+// target rate resumes without a burst.
+func (s *RatedSource) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	pos, skipped := s.pos, s.skipped
+	guards := snapshot.GuardsView(s.guards)
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt(pos)
+		enc.PutInt64(skipped)
+		snapshot.PutGuardsView(enc, guards)
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (s *RatedSource) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(s, enc)
+}
+
+// LoadState implements snapshot.Stater.
+func (s *RatedSource) LoadState(dec *snapshot.Decoder) error {
+	s.pos = dec.GetInt()
+	s.skipped = dec.GetInt64()
+	s.guards = snapshot.GetGuards(dec, s.Schema.Arity())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if s.pos < 0 || s.pos > len(s.Items) {
+		return fmt.Errorf("gen: rated source %q: restored position %d outside replay log of %d items (source data changed?)",
+			s.Name(), s.pos, len(s.Items))
+	}
+	// Back-date the rate anchor so the deficit pacing treats the already-
+	// emitted prefix as on schedule instead of replaying it as a burst.
+	if s.PerSecond > 0 {
+		s.start = time.Now().Add(-time.Duration(float64(s.pos) / s.PerSecond * float64(time.Second)))
+	}
+	return nil
+}
 
 // ImputationStream builds Experiment 1's input: n tuples alternating clean
 // and dirty (null speed), one per spacing micros of stream time, with

@@ -10,13 +10,13 @@
 package gen
 
 import (
-	"math/rand"
 	"time"
 
 	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 )
 
@@ -90,7 +90,7 @@ type TrafficSource struct {
 	Config TrafficConfig
 
 	cfg     TrafficConfig
-	rng     *rand.Rand
+	rng     rng
 	now     int64 // current round's stream time
 	seg     int   // next segment within the round
 	det     int   // next detector within the segment
@@ -114,7 +114,7 @@ func (s *TrafficSource) OutSchemas() []stream.Schema { return []stream.Schema{Tr
 // Open implements exec.Source.
 func (s *TrafficSource) Open(exec.Context) error {
 	s.cfg = s.Config.withDefaults()
-	s.rng = rand.New(rand.NewSource(s.cfg.Seed))
+	s.rng = newRNG(s.cfg.Seed)
 	s.now = s.cfg.Start
 	s.lastPct = s.cfg.Start - 1
 	s.guards = core.NewGuardTable(TrafficSchema.Arity())
@@ -188,3 +188,41 @@ func (s *TrafficSource) Stats() (emitted, skipped int64) { return s.emitted, s.s
 
 // WorkUnits reports ingest cost burned so far.
 func (s *TrafficSource) WorkUnits() int64 { return s.meter.total() }
+
+// CaptureState implements snapshot.TwoPhase: the replay position is the
+// round clock, the intra-round cursor, and the RNG state — restoring them
+// continues the synthetic stream bit-identically from the cut.
+func (s *TrafficSource) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	now, seg, seq, lastPct := s.now, s.seg, s.seq, s.lastPct
+	emitted, skipped, r := s.emitted, s.skipped, s.rng
+	guards := snapshot.GuardsView(s.guards)
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt64(now)
+		enc.PutInt(seg)
+		enc.PutInt64(seq)
+		enc.PutInt64(lastPct)
+		enc.PutInt64(emitted)
+		enc.PutInt64(skipped)
+		r.save(enc)
+		snapshot.PutGuardsView(enc, guards)
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (s *TrafficSource) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(s, enc)
+}
+
+// LoadState implements snapshot.Stater.
+func (s *TrafficSource) LoadState(dec *snapshot.Decoder) error {
+	s.now = dec.GetInt64()
+	s.seg = dec.GetInt()
+	s.seq = dec.GetInt64()
+	s.lastPct = dec.GetInt64()
+	s.emitted = dec.GetInt64()
+	s.skipped = dec.GetInt64()
+	s.rng.load(dec)
+	s.guards = snapshot.GetGuards(dec, TrafficSchema.Arity())
+	return dec.Err()
+}

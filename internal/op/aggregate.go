@@ -81,6 +81,12 @@ type Aggregate struct {
 	// a new entry is inserted.
 	keyScratch []byte
 
+	// Changelog for incremental snapshots (state.go): keys mutated or
+	// deleted since the previous capture. nil until the first capture
+	// enables tracking, so plans that never checkpoint pay nothing.
+	chlogDirty map[string]bool
+	chlogDead  map[string]bool
+
 	inTuples, outTuples, folded, inSuppressed, outSuppressed, purged int64
 	partialsEmitted                                                  int64
 }
@@ -155,7 +161,32 @@ func (a *Aggregate) Open(exec.Context) error {
 	a.state = map[string]*aggGroup{}
 	a.guardsOut = core.NewGuardTable(a.out.Arity())
 	a.guardsPrefix = core.NewGuardTable(a.out.Arity())
+	a.chlogDirty, a.chlogDead = nil, nil
 	return nil
+}
+
+// noteDirty records a state-key mutation in the changelog. The lookup form
+// keeps the hot path allocation-free: string(k) only materializes on the
+// first mutation of a key per capture interval.
+func (a *Aggregate) noteDirty(k []byte) {
+	if a.chlogDirty == nil {
+		return
+	}
+	if !a.chlogDirty[string(k)] {
+		a.chlogDirty[string(k)] = true
+	}
+	if len(a.chlogDead) > 0 {
+		delete(a.chlogDead, string(k))
+	}
+}
+
+// noteDead records a state-key deletion in the changelog.
+func (a *Aggregate) noteDead(k string) {
+	if a.chlogDirty == nil {
+		return
+	}
+	delete(a.chlogDirty, k)
+	a.chlogDead[k] = true
 }
 
 func (a *Aggregate) appendStateKey(b []byte, wid int64, t stream.Tuple) []byte {
@@ -234,6 +265,7 @@ func (a *Aggregate) ProcessTuple(input int, t stream.Tuple, _ exec.Context) erro
 				}
 			}
 		}
+		a.noteDirty(a.keyScratch)
 	}
 	return nil
 }
@@ -334,6 +366,7 @@ func (a *Aggregate) flushThrough(lastFull int64, ctx exec.Context) {
 	for _, k := range due {
 		a.emitResult(a.state[k], ctx)
 		delete(a.state, k)
+		a.noteDead(k)
 	}
 }
 
@@ -445,6 +478,7 @@ func (a *Aggregate) purgeMatching(p punct.Pattern, shape core.AggShape) {
 		if hit {
 			a.purged++
 			delete(a.state, k)
+			a.noteDead(k)
 		}
 	}
 }

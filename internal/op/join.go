@@ -81,6 +81,12 @@ type Join struct {
 	probeDone           int64           // thrifty: windows already checked
 	impatientKeys       map[string]bool
 	feedbackSeq         int64
+	// Changelog for incremental snapshots (state.go), indexed by side
+	// (0 = left table, 1 = right table): keys whose entry lists changed or
+	// vanished since the previous capture. nil until the first capture
+	// enables tracking.
+	chlogDirty [2]map[string]bool
+	chlogDead  [2]map[string]bool
 
 	emitted, outerEmitted, suppressedIn, suppressedOut, purgedByFeedback int64
 	thriftySent, impatientSent                                           int64
@@ -186,7 +192,35 @@ func (j *Join) Open(exec.Context) error {
 	j.probeCounts = map[int64]int64{}
 	j.probeDone = -1
 	j.impatientKeys = map[string]bool{}
+	j.chlogDirty = [2]map[string]bool{}
+	j.chlogDead = [2]map[string]bool{}
 	return nil
+}
+
+// table returns the build table for a side (0 = left, 1 = right).
+func (j *Join) table(side int) map[string][]*joinEntry {
+	if side == 0 {
+		return j.leftTable
+	}
+	return j.rightTable
+}
+
+// noteDirty records a changed entry list in the changelog.
+func (j *Join) noteDirty(side int, key string) {
+	if j.chlogDirty[side] == nil {
+		return
+	}
+	j.chlogDirty[side][key] = true
+	delete(j.chlogDead[side], key)
+}
+
+// noteDead records a vanished entry list in the changelog.
+func (j *Join) noteDead(side int, key string) {
+	if j.chlogDirty[side] == nil {
+		return
+	}
+	delete(j.chlogDirty[side], key)
+	j.chlogDead[side][key] = true
 }
 
 func (j *Join) outTuple(l, r stream.Tuple) stream.Tuple {
@@ -250,7 +284,11 @@ func (j *Join) processLeft(t stream.Tuple, ctx exec.Context) error {
 	e := &joinEntry{t: t, ts: j.tsOf(t, j.LeftTs)}
 	for _, r := range j.rightTable[key] {
 		if j.Residual == nil || j.Residual(t, r.t) {
-			e.matched, r.matched = true, true
+			if !r.matched {
+				r.matched = true
+				j.noteDirty(1, key)
+			}
+			e.matched = true
 			j.emitJoined(t, r.t, ctx)
 		}
 	}
@@ -258,6 +296,7 @@ func (j *Join) processLeft(t stream.Tuple, ctx exec.Context) error {
 		j.countProbe(e.ts)
 	}
 	j.leftTable[key] = append(j.leftTable[key], e)
+	j.noteDirty(0, key)
 	j.runAdaptive(0, t, ctx)
 	return nil
 }
@@ -286,7 +325,11 @@ func (j *Join) processRight(t stream.Tuple, ctx exec.Context) error {
 	e := &joinEntry{t: t, ts: j.tsOf(t, j.RightTs)}
 	for _, l := range j.leftTable[key] {
 		if j.Residual == nil || j.Residual(l.t, t) {
-			e.matched, l.matched = true, true
+			if !l.matched {
+				l.matched = true
+				j.noteDirty(0, key)
+			}
+			e.matched = true
 			j.emitJoined(l.t, t, ctx)
 		}
 	}
@@ -294,6 +337,7 @@ func (j *Join) processRight(t stream.Tuple, ctx exec.Context) error {
 		j.countProbe(e.ts)
 	}
 	j.rightTable[key] = append(j.rightTable[key], e)
+	j.noteDirty(1, key)
 	j.runAdaptive(1, t, ctx)
 	return nil
 }
@@ -410,7 +454,7 @@ func (j *Join) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error
 		}
 		// No more left tuples ≤ wm: right entries at or below can never
 		// match again.
-		j.purgeTable(j.rightTable, wm, false, ctx)
+		j.purgeTable(1, wm, false, ctx)
 		if j.ThriftyWindow != nil && j.ThriftyProbe == 0 {
 			j.checkThrifty(wm, ctx)
 		}
@@ -419,7 +463,7 @@ func (j *Join) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error
 		if !j.rightWMS || wm > j.rightWM {
 			j.rightWM, j.rightWMS = wm, true
 		}
-		j.purgeTable(j.leftTable, wm, j.LeftOuter, ctx)
+		j.purgeTable(0, wm, j.LeftOuter, ctx)
 		if j.ThriftyWindow != nil && j.ThriftyProbe == 1 {
 			j.checkThrifty(wm, ctx)
 		}
@@ -428,9 +472,10 @@ func (j *Join) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error
 	return nil
 }
 
-// purgeTable drops entries with ts ≤ wm; for the left table under
-// LeftOuter, unmatched entries are emitted null-padded first.
-func (j *Join) purgeTable(table map[string][]*joinEntry, wm int64, outer bool, ctx exec.Context) {
+// purgeTable drops the given side's entries with ts ≤ wm; for the left
+// table under LeftOuter, unmatched entries are emitted null-padded first.
+func (j *Join) purgeTable(side int, wm int64, outer bool, ctx exec.Context) {
+	table := j.table(side)
 	for k, entries := range table {
 		kept := entries[:0]
 		for _, e := range entries {
@@ -442,10 +487,14 @@ func (j *Join) purgeTable(table map[string][]*joinEntry, wm int64, outer bool, c
 			}
 			kept = append(kept, e)
 		}
-		if len(kept) == 0 {
+		switch {
+		case len(kept) == len(entries):
+		case len(kept) == 0:
 			delete(table, k)
-		} else {
+			j.noteDead(side, k)
+		default:
 			table[k] = kept
+			j.noteDirty(side, k)
 		}
 	}
 }
@@ -490,10 +539,10 @@ func (j *Join) ProcessEOS(input int, ctx exec.Context) error {
 	}
 	if input == 0 {
 		j.leftEOS = true
-		j.purgeTable(j.rightTable, math.MaxInt64, false, ctx)
+		j.purgeTable(1, math.MaxInt64, false, ctx)
 	} else {
 		j.rightEOS = true
-		j.purgeTable(j.leftTable, math.MaxInt64, j.LeftOuter, ctx)
+		j.purgeTable(0, math.MaxInt64, j.LeftOuter, ctx)
 	}
 	return nil
 }
@@ -575,11 +624,12 @@ func (j *Join) relayToCarriers(f core.Feedback, resp *core.Response, ctx exec.Co
 // matching each side's entries against the pattern projected into that
 // side's input schema.
 func (j *Join) purgeByFeedback(shape core.JoinShape, p punct.Pattern) {
-	purgeSide := func(table map[string][]*joinEntry, m core.AttrMap) {
+	purgeSide := func(side int, m core.AttrMap) {
 		prop := core.SafePropagation(p, m)
 		if !prop.OK {
 			return
 		}
+		table := j.table(side)
 		for k, entries := range table {
 			kept := entries[:0]
 			for _, e := range entries {
@@ -589,21 +639,25 @@ func (j *Join) purgeByFeedback(shape core.JoinShape, p punct.Pattern) {
 				}
 				kept = append(kept, e)
 			}
-			if len(kept) == 0 {
+			switch {
+			case len(kept) == len(entries):
+			case len(kept) == 0:
 				delete(table, k)
-			} else {
+				j.noteDead(side, k)
+			default:
 				table[k] = kept
+				j.noteDirty(side, k)
 			}
 		}
 	}
 	switch shape {
 	case core.JoinShapeJ:
-		purgeSide(j.leftTable, j.leftMap)
-		purgeSide(j.rightTable, j.rightMap)
+		purgeSide(0, j.leftMap)
+		purgeSide(1, j.rightMap)
 	case core.JoinShapeL, core.JoinShapeLJ:
-		purgeSide(j.leftTable, j.leftMap)
+		purgeSide(0, j.leftMap)
 	case core.JoinShapeR, core.JoinShapeJR:
-		purgeSide(j.rightTable, j.rightMap)
+		purgeSide(1, j.rightMap)
 	}
 }
 

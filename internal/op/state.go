@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/core"
+	"repro/internal/punct"
 	"repro/internal/snapshot"
 )
 
@@ -14,60 +16,159 @@ func errInputCountChanged(kind, name string, got, want int) error {
 		kind, name, got, want)
 }
 
-// snapshot.Stater implementations for the stateful operators. The contract
-// (DESIGN.md §6.2): save every piece of owned mutable state — accumulators,
-// hash tables, guard tables, watermarks, sequence counters — and nothing
-// derived from configuration or schemas (rebuilt by Open/mustInit) and no
-// in-flight tuples (regenerated by source replay). SaveState runs at the
-// node's barrier-aligned cut on its own goroutine; LoadState runs after
-// Open on a freshly built plan.
+// Two-phase snapshot.Stater implementations for the stateful operators
+// (contract: DESIGN.md §7). CaptureState runs at the node's barrier-aligned
+// cut on its own goroutine and only clones a consistent view — accumulator
+// structs, guard lists, drained changelogs — never serializing there; the
+// returned Capture.Encode runs on a background goroutine after the barrier
+// releases. The phase-1 invariant is that the view must not alias anything
+// the operator mutates afterwards: aggGroup/joinEntry structs are copied by
+// value (their Tuple/Value contents are immutable once stored), guard
+// tables are flattened with snapshot.GuardsView, and map-typed auxiliaries
+// are copied.
+//
+// Aggregate and Join — the operators whose state grows with the data — keep
+// a changelog (keys mutated/deleted since the previous capture) and answer
+// CaptureDelta with O(changes) views; the other operators' state is O(1)-ish
+// in the stream, so they always capture fully.
+//
+// The state blob formats of full captures are unchanged from the one-phase
+// implementation, so LoadState is shared; delta blobs have their own format
+// consumed by ApplyDelta.
 //
 // Restore additionally honors the paper's state-purging argument at
 // recovery time: any state entry covered by an assumed-feedback guard in
-// the cut is dropped during LoadState, even when the live operator had
-// retained it (e.g. the guard-output-only mode keeps folding suppressed
-// groups; recovery is free to apply the stronger exploitation, since the
-// feedback's issuer has disclaimed the subset — Definition 1 permits any
-// response up to full suppression).
+// the cut is dropped during LoadState/ApplyDelta, even when the live
+// operator had retained it (e.g. the guard-output-only mode keeps folding
+// suppressed groups; recovery is free to apply the stronger exploitation,
+// since the feedback's issuer has disclaimed the subset — Definition 1
+// permits any response up to full suppression).
 
 var (
-	_ snapshot.Stater = (*Aggregate)(nil)
-	_ snapshot.Stater = (*Join)(nil)
-	_ snapshot.Stater = (*Impute)(nil)
-	_ snapshot.Stater = (*Pace)(nil)
-	_ snapshot.Stater = (*Merge)(nil)
-	_ snapshot.Stater = (*Split)(nil)
+	_ snapshot.TwoPhase    = (*Aggregate)(nil)
+	_ snapshot.TwoPhase    = (*Join)(nil)
+	_ snapshot.TwoPhase    = (*Impute)(nil)
+	_ snapshot.TwoPhase    = (*Pace)(nil)
+	_ snapshot.TwoPhase    = (*Merge)(nil)
+	_ snapshot.TwoPhase    = (*Split)(nil)
+	_ snapshot.DeltaStater = (*Aggregate)(nil)
+	_ snapshot.DeltaStater = (*Join)(nil)
 )
+
+// sortedKeys flattens a string set into a sorted slice.
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
 
 // ---------------------------------------------------------------------------
 // Aggregate.
 // ---------------------------------------------------------------------------
 
-// SaveState implements snapshot.Stater.
+// aggCapEntry is one captured (window, group) accumulator. The aggGroup is
+// copied by value; groupVals is shared with the live entry, which never
+// mutates it after insertion.
+type aggCapEntry struct {
+	key string
+	g   aggGroup
+}
+
+// CaptureState implements snapshot.TwoPhase.
+func (a *Aggregate) CaptureState(mode snapshot.CaptureMode) (snapshot.Capture, error) {
+	delta := mode == snapshot.CaptureDelta && a.chlogDirty != nil
+	var entries []aggCapEntry
+	var dead []string
+	if delta {
+		entries = make([]aggCapEntry, 0, len(a.chlogDirty))
+		for k := range a.chlogDirty {
+			if g := a.state[k]; g != nil {
+				entries = append(entries, aggCapEntry{key: k, g: *g})
+			} else {
+				dead = append(dead, k)
+			}
+		}
+		dead = append(dead, sortedKeys(a.chlogDead)...)
+	} else {
+		entries = make([]aggCapEntry, 0, len(a.state))
+		for k, g := range a.state {
+			entries = append(entries, aggCapEntry{key: k, g: *g})
+		}
+	}
+	// The capture is the new baseline: drain the changelog and (on the
+	// first capture) enable tracking.
+	a.chlogDirty = make(map[string]bool)
+	a.chlogDead = make(map[string]bool)
+	guardsOut := snapshot.GuardsView(a.guardsOut)
+	guardsPrefix := snapshot.GuardsView(a.guardsPrefix)
+	counters := []int64{a.inTuples, a.outTuples, a.folded, a.inSuppressed,
+		a.outSuppressed, a.purged, a.partialsEmitted}
+	encodeEntry := func(enc *snapshot.Encoder, e *aggCapEntry) {
+		enc.PutString(e.key)
+		enc.PutInt64(e.g.wid)
+		enc.PutValues(e.g.groupVals)
+		enc.PutInt64(e.g.count)
+		enc.PutFloat64(e.g.sum)
+		enc.PutFloat64(e.g.min)
+		enc.PutFloat64(e.g.max)
+	}
+	return snapshot.Capture{
+		Delta: delta,
+		Encode: func(enc *snapshot.Encoder) error {
+			sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+			if delta {
+				sort.Strings(dead)
+				enc.PutInt(len(dead))
+				for _, k := range dead {
+					enc.PutString(k)
+				}
+			}
+			enc.PutInt(len(entries))
+			for i := range entries {
+				encodeEntry(enc, &entries[i])
+			}
+			snapshot.PutGuardsView(enc, guardsOut)
+			snapshot.PutGuardsView(enc, guardsPrefix)
+			for _, c := range counters {
+				enc.PutInt64(c)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// SaveState implements snapshot.Stater (one-shot capture + encode).
 func (a *Aggregate) SaveState(enc *snapshot.Encoder) error {
-	keys := make([]string, 0, len(a.state))
-	for k := range a.state {
-		keys = append(keys, k)
+	return snapshot.EncodeCapture(a, enc)
+}
+
+func (a *Aggregate) decodeGroup(dec *snapshot.Decoder) (string, *aggGroup) {
+	k := dec.GetString()
+	return k, &aggGroup{
+		wid:       dec.GetInt64(),
+		groupVals: dec.GetValues(),
+		count:     dec.GetInt64(),
+		sum:       dec.GetFloat64(),
+		min:       dec.GetFloat64(),
+		max:       dec.GetFloat64(),
 	}
-	sort.Strings(keys)
-	enc.PutInt(len(keys))
-	for _, k := range keys {
-		g := a.state[k]
-		enc.PutString(k)
-		enc.PutInt64(g.wid)
-		enc.PutValues(g.groupVals)
-		enc.PutInt64(g.count)
-		enc.PutFloat64(g.sum)
-		enc.PutFloat64(g.min)
-		enc.PutFloat64(g.max)
+}
+
+// dropCovered applies assumption-driven state dropping to one restored
+// entry: guards asserted at the cut cover subsets the consumer disclaimed,
+// so their state need not survive recovery.
+func (a *Aggregate) dropCovered(k string, g *aggGroup) {
+	if a.guardsPrefix.Suppress(a.prefixTuple(g.wid, g.groupVals)) ||
+		a.guardsOut.Suppress(a.resultTuple(g)) {
+		a.purged++
+		delete(a.state, k)
 	}
-	snapshot.PutGuards(enc, a.guardsOut)
-	snapshot.PutGuards(enc, a.guardsPrefix)
-	for _, c := range []int64{a.inTuples, a.outTuples, a.folded, a.inSuppressed,
-		a.outSuppressed, a.purged, a.partialsEmitted} {
-		enc.PutInt64(c)
-	}
-	return nil
 }
 
 // LoadState implements snapshot.Stater.
@@ -75,15 +176,7 @@ func (a *Aggregate) LoadState(dec *snapshot.Decoder) error {
 	n := dec.GetInt()
 	state := make(map[string]*aggGroup, dec.CountHint(n))
 	for i := 0; i < n && dec.Err() == nil; i++ {
-		k := dec.GetString()
-		g := &aggGroup{
-			wid:       dec.GetInt64(),
-			groupVals: dec.GetValues(),
-			count:     dec.GetInt64(),
-			sum:       dec.GetFloat64(),
-			min:       dec.GetFloat64(),
-			max:       dec.GetFloat64(),
-		}
+		k, g := a.decodeGroup(dec)
 		state[k] = g
 	}
 	a.guardsOut = snapshot.GetGuards(dec, a.out.Arity())
@@ -95,17 +188,44 @@ func (a *Aggregate) LoadState(dec *snapshot.Decoder) error {
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	// Assumption-driven state dropping: guards asserted at the cut cover
-	// subsets the consumer disclaimed, so their state need not survive
-	// recovery.
+	a.state = state
 	for k, g := range state {
-		if a.guardsPrefix.Suppress(a.prefixTuple(g.wid, g.groupVals)) ||
-			a.guardsOut.Suppress(a.resultTuple(g)) {
-			a.purged++
-			delete(state, k)
+		a.dropCovered(k, g)
+	}
+	// The loaded cut is the delta baseline for the restored run.
+	a.chlogDirty = make(map[string]bool)
+	a.chlogDead = make(map[string]bool)
+	return nil
+}
+
+// ApplyDelta implements snapshot.DeltaStater: deletions first, then
+// upserts, then the cut's guards and counters replace the current ones.
+func (a *Aggregate) ApplyDelta(dec *snapshot.Decoder) error {
+	nd := dec.GetInt()
+	for i := 0; i < nd && dec.Err() == nil; i++ {
+		delete(a.state, dec.GetString())
+	}
+	n := dec.GetInt()
+	upserted := make([]string, 0, dec.CountHint(n))
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		k, g := a.decodeGroup(dec)
+		a.state[k] = g
+		upserted = append(upserted, k)
+	}
+	a.guardsOut = snapshot.GetGuards(dec, a.out.Arity())
+	a.guardsPrefix = snapshot.GetGuards(dec, a.out.Arity())
+	for _, c := range []*int64{&a.inTuples, &a.outTuples, &a.folded, &a.inSuppressed,
+		&a.outSuppressed, &a.purged, &a.partialsEmitted} {
+		*c = dec.GetInt64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for _, k := range upserted {
+		if g := a.state[k]; g != nil {
+			a.dropCovered(k, g)
 		}
 	}
-	a.state = state
 	return nil
 }
 
@@ -113,86 +233,171 @@ func (a *Aggregate) LoadState(dec *snapshot.Decoder) error {
 // Join.
 // ---------------------------------------------------------------------------
 
-func (j *Join) saveTable(enc *snapshot.Encoder, table map[string][]*joinEntry) {
-	keys := make([]string, 0, len(table))
-	total := 0
-	for k, es := range table {
-		keys = append(keys, k)
-		total += len(es)
-	}
-	sort.Strings(keys)
-	enc.PutInt(total)
-	for _, k := range keys {
-		for _, e := range table[k] {
-			enc.PutTuple(e.t)
-			enc.PutInt64(e.ts)
-			enc.PutBool(e.matched)
-		}
-	}
+// joinCapKey is one captured hash-table bucket: the key plus value copies
+// of its entries (matched mutates in place on the live entries).
+type joinCapKey struct {
+	key     string
+	entries []joinEntry
 }
 
-// SaveState implements snapshot.Stater.
-func (j *Join) SaveState(enc *snapshot.Encoder) error {
-	j.saveTable(enc, j.leftTable)
-	j.saveTable(enc, j.rightTable)
-	enc.PutInt64(j.leftWM)
-	enc.PutBool(j.leftWMSet)
-	enc.PutInt64(j.rightWM)
-	enc.PutBool(j.rightWMS)
-	enc.PutInt64(j.lastOutWM)
-	enc.PutBool(j.lastOutWMSet)
-	enc.PutBool(j.leftEOS)
-	enc.PutBool(j.rightEOS)
-	wids := make([]int64, 0, len(j.probeCounts))
-	for w := range j.probeCounts {
+func captureBucket(key string, es []*joinEntry) joinCapKey {
+	c := joinCapKey{key: key, entries: make([]joinEntry, len(es))}
+	for i, e := range es {
+		c.entries[i] = *e
+	}
+	return c
+}
+
+// joinCap is the captured view of a Join.
+type joinCap struct {
+	delta bool
+	sides [2][]joinCapKey
+	dead  [2][]string
+
+	leftWM, rightWM     int64
+	leftWMSet, rightWMS bool
+	lastOutWM           int64
+	lastOutWMSet        bool
+	leftEOS, rightEOS   bool
+	probeCounts         map[int64]int64
+	probeDone           int64
+	impatient           []string
+	feedbackSeq         int64
+	guardsL, guardsR    []core.Feedback
+	guardsOut           []core.Feedback
+	counters            [7]int64
+}
+
+// CaptureState implements snapshot.TwoPhase.
+func (j *Join) CaptureState(mode snapshot.CaptureMode) (snapshot.Capture, error) {
+	v := &joinCap{delta: mode == snapshot.CaptureDelta && j.chlogDirty[0] != nil}
+	for side := 0; side < 2; side++ {
+		table := j.table(side)
+		if v.delta {
+			v.sides[side] = make([]joinCapKey, 0, len(j.chlogDirty[side]))
+			for k := range j.chlogDirty[side] {
+				if es := table[k]; len(es) > 0 {
+					v.sides[side] = append(v.sides[side], captureBucket(k, es))
+				} else {
+					v.dead[side] = append(v.dead[side], k)
+				}
+			}
+			v.dead[side] = append(v.dead[side], sortedKeys(j.chlogDead[side])...)
+		} else {
+			v.sides[side] = make([]joinCapKey, 0, len(table))
+			for k, es := range table {
+				v.sides[side] = append(v.sides[side], captureBucket(k, es))
+			}
+		}
+		j.chlogDirty[side] = make(map[string]bool)
+		j.chlogDead[side] = make(map[string]bool)
+	}
+	v.leftWM, v.leftWMSet = j.leftWM, j.leftWMSet
+	v.rightWM, v.rightWMS = j.rightWM, j.rightWMS
+	v.lastOutWM, v.lastOutWMSet = j.lastOutWM, j.lastOutWMSet
+	v.leftEOS, v.rightEOS = j.leftEOS, j.rightEOS
+	v.probeCounts = make(map[int64]int64, len(j.probeCounts))
+	for w, c := range j.probeCounts {
+		v.probeCounts[w] = c
+	}
+	v.probeDone = j.probeDone
+	v.impatient = sortedKeys(j.impatientKeys)
+	v.feedbackSeq = j.feedbackSeq
+	v.guardsL = snapshot.GuardsView(j.guardsL)
+	v.guardsR = snapshot.GuardsView(j.guardsR)
+	v.guardsOut = snapshot.GuardsView(j.guardsOut)
+	v.counters = [7]int64{j.emitted, j.outerEmitted, j.suppressedIn,
+		j.suppressedOut, j.purgedByFeedback, j.thriftySent, j.impatientSent}
+	return snapshot.Capture{Delta: v.delta, Encode: v.encode}, nil
+}
+
+func putJoinEntry(enc *snapshot.Encoder, e *joinEntry) {
+	enc.PutTuple(e.t)
+	enc.PutInt64(e.ts)
+	enc.PutBool(e.matched)
+}
+
+// encode is phase 2; it sees only the captured view.
+func (v *joinCap) encode(enc *snapshot.Encoder) error {
+	for side := 0; side < 2; side++ {
+		buckets := v.sides[side]
+		sort.Slice(buckets, func(a, b int) bool { return buckets[a].key < buckets[b].key })
+		if v.delta {
+			dead := v.dead[side]
+			sort.Strings(dead)
+			enc.PutInt(len(dead))
+			for _, k := range dead {
+				enc.PutString(k)
+			}
+			enc.PutInt(len(buckets))
+			for i := range buckets {
+				enc.PutString(buckets[i].key)
+				enc.PutInt(len(buckets[i].entries))
+				for e := range buckets[i].entries {
+					putJoinEntry(enc, &buckets[i].entries[e])
+				}
+			}
+		} else {
+			// Legacy full format: flat entry list in key order, keys
+			// recomputed from the tuples on load.
+			total := 0
+			for i := range buckets {
+				total += len(buckets[i].entries)
+			}
+			enc.PutInt(total)
+			for i := range buckets {
+				for e := range buckets[i].entries {
+					putJoinEntry(enc, &buckets[i].entries[e])
+				}
+			}
+		}
+	}
+	v.encodeAux(enc)
+	return nil
+}
+
+// encodeAux writes the watermark/thrifty/guard/counter tail shared by full
+// and delta blobs.
+func (v *joinCap) encodeAux(enc *snapshot.Encoder) {
+	enc.PutInt64(v.leftWM)
+	enc.PutBool(v.leftWMSet)
+	enc.PutInt64(v.rightWM)
+	enc.PutBool(v.rightWMS)
+	enc.PutInt64(v.lastOutWM)
+	enc.PutBool(v.lastOutWMSet)
+	enc.PutBool(v.leftEOS)
+	enc.PutBool(v.rightEOS)
+	wids := make([]int64, 0, len(v.probeCounts))
+	for w := range v.probeCounts {
 		wids = append(wids, w)
 	}
 	sort.Slice(wids, func(a, b int) bool { return wids[a] < wids[b] })
 	enc.PutInt(len(wids))
 	for _, w := range wids {
 		enc.PutInt64(w)
-		enc.PutInt64(j.probeCounts[w])
+		enc.PutInt64(v.probeCounts[w])
 	}
-	enc.PutInt64(j.probeDone)
-	ikeys := make([]string, 0, len(j.impatientKeys))
-	for k := range j.impatientKeys {
-		ikeys = append(ikeys, k)
-	}
-	sort.Strings(ikeys)
-	enc.PutInt(len(ikeys))
-	for _, k := range ikeys {
+	enc.PutInt64(v.probeDone)
+	enc.PutInt(len(v.impatient))
+	for _, k := range v.impatient {
 		enc.PutString(k)
 	}
-	enc.PutInt64(j.feedbackSeq)
-	snapshot.PutGuards(enc, j.guardsL)
-	snapshot.PutGuards(enc, j.guardsR)
-	snapshot.PutGuards(enc, j.guardsOut)
-	for _, c := range []int64{j.emitted, j.outerEmitted, j.suppressedIn,
-		j.suppressedOut, j.purgedByFeedback, j.thriftySent, j.impatientSent} {
+	enc.PutInt64(v.feedbackSeq)
+	snapshot.PutGuardsView(enc, v.guardsL)
+	snapshot.PutGuardsView(enc, v.guardsR)
+	snapshot.PutGuardsView(enc, v.guardsOut)
+	for _, c := range v.counters {
 		enc.PutInt64(c)
 	}
-	return nil
 }
 
-// LoadState implements snapshot.Stater.
-func (j *Join) LoadState(dec *snapshot.Decoder) error {
-	// Tables are re-read after the guards so assumption-driven dropping can
-	// consult them — but the wire order must match SaveState, so stash the
-	// raw entries first.
-	type rawEntry struct {
-		e    *joinEntry
-		side int
-	}
-	var raw []rawEntry
-	for side := 0; side < 2; side++ {
-		n := dec.GetInt()
-		for i := 0; i < n && dec.Err() == nil; i++ {
-			raw = append(raw, rawEntry{
-				e:    &joinEntry{t: dec.GetTuple(), ts: dec.GetInt64(), matched: dec.GetBool()},
-				side: side,
-			})
-		}
-	}
+// SaveState implements snapshot.Stater.
+func (j *Join) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(j, enc)
+}
+
+// loadAux reads the shared tail (see joinCap.encodeAux).
+func (j *Join) loadAux(dec *snapshot.Decoder) {
 	j.leftWM = dec.GetInt64()
 	j.leftWMSet = dec.GetBool()
 	j.rightWM = dec.GetInt64()
@@ -221,6 +426,29 @@ func (j *Join) LoadState(dec *snapshot.Decoder) error {
 		&j.suppressedOut, &j.purgedByFeedback, &j.thriftySent, &j.impatientSent} {
 		*c = dec.GetInt64()
 	}
+}
+
+func getJoinEntry(dec *snapshot.Decoder) *joinEntry {
+	return &joinEntry{t: dec.GetTuple(), ts: dec.GetInt64(), matched: dec.GetBool()}
+}
+
+// LoadState implements snapshot.Stater.
+func (j *Join) LoadState(dec *snapshot.Decoder) error {
+	// Tables are re-read after the guards so assumption-driven dropping can
+	// consult them — but the wire order must match the encoder, so stash
+	// the raw entries first.
+	type rawEntry struct {
+		e    *joinEntry
+		side int
+	}
+	var raw []rawEntry
+	for side := 0; side < 2; side++ {
+		n := dec.GetInt()
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			raw = append(raw, rawEntry{e: getJoinEntry(dec), side: side})
+		}
+	}
+	j.loadAux(dec)
 	if err := dec.Err(); err != nil {
 		return err
 	}
@@ -237,6 +465,61 @@ func (j *Join) LoadState(dec *snapshot.Decoder) error {
 		}
 		table[r.e.t.Key(keys)] = append(table[r.e.t.Key(keys)], r.e)
 	}
+	j.chlogDirty = [2]map[string]bool{{}, {}}
+	j.chlogDead = [2]map[string]bool{{}, {}}
+	return nil
+}
+
+// ApplyDelta implements snapshot.DeltaStater: per side, deletions then
+// per-key bucket replacement, then the aux tail replaces current values.
+// Replaced buckets are re-filtered through the cut's input guards, the
+// same assumption-driven dropping LoadState applies.
+func (j *Join) ApplyDelta(dec *snapshot.Decoder) error {
+	var replaced [2][]string
+	for side := 0; side < 2; side++ {
+		table := j.table(side)
+		nd := dec.GetInt()
+		for i := 0; i < nd && dec.Err() == nil; i++ {
+			delete(table, dec.GetString())
+		}
+		n := dec.GetInt()
+		for i := 0; i < n && dec.Err() == nil; i++ {
+			k := dec.GetString()
+			ne := dec.GetInt()
+			es := make([]*joinEntry, 0, dec.CountHint(ne))
+			for e := 0; e < ne && dec.Err() == nil; e++ {
+				es = append(es, getJoinEntry(dec))
+			}
+			table[k] = es
+			replaced[side] = append(replaced[side], k)
+		}
+	}
+	j.loadAux(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	for side := 0; side < 2; side++ {
+		guards := j.guardsL
+		if side == 1 {
+			guards = j.guardsR
+		}
+		table := j.table(side)
+		for _, k := range replaced[side] {
+			kept := table[k][:0]
+			for _, e := range table[k] {
+				if guards.Suppress(e.t) {
+					j.purgedByFeedback++
+					continue
+				}
+				kept = append(kept, e)
+			}
+			if len(kept) == 0 {
+				delete(table, k)
+			} else {
+				table[k] = kept
+			}
+		}
+	}
 	return nil
 }
 
@@ -244,15 +527,25 @@ func (j *Join) LoadState(dec *snapshot.Decoder) error {
 // Impute.
 // ---------------------------------------------------------------------------
 
-// SaveState implements snapshot.Stater: the guard table is the whole point
-// — losing it on crash would re-expose the archive to lookups the feedback
-// already disclaimed.
+// CaptureState implements snapshot.TwoPhase: the guard table is the whole
+// point — losing it on crash would re-expose the archive to lookups the
+// feedback already disclaimed. The state is O(guards), so capture is
+// always full.
+func (im *Impute) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	guards := snapshot.GuardsView(im.guards)
+	imputed, skipped, passed := im.imputed, im.skipped, im.passed
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		snapshot.PutGuardsView(enc, guards)
+		enc.PutInt64(imputed)
+		enc.PutInt64(skipped)
+		enc.PutInt64(passed)
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
 func (im *Impute) SaveState(enc *snapshot.Encoder) error {
-	snapshot.PutGuards(enc, im.guards)
-	enc.PutInt64(im.imputed)
-	enc.PutInt64(im.skipped)
-	enc.PutInt64(im.passed)
-	return nil
+	return snapshot.EncodeCapture(im, enc)
 }
 
 // LoadState implements snapshot.Stater.
@@ -268,27 +561,54 @@ func (im *Impute) LoadState(dec *snapshot.Decoder) error {
 // Pace.
 // ---------------------------------------------------------------------------
 
-// SaveState implements snapshot.Stater: the high watermark and feedback
-// cutoff are what make a restored PACE keep its promises — a fresh one
-// would re-admit tuples the old instance's feedback already disclaimed.
+// paceCap is the captured view of a Pace.
+type paceCap struct {
+	hw          int64
+	hwSet       bool
+	lastCutoff  int64
+	cutoffSet   bool
+	feedbackSeq int64
+	sent        int64
+	wm          []watermark
+	perIn       []PaceInputStats
+}
+
+// CaptureState implements snapshot.TwoPhase: the high watermark and
+// feedback cutoff are what make a restored PACE keep its promises — a
+// fresh one would re-admit tuples the old instance's feedback already
+// disclaimed.
+func (p *Pace) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	v := &paceCap{
+		hw: p.hw, hwSet: p.hwSet,
+		lastCutoff: p.lastCutoff, cutoffSet: p.cutoffSet,
+		feedbackSeq: p.feedbackSeq, sent: p.feedbackSent,
+		wm:    append([]watermark(nil), p.wm...),
+		perIn: append([]PaceInputStats(nil), p.perIn...),
+	}
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt64(v.hw)
+		enc.PutBool(v.hwSet)
+		enc.PutInt64(v.lastCutoff)
+		enc.PutBool(v.cutoffSet)
+		enc.PutInt64(v.feedbackSeq)
+		enc.PutInt64(v.sent)
+		enc.PutInt(len(v.wm))
+		for _, w := range v.wm {
+			enc.PutInt64(w.v)
+			enc.PutBool(w.set)
+			enc.PutBool(w.eos)
+		}
+		for _, st := range v.perIn {
+			enc.PutInt64(st.Passed)
+			enc.PutInt64(st.Dropped)
+		}
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
 func (p *Pace) SaveState(enc *snapshot.Encoder) error {
-	enc.PutInt64(p.hw)
-	enc.PutBool(p.hwSet)
-	enc.PutInt64(p.lastCutoff)
-	enc.PutBool(p.cutoffSet)
-	enc.PutInt64(p.feedbackSeq)
-	enc.PutInt64(p.feedbackSent)
-	enc.PutInt(len(p.wm))
-	for _, w := range p.wm {
-		enc.PutInt64(w.v)
-		enc.PutBool(w.set)
-		enc.PutBool(w.eos)
-	}
-	for _, st := range p.perIn {
-		enc.PutInt64(st.Passed)
-		enc.PutInt64(st.Dropped)
-	}
-	return nil
+	return snapshot.EncodeCapture(p, enc)
 }
 
 // LoadState implements snapshot.Stater.
@@ -322,40 +642,83 @@ func (p *Pace) LoadState(dec *snapshot.Decoder) error {
 // Merge.
 // ---------------------------------------------------------------------------
 
-// SaveState implements snapshot.Stater: the alignment state — per-input
-// frontiers, asserted patterns, the pending list, and the already-emitted
-// merged frontier — must survive recovery, otherwise a restored merge
-// could re-emit punctuation it already promised (downstream would purge
-// twice, harmless) or forward a pattern a lagging partition has not
-// re-covered (unsound).
-func (m *Merge) SaveState(enc *snapshot.Encoder) error {
+// mergeCapIn is one captured input leg of a Merge.
+type mergeCapIn struct {
+	eos      bool
+	wm       []int64
+	wmSet    []bool
+	asserted []punct.Pattern
+}
+
+// mergeCap is the captured view of a Merge.
+type mergeCap struct {
+	ins      []mergeCapIn
+	wmOut    []int64
+	wmOutSet []bool
+	pending  []punct.Pattern
+	guards   []core.Feedback
+	counters [4]int64
+}
+
+// CaptureState implements snapshot.TwoPhase: the alignment state —
+// per-input frontiers, asserted patterns, the pending list, and the
+// already-emitted merged frontier — must survive recovery, otherwise a
+// restored merge could re-emit punctuation it already promised (downstream
+// would purge twice, harmless) or forward a pattern a lagging partition
+// has not re-covered (unsound). Patterns are immutable; the slices holding
+// them are copied.
+func (m *Merge) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
 	arity := m.Schema.Arity()
-	enc.PutInt(len(m.ins))
+	v := &mergeCap{
+		ins:      make([]mergeCapIn, len(m.ins)),
+		wmOut:    append([]int64(nil), m.wmOut...),
+		wmOutSet: append([]bool(nil), m.wmOutSet...),
+		pending:  append([]punct.Pattern(nil), m.pending...),
+		guards:   snapshot.GuardsView(m.guards),
+		counters: [4]int64{m.in, m.out, m.suppressed, m.aligned},
+	}
 	for i := range m.ins {
 		in := &m.ins[i]
-		enc.PutBool(in.eos)
-		for a := 0; a < arity; a++ {
-			enc.PutInt64(in.wm[a])
-			enc.PutBool(in.wmSet[a])
+		v.ins[i] = mergeCapIn{
+			eos:      in.eos,
+			wm:       append([]int64(nil), in.wm...),
+			wmSet:    append([]bool(nil), in.wmSet...),
+			asserted: append([]punct.Pattern(nil), in.asserted...),
 		}
-		enc.PutInt(len(in.asserted))
-		for _, p := range in.asserted {
+	}
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt(len(v.ins))
+		for i := range v.ins {
+			in := &v.ins[i]
+			enc.PutBool(in.eos)
+			for a := 0; a < arity; a++ {
+				enc.PutInt64(in.wm[a])
+				enc.PutBool(in.wmSet[a])
+			}
+			enc.PutInt(len(in.asserted))
+			for _, p := range in.asserted {
+				enc.PutPattern(p)
+			}
+		}
+		for a := 0; a < arity; a++ {
+			enc.PutInt64(v.wmOut[a])
+			enc.PutBool(v.wmOutSet[a])
+		}
+		enc.PutInt(len(v.pending))
+		for _, p := range v.pending {
 			enc.PutPattern(p)
 		}
-	}
-	for a := 0; a < arity; a++ {
-		enc.PutInt64(m.wmOut[a])
-		enc.PutBool(m.wmOutSet[a])
-	}
-	enc.PutInt(len(m.pending))
-	for _, p := range m.pending {
-		enc.PutPattern(p)
-	}
-	snapshot.PutGuards(enc, m.guards)
-	for _, c := range []int64{m.in, m.out, m.suppressed, m.aligned} {
-		enc.PutInt64(c)
-	}
-	return nil
+		snapshot.PutGuardsView(enc, v.guards)
+		for _, c := range v.counters {
+			enc.PutInt64(c)
+		}
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (m *Merge) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(m, enc)
 }
 
 // LoadState implements snapshot.Stater.
@@ -401,32 +764,59 @@ func (m *Merge) LoadState(dec *snapshot.Decoder) error {
 // Split.
 // ---------------------------------------------------------------------------
 
-// SaveState implements snapshot.Stater: per-partition guards (feedback each
-// partition has asserted), the already-relayed set, and the round-robin
-// cursor — the cursor matters for keyless splits, where a restored run must
-// continue the same routing sequence to stay canonically identical.
-func (s *Split) SaveState(enc *snapshot.Encoder) error {
-	enc.PutInt(s.n())
+// splitCap is the captured view of a Split.
+type splitCap struct {
+	perOut       [][]core.Feedback
+	perOutDemand [][]core.Feedback
+	propagated   []string
+	rr           int
+	in           int64
+	suppressed   int64
+	outPer       []int64
+}
+
+// CaptureState implements snapshot.TwoPhase: per-partition guards
+// (feedback each partition has asserted), the already-relayed set, and the
+// round-robin cursor — the cursor matters for keyless splits, where a
+// restored run must continue the same routing sequence to stay canonically
+// identical.
+func (s *Split) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	v := &splitCap{
+		perOut:       make([][]core.Feedback, s.n()),
+		perOutDemand: make([][]core.Feedback, s.n()),
+		propagated:   sortedKeys(s.propagated),
+		rr:           s.rr,
+		in:           s.in,
+		suppressed:   s.suppressed,
+		outPer:       append([]int64(nil), s.outPer...),
+	}
 	for i := 0; i < s.n(); i++ {
-		snapshot.PutGuards(enc, s.perOut[i])
-		snapshot.PutGuards(enc, s.perOutDemand[i])
+		v.perOut[i] = snapshot.GuardsView(s.perOut[i])
+		v.perOutDemand[i] = snapshot.GuardsView(s.perOutDemand[i])
 	}
-	keys := make([]string, 0, len(s.propagated))
-	for k := range s.propagated {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	enc.PutInt(len(keys))
-	for _, k := range keys {
-		enc.PutString(k)
-	}
-	enc.PutInt(s.rr)
-	enc.PutInt64(s.in)
-	enc.PutInt64(s.suppressed)
-	for _, c := range s.outPer {
-		enc.PutInt64(c)
-	}
-	return nil
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt(len(v.perOut))
+		for i := range v.perOut {
+			snapshot.PutGuardsView(enc, v.perOut[i])
+			snapshot.PutGuardsView(enc, v.perOutDemand[i])
+		}
+		enc.PutInt(len(v.propagated))
+		for _, k := range v.propagated {
+			enc.PutString(k)
+		}
+		enc.PutInt(v.rr)
+		enc.PutInt64(v.in)
+		enc.PutInt64(v.suppressed)
+		for _, c := range v.outPer {
+			enc.PutInt64(c)
+		}
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (s *Split) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(s, enc)
 }
 
 // LoadState implements snapshot.Stater.

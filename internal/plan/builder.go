@@ -68,6 +68,25 @@ func (b *Builder) Restore(backend snapshot.Backend, id string) error {
 	return b.g.Restore(backend, id)
 }
 
+// RestoreLatest stages the newest restorable epoch of a checkpoint chain
+// (base + incremental deltas); ok is false on an empty chain, so cold
+// starts and recoveries share one call site. Build the full plan first.
+func (b *Builder) RestoreLatest(chain *snapshot.Chain) (ok bool, err error) {
+	if err := b.Err(); err != nil {
+		return false, err
+	}
+	return b.g.RestoreLatest(chain)
+}
+
+// RunCheckpointed validates and executes the plan under periodic
+// checkpoints persisted to the chain (see exec.Graph.RunCheckpointed).
+func (b *Builder) RunCheckpointed(chain *snapshot.Chain, p exec.CheckpointPolicy) (runErr, chkErr error) {
+	if err := b.Err(); err != nil {
+		return err, nil
+	}
+	return b.g.RunCheckpointed(chain, p)
+}
+
 // Stream is a named handle on one operator output port.
 type Stream struct {
 	b      *Builder

@@ -18,6 +18,17 @@ type Backend interface {
 	Get(id string) ([]byte, error)
 	// List returns the stored ids in lexical order.
 	List() ([]string, error)
+	// Delete removes one snapshot; deleting an unknown id is not an error
+	// (retention GC must be idempotent across crashes).
+	Delete(id string) error
+}
+
+// Flusher is implemented by write-behind backends (Async): Flush blocks
+// until enqueued writes are durably applied. Callers that must not
+// proceed past an undurable write — the checkpoint finisher before it
+// reports an epoch persisted — flush when the backend supports it.
+type Flusher interface {
+	Flush() error
 }
 
 // Memory is the in-memory backend used by tests and benchmarks.
@@ -46,6 +57,14 @@ func (b *Memory) Get(id string) ([]byte, error) {
 		return nil, fmt.Errorf("snapshot: unknown id %q", id)
 	}
 	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Backend.
+func (b *Memory) Delete(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.m, id)
+	return nil
 }
 
 // List implements Backend.
@@ -135,6 +154,23 @@ func (b *Dir) Get(id string) ([]byte, error) {
 		return nil, fmt.Errorf("snapshot: read %q: %w", id, err)
 	}
 	return data, nil
+}
+
+// Delete implements Backend. No directory fsync: deletion durability is
+// not a correctness requirement — a crash may resurrect deleted garbage,
+// but retention re-collects it idempotently and restore prefers the most
+// self-contained form, whereas Put's fsync (a snapshot must exist
+// completely or not at all) is load-bearing. Skipping it keeps a GC pass
+// over k files from paying k directory syncs.
+func (b *Dir) Delete(id string) error {
+	path, err := b.file(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // List implements Backend.

@@ -47,45 +47,79 @@ type NodeState struct {
 	// drifted plan fails loudly instead of loading state into the wrong
 	// operator.
 	Name string
+	// Delta marks State as a delta relative to the node's state in the
+	// snapshot this one chains from (applied via DeltaStater.ApplyDelta);
+	// false means State is complete and replaces whatever came before.
+	Delta bool
 	// State is the blob the node's Stater wrote (empty for stateless
 	// nodes, which are recorded for plan-shape validation only).
 	State []byte
+	// Deltas holds additional delta blobs to apply after State, in order.
+	// Only compaction produces these: packing a base+delta chain into one
+	// self-contained snapshot concatenates each node's segments here.
+	Deltas [][]byte
 }
 
-// Snapshot is one consistent cut of a plan.
+// Snapshot is one consistent cut of a plan — either complete (Base == 0)
+// or a delta that must be applied on top of the chain ending at Base.
 type Snapshot struct {
 	// Epoch is the checkpoint's sequence number within the run that took
 	// it (monotonically increasing per graph).
 	Epoch int64
+	// Base is the epoch this snapshot chains from: restore loads the chain
+	// ending at Base first, then applies this snapshot's deltas. Zero
+	// means the snapshot is self-contained (a base or a compacted pack).
+	Base int64
 	// Nodes holds per-node state in node-id order.
 	Nodes []NodeState
 }
 
-// magic guards against feeding arbitrary files to Decode.
-var magic = []byte("pasnap1\n")
+// IsFull reports whether the snapshot restores on its own (no parent).
+func (s *Snapshot) IsFull() bool { return s.Base == 0 }
+
+// magic guards against feeding arbitrary files to Decode; magicV1 is the
+// pre-chain format (no Base, no per-node delta segments), still decoded.
+var (
+	magic   = []byte("pasnap2\n")
+	magicV1 = []byte("pasnap1\n")
+)
 
 // Encode serializes the snapshot.
 func (s *Snapshot) Encode() []byte {
 	e := NewEncoder()
 	e.buf = append(e.buf, magic...)
 	e.PutInt64(s.Epoch)
+	e.PutInt64(s.Base)
 	e.PutInt(len(s.Nodes))
 	for _, n := range s.Nodes {
 		e.PutInt(n.ID)
 		e.PutString(n.Name)
+		e.PutBool(n.Delta)
 		e.PutBytes(n.State)
+		e.PutInt(len(n.Deltas))
+		for _, d := range n.Deltas {
+			e.PutBytes(d)
+		}
 	}
 	b, _ := e.Bytes() // the encoder has no failing paths
 	return b
 }
 
-// Decode parses a snapshot serialized by Encode.
+// Decode parses a snapshot serialized by Encode (either format version).
 func Decode(data []byte) (*Snapshot, error) {
-	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+	v1 := false
+	switch {
+	case len(data) >= len(magic) && string(data[:len(magic)]) == string(magic):
+	case len(data) >= len(magicV1) && string(data[:len(magicV1)]) == string(magicV1):
+		v1 = true
+	default:
 		return nil, fmt.Errorf("snapshot: not a snapshot (bad magic)")
 	}
 	d := NewDecoder(data[len(magic):])
 	s := &Snapshot{Epoch: d.GetInt64()}
+	if !v1 {
+		s.Base = d.GetInt64()
+	}
 	n := d.GetInt()
 	if d.Err() != nil {
 		return nil, d.Err()
@@ -94,7 +128,17 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("snapshot: negative node count")
 	}
 	for i := 0; i < n; i++ {
-		ns := NodeState{ID: d.GetInt(), Name: d.GetString(), State: d.GetBytes()}
+		ns := NodeState{ID: d.GetInt(), Name: d.GetString()}
+		if !v1 {
+			ns.Delta = d.GetBool()
+		}
+		ns.State = d.GetBytes()
+		if !v1 {
+			nd := d.GetInt()
+			for j := 0; j < nd && d.Err() == nil; j++ {
+				ns.Deltas = append(ns.Deltas, d.GetBytes())
+			}
+		}
 		if d.Err() != nil {
 			return nil, d.Err()
 		}

@@ -44,32 +44,68 @@ func (e *Encoder) Encode(t Tuple) error {
 // Flush flushes buffered output.
 func (e *Encoder) Flush() error { return e.w.Flush() }
 
-// Decoder reads tuples written by Encoder.
+// Decoder reads tuples written by Encoder. It tracks the exact byte
+// offset of consumed input so seekable sources can checkpoint a replay
+// position (snapshot.Stater on exec.ReaderSource).
 type Decoder struct {
-	s      *bufio.Scanner
+	r      *bufio.Reader
 	schema Schema
 	line   int
+	offset int64 // bytes consumed, including the line's terminator
 }
 
 // NewDecoder creates a decoder for the given schema.
 func NewDecoder(r io.Reader, schema Schema) *Decoder {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &Decoder{s: sc, schema: schema}
+	return &Decoder{r: bufio.NewReaderSize(r, 64*1024), schema: schema}
+}
+
+// Offset returns the number of input bytes fully consumed: the boundary
+// after the last decoded (or skipped) line. Re-reading from this offset
+// resumes exactly after that line.
+func (d *Decoder) Offset() int64 { return d.offset }
+
+// maxLine bounds one input line (as the previous Scanner-based decoder
+// did); binary or corrupt input fails fast instead of buffering
+// unboundedly.
+const maxLine = 1 << 20
+
+// readLine reads one delimiter-terminated line, enforcing maxLine while
+// reading so an undelimited blob never accumulates past the bound.
+func (d *Decoder) readLine() (string, error) {
+	var sb strings.Builder
+	for {
+		frag, err := d.r.ReadSlice('\n')
+		sb.Write(frag)
+		if sb.Len() > maxLine {
+			return "", fmt.Errorf("stream: line %d exceeds %d bytes (corrupt or binary input?)", d.line+1, maxLine)
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return sb.String(), err
+	}
 }
 
 // Decode reads the next tuple; it returns io.EOF at end of input.
 func (d *Decoder) Decode() (Tuple, error) {
 	for {
-		if !d.s.Scan() {
-			if err := d.s.Err(); err != nil {
-				return Tuple{}, err
+		raw, err := d.readLine()
+		if raw == "" && err != nil {
+			if err == io.EOF {
+				return Tuple{}, io.EOF
 			}
-			return Tuple{}, io.EOF
+			return Tuple{}, err
 		}
+		if err != nil && err != io.EOF {
+			return Tuple{}, err
+		}
+		d.offset += int64(len(raw))
 		d.line++
-		line := strings.TrimSpace(d.s.Text())
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
+			if err == io.EOF {
+				return Tuple{}, io.EOF
+			}
 			continue
 		}
 		return d.parse(line)
