@@ -427,6 +427,25 @@ func BenchmarkCheckpoint(b *testing.B) {
 	}
 }
 
+// BenchmarkRemoteBarrier measures the end-to-end latency of one
+// distributed checkpoint epoch across a loopback TCP edge: barrier
+// injection at the producer, the wire crossing, the consumer subplan's
+// aligned cut and local persist, the ack over the control connection, and
+// the coordinator's manifest commit.
+func BenchmarkRemoteBarrier(b *testing.B) {
+	db, err := experiments.StartDistBench(50_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCheckpointLargeState measures the end-to-end latency of one
 // full checkpoint (capture + background encode + assembly) as aggregate
 // state grows 100×. This is the path whose cost inherently scales with

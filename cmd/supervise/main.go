@@ -3,32 +3,42 @@
 // crash — the fault-tolerant runtime the ROADMAP's "checkpoint scheduling
 // & retention" item asks for.
 //
-// Two modes share one binary:
+// Three modes share one binary:
 //
 //   - supervisor (default): spawns itself with -child, restarts it on any
-//     non-zero exit (kill -9 included) up to -max-restarts, and verifies
-//     the surviving run completed;
-//   - -child: one plan incarnation — restore from the newest epoch in -dir
-//     if one exists, then run under RunCheckpointed (incremental deltas,
-//     periodic fulls, keep-last-N retention).
+//     non-zero exit (kill -9 included) up to -max-restarts with exponential
+//     backoff, and verifies the surviving run completed;
+//   - -dist supervisor: the two-process mode — the plan is split across a
+//     producer (checkpoint coordinator) and a consumer (follower) process
+//     joined by a TCP data edge plus a control connection; checkpoint
+//     barriers cross the wire so both subplans cut the same epoch, each
+//     persists its own chain, and the coordinator commits a distributed
+//     manifest only after the follower's ack. If either process dies, the
+//     supervisor kills the other and restarts the pair from the newest
+//     committed manifest;
+//   - -child: one plan incarnation — single-process (-role ""), or one half
+//     of the distributed pair (-role coord / -role follow).
 //
 // -crash-after-epochs N makes the FIRST incarnation SIGKILL itself once N
-// checkpoint epochs are durable, so
+// checkpoint epochs are durable (committed manifests, in dist mode), so
 //
-//	supervise -dir /tmp/ck -crash-after-epochs 3
+//	supervise -dist -dir /tmp/ck -crash-after-epochs 3
 //
-// demonstrates the whole loop: run → crash → auto-restart → recover →
-// complete. The final line (results count + checksum over the canonical
-// result set) is identical with and without the crash; CI asserts exactly
-// that.
+// demonstrates the whole loop: run → kill -9 mid-epoch → uncommitted epoch
+// abandoned → auto-restart → both subplans recover from the last committed
+// cut → complete. The final line (results count + checksum over the
+// canonical result set) is identical with and without the crash; CI asserts
+// exactly that.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"hash/fnv"
+	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -54,7 +64,13 @@ type options struct {
 	minutes      int
 	crashAfter   int
 	maxRestarts  int
+	backoff      time.Duration
 	child        bool
+	dist         bool
+	role         string
+	addr         string
+	ackTimeout   time.Duration
+	writeTimeout time.Duration
 }
 
 func main() {
@@ -68,16 +84,29 @@ func main() {
 	flag.IntVar(&o.minutes, "minutes", 30, "stream-minutes of synthetic traffic to process")
 	flag.IntVar(&o.crashAfter, "crash-after-epochs", 0, "SIGKILL the first incarnation after N durable epochs (0 = never)")
 	flag.IntVar(&o.maxRestarts, "max-restarts", 5, "supervisor: give up after N restarts")
+	flag.DurationVar(&o.backoff, "restart-backoff", 100*time.Millisecond, "supervisor: initial restart delay (doubles per crashing restart, resets after a healthy run)")
 	flag.BoolVar(&o.child, "child", false, "run one plan incarnation (internal)")
+	flag.BoolVar(&o.dist, "dist", false, "two-process mode: producer/coordinator + consumer/follower over TCP")
+	flag.StringVar(&o.role, "role", "", "child role in dist mode: coord or follow (internal)")
+	flag.StringVar(&o.addr, "addr", "", "dist mode: coordinator listen address (internal; supervisor picks one)")
+	flag.DurationVar(&o.ackTimeout, "ack-timeout", 10*time.Second, "dist mode: abandon an epoch when follower acks do not arrive in time")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "dist mode: remote sink write deadline (0 = none)")
 	flag.Parse()
 	if o.dir == "" {
 		fmt.Fprintln(os.Stderr, "supervise: -dir is required")
 		os.Exit(2)
 	}
 	var err error
-	if o.child {
+	switch {
+	case o.child && o.role == "coord":
+		err = runChildCoord(o)
+	case o.child && o.role == "follow":
+		err = runChildFollow(o)
+	case o.child:
 		err = runChild(o)
-	} else {
+	case o.dist:
+		err = runSupervisorDist(o)
+	default:
 		err = runSupervisor(o)
 	}
 	if err != nil {
@@ -86,23 +115,70 @@ func main() {
 	}
 }
 
-// runSupervisor restarts the child until it completes.
+// backoff is the supervisor's restart pacing: exponential on consecutive
+// crashing restarts (so a child that dies on startup cannot burn
+// max-restarts in milliseconds), reset once a child ran long enough to have
+// made progress.
+type backoff struct {
+	base, cur time.Duration
+}
+
+// healthyRun is how long a child must survive for its crash to count as
+// fresh (resetting the backoff) rather than part of a crash loop.
+const healthyRun = 2 * time.Second
+
+func newBackoff(base time.Duration) *backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	return &backoff{base: base, cur: base}
+}
+
+// wait sleeps before the next restart and advances the schedule; ran is how
+// long the crashed incarnation lived.
+func (b *backoff) wait(ran time.Duration) {
+	if ran >= healthyRun {
+		b.cur = b.base
+	}
+	fmt.Printf("SUPERVISOR backing off %v before restart\n", b.cur)
+	time.Sleep(b.cur)
+	if b.cur *= 2; b.cur > 5*time.Second {
+		b.cur = 5 * time.Second
+	}
+}
+
+// childArgs assembles the flags shared by every child incarnation.
+func (o options) childArgs(role string) []string {
+	args := []string{"-child",
+		"-dir", o.dir,
+		"-interval", o.interval.String(),
+		"-full-every", fmt.Sprint(o.fullEvery),
+		"-retain", fmt.Sprint(o.retain),
+		"-compact-every", fmt.Sprint(o.compactEvery),
+		"-parts", fmt.Sprint(o.parts),
+		"-minutes", fmt.Sprint(o.minutes),
+	}
+	if role != "" {
+		args = append(args,
+			"-role", role,
+			"-addr", o.addr,
+			"-ack-timeout", o.ackTimeout.String(),
+			"-write-timeout", o.writeTimeout.String(),
+		)
+	}
+	return args
+}
+
+// runSupervisor restarts the single-process child until it completes.
 func runSupervisor(o options) error {
 	self, err := os.Executable()
 	if err != nil {
 		return err
 	}
 	restarts := 0
+	bo := newBackoff(o.backoff)
 	for {
-		args := []string{"-child",
-			"-dir", o.dir,
-			"-interval", o.interval.String(),
-			"-full-every", fmt.Sprint(o.fullEvery),
-			"-retain", fmt.Sprint(o.retain),
-			"-compact-every", fmt.Sprint(o.compactEvery),
-			"-parts", fmt.Sprint(o.parts),
-			"-minutes", fmt.Sprint(o.minutes),
-		}
+		args := o.childArgs("")
 		if restarts == 0 && o.crashAfter > 0 {
 			args = append(args, "-crash-after-epochs", fmt.Sprint(o.crashAfter))
 		}
@@ -115,27 +191,115 @@ func runSupervisor(o options) error {
 			fmt.Printf("SUPERVISOR completed restarts=%d\n", restarts)
 			return nil
 		}
+		ran := time.Since(start)
 		fmt.Printf("SUPERVISOR child exited after %v (%v); restarting from latest checkpoint\n",
-			time.Since(start).Round(time.Millisecond), err)
+			ran.Round(time.Millisecond), err)
 		restarts++
 		if restarts > o.maxRestarts {
 			return fmt.Errorf("gave up after %d restarts", o.maxRestarts)
 		}
+		bo.wait(ran)
 	}
 }
 
-// runChild runs one incarnation: restore-from-latest, then the plan under
-// periodic checkpoints.
-func runChild(o options) error {
-	dir, err := snapshot.NewDir(o.dir)
+// runSupervisorDist supervises the two-process pair: a coordinator child
+// (producer subplan, manifest commits) and a follower child (consumer
+// subplan, result digest). If either dies, the other is killed and the pair
+// restarts from the newest committed manifest.
+func runSupervisorDist(o options) error {
+	self, err := os.Executable()
 	if err != nil {
 		return err
 	}
+	if o.addr == "" {
+		addr, err := freeLoopbackAddr()
+		if err != nil {
+			return err
+		}
+		o.addr = addr
+	}
+	restarts := 0
+	bo := newBackoff(o.backoff)
+	for {
+		coordArgs := o.childArgs("coord")
+		if restarts == 0 && o.crashAfter > 0 {
+			coordArgs = append(coordArgs, "-crash-after-epochs", fmt.Sprint(o.crashAfter))
+		}
+		coord := exec.Command(self, coordArgs...)
+		follow := exec.Command(self, o.childArgs("follow")...)
+		for _, c := range []*exec.Cmd{coord, follow} {
+			c.Stdout = os.Stdout
+			c.Stderr = os.Stderr
+		}
+		start := time.Now()
+		if err := coord.Start(); err != nil {
+			return err
+		}
+		if err := follow.Start(); err != nil {
+			coord.Process.Kill()
+			coord.Wait()
+			return err
+		}
+		// Wait for either child; when one dies with an error the other is
+		// torn down too — its half of the plan cannot complete alone, and a
+		// clean pair restart is the recovery unit.
+		done := make(chan error, 2)
+		go func() { done <- coord.Wait() }()
+		go func() { done <- follow.Wait() }()
+		err1 := <-done
+		if err1 != nil {
+			coord.Process.Signal(syscall.SIGKILL)
+			follow.Process.Signal(syscall.SIGKILL)
+		}
+		err2 := <-done
+		if err1 == nil && err2 == nil {
+			fmt.Printf("SUPERVISOR completed restarts=%d\n", restarts)
+			return nil
+		}
+		ran := time.Since(start)
+		fmt.Printf("SUPERVISOR pair exited after %v (%v / %v); restarting both from latest committed manifest\n",
+			ran.Round(time.Millisecond), err1, err2)
+		restarts++
+		if restarts > o.maxRestarts {
+			return fmt.Errorf("gave up after %d restarts", o.maxRestarts)
+		}
+		bo.wait(ran)
+	}
+}
+
+// freeLoopbackAddr reserves a loopback port by binding and releasing it;
+// the children re-bind it. The window between release and re-bind is racy
+// in principle but safe against ourselves.
+func freeLoopbackAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// openChain sets up the async-backed chain (and backend) under dir.
+func openChain(dir string) (*snapshot.Async, *snapshot.Chain, error) {
+	d, err := snapshot.NewDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	async := snapshot.NewAsync(d)
+	return async, snapshot.NewChain(async), nil
+}
+
+// runChild runs one single-process incarnation: restore-from-latest, then
+// the plan under periodic checkpoints.
+func runChild(o options) error {
 	// Async writes: the checkpoint loop never stalls on the filesystem;
 	// Flush on the way out surfaces any write failure.
-	async := snapshot.NewAsync(dir)
+	async, chain, err := openChain(o.dir)
+	if err != nil {
+		return err
+	}
 	defer async.Close()
-	chain := snapshot.NewChain(async)
 
 	b, sink := buildPlan(o)
 	restored, err := b.RestoreLatest(chain)
@@ -150,15 +314,13 @@ func runChild(o options) error {
 	}
 
 	if o.crashAfter > 0 {
-		go crashAfterEpochs(chain, o.crashAfter)
+		go crashWhen(func() (int64, bool) {
+			ep, ok, err := chain.LatestEpoch()
+			return ep, err == nil && ok
+		}, o.crashAfter)
 	}
 
-	runErr, chkErr := b.RunCheckpointed(chain, execpkg.CheckpointPolicy{
-		Interval:     o.interval,
-		FullEvery:    o.fullEvery,
-		Retain:       o.retain,
-		CompactEvery: o.compactEvery,
-	})
+	runErr, chkErr := b.RunCheckpointed(chain, policyOf(o))
 	if runErr != nil {
 		return runErr
 	}
@@ -173,25 +335,217 @@ func runChild(o options) error {
 	return nil
 }
 
-// crashAfterEpochs SIGKILLs the process once the chain holds the given
-// number of epochs — a genuine kill -9, nothing is flushed or unwound.
-func crashAfterEpochs(chain *snapshot.Chain, n int) {
+func policyOf(o options) execpkg.CheckpointPolicy {
+	return execpkg.CheckpointPolicy{
+		Interval:     o.interval,
+		FullEvery:    o.fullEvery,
+		Retain:       o.retain,
+		CompactEvery: o.compactEvery,
+	}
+}
+
+// Connection tags: the follower dials the coordinator twice on one port and
+// labels each connection with its purpose.
+const (
+	tagControl = 'C'
+	tagData    = 'D'
+)
+
+// runChildCoord runs the producer half: traffic source → filter → remote
+// sink, as the distributed checkpoint coordinator. It listens on -addr for
+// the follower's control and data connections.
+func runChildCoord(o options) error {
+	async, chain, err := openChain(filepath.Join(o.dir, "coord"))
+	if err != nil {
+		return err
+	}
+	defer async.Close()
+	log := snapshot.NewDistLog(chain.Backend())
+
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	conns, err := acceptTagged(l, tagControl, tagData)
+	if err != nil {
+		return err
+	}
+	ctrl, data := conns[0], conns[1]
+	defer ctrl.Close()
+
+	b := plan.New()
+	out := b.Source(trafficSource(o)).Select("filter", nil)
+	rsink := out.IntoRemote("to-consumer", data)
+	rsink.WriteTimeout = o.writeTimeout
+
+	dc, err := b.DistCoordinate("coord", chain, log)
+	if err != nil {
+		return err
+	}
+	dc.AckTimeout = o.ackTimeout
+	restored, err := dc.RestoreCommitted()
+	if err != nil {
+		return err
+	}
+	if restored {
+		fmt.Printf("COORD restored from committed epoch %d\n", dc.CommittedEpoch())
+	} else {
+		fmt.Println("COORD cold start")
+	}
+	part, err := dc.AddFollower(ctrl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("COORD follower %q joined\n", part)
+
+	if o.crashAfter > 0 {
+		go crashWhen(func() (int64, bool) {
+			m, ok, err := log.Latest()
+			if err != nil || !ok {
+				return 0, false
+			}
+			return m.Epoch, true
+		}, o.crashAfter)
+	}
+
+	runErr, chkErr := dc.RunCheckpointed(policyOf(o))
+	if runErr != nil {
+		return runErr
+	}
+	if chkErr != nil {
+		// Abandoned epochs are expected around a follower crash; after a
+		// clean joint completion they indicate a real coordination fault.
+		fmt.Printf("COORD checkpoint maintenance: %v\n", chkErr)
+	}
+	if err := async.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("COORD done committed=%d\n", dc.CommittedEpoch())
+	return nil
+}
+
+// runChildFollow runs the consumer half: remote source → partitioned
+// aggregate → recording sink, as a distributed checkpoint follower. It
+// dials the coordinator's -addr for control and data.
+func runChildFollow(o options) error {
+	async, chain, err := openChain(filepath.Join(o.dir, "follow"))
+	if err != nil {
+		return err
+	}
+	defer async.Close()
+
+	ctrl, err := dialTagged(o.addr, tagControl)
+	if err != nil {
+		return err
+	}
+	defer ctrl.Close()
+	data, err := dialTagged(o.addr, tagData)
+	if err != nil {
+		return err
+	}
+
+	const minute = int64(60_000_000)
+	b := plan.New()
+	out := b.RemoteSource("from-producer", gen.TrafficSchema, data).
+		Parallel("part", o.parts, []string{"segment"}, func(ss plan.Stream) plan.Stream {
+			return ss.Through(&op.Aggregate{OpName: "agg", In: gen.TrafficSchema, Kind: core.AggAvg,
+				TsAttr: 2, ValAttr: 3, GroupBy: []int{0}, Window: window.Tumbling(minute),
+				ValueName: "avg_speed", Mode: op.FeedbackExploit, Propagate: true})
+		})
+	sink := out.Collect("sink")
+
+	df, err := b.DistFollow("follow", chain, ctrl)
+	if err != nil {
+		return err
+	}
+	df.Retain = o.retain
+	restored, err := df.Handshake()
+	if err != nil {
+		return err
+	}
+	if restored {
+		fmt.Printf("FOLLOW restored from committed epoch %d\n", df.CommittedEpoch())
+	} else {
+		fmt.Println("FOLLOW cold start")
+	}
+	if err := df.Run(); err != nil {
+		return err
+	}
+	if err := async.Flush(); err != nil {
+		return err
+	}
+	count, sum := canonicalDigest(sink)
+	fmt.Printf("RESULTS count=%d checksum=%08x\n", count, sum)
+	return nil
+}
+
+// acceptTagged accepts one connection per expected tag byte, in any order.
+func acceptTagged(l net.Listener, tags ...byte) ([]net.Conn, error) {
+	out := make([]net.Conn, len(tags))
+	for range tags {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, err
+		}
+		var tag [1]byte
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := conn.Read(tag[:]); err != nil {
+			return nil, fmt.Errorf("read connection tag: %w", err)
+		}
+		conn.SetReadDeadline(time.Time{})
+		placed := false
+		for i, want := range tags {
+			if tag[0] == want && out[i] == nil {
+				out[i] = conn
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("unexpected connection tag %q", tag[0])
+		}
+	}
+	return out, nil
+}
+
+// dialTagged dials addr with retry (the peer may still be restarting) and
+// sends the tag byte identifying the connection's purpose.
+func dialTagged(addr string, tag byte) (net.Conn, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			if _, werr := conn.Write([]byte{tag}); werr != nil {
+				conn.Close()
+				return nil, werr
+			}
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// crashWhen SIGKILLs the process once the watched progress counter reaches
+// n — a genuine kill -9, nothing is flushed or unwound.
+func crashWhen(progress func() (int64, bool), n int) {
 	for {
 		time.Sleep(5 * time.Millisecond)
-		ep, ok, err := chain.LatestEpoch()
-		if err == nil && ok && ep >= int64(n) {
-			fmt.Printf("CHILD self-destructing at epoch %d (kill -9)\n", ep)
+		if v, ok := progress(); ok && v >= int64(n) {
+			fmt.Printf("CHILD self-destructing at epoch %d (kill -9)\n", v)
 			syscall.Kill(os.Getpid(), syscall.SIGKILL)
 		}
 	}
 }
 
-// buildPlan assembles the demo workload: deterministic synthetic traffic →
-// Parallel(parts) per-segment average → recording sink. Every node is a
-// snapshot.Stater, so the whole plan recovers.
-func buildPlan(o options) (*plan.Builder, *execpkg.Collector) {
+// trafficSource builds the deterministic synthetic workload shared by all
+// modes.
+func trafficSource(o options) *gen.TrafficSource {
 	const minute = int64(60_000_000)
-	src := &gen.TrafficSource{Config: gen.TrafficConfig{
+	return &gen.TrafficSource{Config: gen.TrafficConfig{
 		Segments:            6,
 		DetectorsPerSegment: 10,
 		Duration:            int64(o.minutes) * minute,
@@ -202,8 +556,15 @@ func buildPlan(o options) (*plan.Builder, *execpkg.Collector) {
 		// checkpoints land mid-stream instead of after a millisecond blast.
 		Cost: work.UnitsFor(500 * time.Microsecond),
 	}}
+}
+
+// buildPlan assembles the single-process demo workload: deterministic
+// synthetic traffic → Parallel(parts) per-segment average → recording sink.
+// Every node is a snapshot.Stater, so the whole plan recovers.
+func buildPlan(o options) (*plan.Builder, *execpkg.Collector) {
+	const minute = int64(60_000_000)
 	b := plan.New()
-	out := b.Source(src).Parallel("part", o.parts, []string{"segment"}, func(ss plan.Stream) plan.Stream {
+	out := b.Source(trafficSource(o)).Parallel("part", o.parts, []string{"segment"}, func(ss plan.Stream) plan.Stream {
 		return ss.Through(&op.Aggregate{OpName: "agg", In: gen.TrafficSchema, Kind: core.AggAvg,
 			TsAttr: 2, ValAttr: 3, GroupBy: []int{0}, Window: window.Tumbling(minute),
 			ValueName: "avg_speed", Mode: op.FeedbackExploit, Propagate: true})

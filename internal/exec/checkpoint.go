@@ -185,18 +185,71 @@ func (g *Graph) recordStatusLocked(st CheckpointStatus) {
 	g.statuses = append(g.statuses, st)
 }
 
-// triggerCheckpoint starts one checkpoint: it registers the epoch so
-// sources inject barriers, captures already-exited nodes, and spawns the
-// background finisher chain. It returns without waiting for alignment.
+// CheckpointAtInto triggers a checkpoint at an externally assigned epoch —
+// the receiving half of a cross-process barrier (a DistFollower's plan must
+// cut at the coordinator's epoch number, not its own counter). It returns
+// the checkpoint's completion channel; a duplicate of the still-active
+// epoch (a parallel remote edge delivering the same barrier) returns that
+// checkpoint's channel, and a nil channel with nil error means the epoch
+// was already taken — completed or superseded — and there is nothing to
+// wait for. The outcome is readable via CheckpointStatus once the channel
+// closes.
+func (g *Graph) CheckpointAtInto(epoch int64, mode snapshot.CaptureMode, chain *snapshot.Chain) (<-chan struct{}, error) {
+	if epoch <= 0 {
+		return nil, fmt.Errorf("exec: checkpoint: non-positive epoch %d", epoch)
+	}
+	c, err := g.trigger(epoch, mode, chain)
+	if err != nil || c == nil {
+		return nil, err
+	}
+	return c.done, nil
+}
+
+// triggerCheckpoint starts one checkpoint at the next local epoch.
 func (g *Graph) triggerCheckpoint(mode snapshot.CaptureMode, chain *snapshot.Chain) (*inflight, error) {
+	return g.trigger(0, mode, chain)
+}
+
+// trigger starts one checkpoint: it registers the epoch so sources inject
+// barriers, captures already-exited nodes, and spawns the background
+// finisher chain. It returns without waiting for alignment. forceEpoch == 0
+// assigns the next local epoch; a positive forceEpoch adopts an external
+// (coordinator-assigned) numbering — a duplicate of the active epoch
+// returns the active checkpoint, an epoch at or below the newest triggered
+// one returns (nil, nil), and a forced epoch newer than a still-active one
+// supersedes it (the coordinator has already abandoned the older epoch: its
+// ack can no longer matter, and holding its alignment would wedge the plan).
+func (g *Graph) trigger(forceEpoch int64, mode snapshot.CaptureMode, chain *snapshot.Chain) (*inflight, error) {
 	g.chkMu.Lock()
 	if !g.running {
 		g.chkMu.Unlock()
 		return nil, fmt.Errorf("exec: checkpoint: graph is not running")
 	}
 	if g.activeChk != nil {
+		switch {
+		case forceEpoch == g.activeChk.epoch:
+			c := g.activeChk
+			g.chkMu.Unlock()
+			return c, nil
+		case forceEpoch > g.activeChk.epoch:
+			g.supersedeLocked(forceEpoch)
+		case forceEpoch != 0:
+			// A stale wire barrier still draining behind a newer active
+			// epoch (a parallel edge finally delivering an epoch the
+			// coordinator already abandoned and superseded): drop it — it
+			// must not fail the subplan.
+			g.chkMu.Unlock()
+			return nil, nil
+		default:
+			g.chkMu.Unlock()
+			return nil, fmt.Errorf("exec: checkpoint %d already in progress", g.activeChk.epoch)
+		}
+	}
+	if forceEpoch != 0 && forceEpoch <= g.chkEpoch {
+		// Already taken (or numbering moved past it): a duplicate barrier
+		// from a second remote edge, or a stale barrier still draining.
 		g.chkMu.Unlock()
-		return nil, fmt.Errorf("exec: checkpoint %d already in progress", g.activeChk.epoch)
+		return nil, nil
 	}
 	// A delta needs an intact parent: the first checkpoint, and the first
 	// after any failure or cancellation (whose captures drained the
@@ -204,7 +257,11 @@ func (g *Graph) triggerCheckpoint(mode snapshot.CaptureMode, chain *snapshot.Cha
 	if mode == snapshot.CaptureDelta && (g.lastCapEpoch == 0 || g.chainBroken) {
 		mode = snapshot.CaptureFull
 	}
-	g.chkEpoch++
+	if forceEpoch != 0 {
+		g.chkEpoch = forceEpoch
+	} else {
+		g.chkEpoch++
+	}
 	c := &inflight{
 		epoch:    g.chkEpoch,
 		mode:     mode,
@@ -290,6 +347,23 @@ func (g *Graph) cancelCheckpoint(c *inflight, cause error) {
 	g.recordStatusLocked(CheckpointStatus{
 		Epoch: c.epoch, Base: c.base, Done: false, BarrierHold: c.hold,
 		Err: fmt.Errorf("exec: checkpoint %d cancelled: %w", c.epoch, cause),
+	})
+	close(c.done)
+	g.chkWG.Done()
+}
+
+// supersedeLocked abandons the active checkpoint because a newer remote
+// epoch arrived: same bookkeeping as cancelCheckpoint's active branch. The
+// stale epoch's barriers may still be draining; the runners lift their
+// freezes via alignmentStale. Called with chkMu held.
+func (g *Graph) supersedeLocked(newer int64) {
+	c := g.activeChk
+	g.activeChk = nil
+	g.pendingChk.Store(nil)
+	g.chainBroken = true
+	g.recordStatusLocked(CheckpointStatus{
+		Epoch: c.epoch, Base: c.base, Done: false, BarrierHold: c.hold,
+		Err: fmt.Errorf("exec: checkpoint %d superseded by remote epoch %d before completing", c.epoch, newer),
 	})
 	close(c.done)
 	g.chkWG.Done()

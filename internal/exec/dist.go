@@ -1,0 +1,464 @@
+package exec
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// Distributed checkpoint coordination (DESIGN.md §8). A plan spanning
+// processes is a set of subplans joined by remote edges; a consistent cut
+// needs every subplan to checkpoint the same epoch, aligned by barriers
+// that cross the process boundary in-band (Chandy–Lamport over the data
+// channel, as in Flink's asynchronous barrier snapshotting):
+//
+//   - the coordinator process triggers epoch N locally; its barriers flow
+//     through the subplan and each remote sink forwards the barrier as a
+//     wire frame after everything that preceded the cut (BarrierForwarder);
+//   - the follower process's remote source hands the wire barrier to its
+//     local coordinator (BarrierReceiver → Graph.CheckpointAtInto), which
+//     cuts the downstream subplan at the same epoch number;
+//   - each subplan persists its own snapshot.Chain locally and the follower
+//     acks (epoch, chain id) over a dedicated control connection;
+//   - the coordinator commits a snapshot.DistManifest only after its own
+//     persist and every follower's ack; a missing or failed ack abandons
+//     the epoch — no manifest, no commit message — and the next delta in
+//     the failed part upgrades to full exactly like a broken local chain.
+//
+// Restore inverts commit: the coordinator reads the newest manifest,
+// truncates its local chain past the committed epoch, restores from it, and
+// tells each follower (in the startup handshake) which epoch to restore;
+// followers truncate uncommitted local epochs the same way.
+
+// BarrierForwarder is implemented by sink operators that carry the stream
+// across a process boundary: the runtime calls ForwardBarrier at the
+// operator's barrier-aligned cut, after all pre-cut items have been handed
+// to it and before any post-cut item, so the wire preserves the barrier's
+// in-band position.
+type BarrierForwarder interface {
+	ForwardBarrier(epoch int64, mode snapshot.CaptureMode, ctx Context) error
+}
+
+// BarrierReceiver is implemented by sources that replay a remote stream:
+// the installed hook hands each wire barrier to the local checkpoint
+// coordination glue (DistFollower) before the source emits anything that
+// followed the barrier on the wire.
+type BarrierReceiver interface {
+	SetBarrierHook(fn func(epoch int64, mode snapshot.CaptureMode) error)
+}
+
+// SourceBarrierInjector is implemented by the runtime Context handed to
+// sources. A barrier-receiving source calls InjectWireBarrier at the wire
+// barrier's exact stream position (after the hook has registered the
+// epoch); the runtime cuts the source there and forwards the barrier on
+// its outputs. This matters precisely for parallel remote edges: each
+// edge's source must cut where ITS barrier sits in ITS stream — cutting a
+// second edge early (at whatever position it had reached when the first
+// edge's barrier registered the epoch) would classify that edge's
+// in-flight tuples as post-cut locally while the producer already counted
+// them as sent, losing them on recovery. Hooked sources are therefore
+// excluded from the poll-based cut local sources use.
+type SourceBarrierInjector interface {
+	InjectWireBarrier(epoch int64)
+}
+
+// distPeer is one control connection with serialized writes.
+type distPeer struct {
+	part string
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+func (p *distPeer) send(m snapshot.DistMsg) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return snapshot.WriteDistMsg(p.conn, m)
+}
+
+// distAck is one follower acknowledgement routed to the coordinator loop.
+type distAck struct {
+	part string
+	msg  snapshot.DistMsg
+}
+
+// DistCoordinator drives distributed checkpoints for the subplan that owns
+// the sources: it initiates epochs, collects follower acks, and commits
+// manifests. Usage: NewDistCoordinator → RestoreCommitted → AddFollower per
+// control connection → RunCheckpointed.
+type DistCoordinator struct {
+	g     *Graph
+	part  string
+	chain *snapshot.Chain
+	log   *snapshot.DistLog
+
+	// AckTimeout bounds how long one epoch waits for follower acks before
+	// being abandoned (default 10s).
+	AckTimeout time.Duration
+
+	mu        sync.Mutex
+	peers     []*distPeer
+	committed int64
+	restored  bool
+	acks      chan distAck
+}
+
+// NewDistCoordinator wraps a built (not yet run) graph. part names this
+// subplan in manifests; chain is its local checkpoint chain; log is the
+// manifest store (it may share chain's backend).
+func NewDistCoordinator(g *Graph, part string, chain *snapshot.Chain, log *snapshot.DistLog) *DistCoordinator {
+	return &DistCoordinator{g: g, part: part, chain: chain, log: log, acks: make(chan distAck, 256)}
+}
+
+// CommittedEpoch reports the newest committed distributed epoch.
+func (dc *DistCoordinator) CommittedEpoch() int64 {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.committed
+}
+
+// RestoreCommitted stages the newest committed distributed cut on the
+// coordinator's own (rebuilt) subplan: local epochs past the committed one
+// are truncated — they were persisted but never globally acknowledged —
+// and the chain at the committed epoch is restored. ok=false means no
+// manifest was ever committed (cold start); any uncommitted local chain is
+// wiped so the fresh run's epoch numbering can restart.
+func (dc *DistCoordinator) RestoreCommitted() (ok bool, err error) {
+	m, found, err := dc.log.Latest()
+	if err != nil {
+		return false, err
+	}
+	dc.restored = true
+	if !found {
+		if err := dc.chain.TruncateAfter(0); err != nil {
+			return false, err
+		}
+		return false, nil
+	}
+	if err := dc.chain.TruncateAfter(m.Epoch); err != nil {
+		return false, err
+	}
+	snaps, err := dc.chain.ChainFor(m.Epoch)
+	if err != nil {
+		return false, err
+	}
+	if err := dc.g.RestoreChain(snaps); err != nil {
+		return false, err
+	}
+	dc.mu.Lock()
+	dc.committed = m.Epoch
+	dc.mu.Unlock()
+	return true, nil
+}
+
+// AddFollower runs the coordinator's half of the startup handshake on one
+// control connection: read the follower's hello, reply with the committed
+// epoch it must restore from, and start relaying its acks. It must run
+// after RestoreCommitted (the handshake reply is the committed epoch) and
+// before RunCheckpointed. Returns the follower's part name.
+func (dc *DistCoordinator) AddFollower(ctrl net.Conn) (string, error) {
+	if !dc.restored {
+		return "", fmt.Errorf("exec: dist: RestoreCommitted must run before AddFollower")
+	}
+	hello, err := snapshot.ReadDistMsg(ctrl)
+	if err != nil {
+		return "", fmt.Errorf("exec: dist: handshake read: %w", err)
+	}
+	if hello.Kind != snapshot.DistHello || hello.Part == "" {
+		return "", fmt.Errorf("exec: dist: handshake: expected hello with part name, got kind %d part %q", hello.Kind, hello.Part)
+	}
+	dc.mu.Lock()
+	for _, p := range dc.peers {
+		if p.part == hello.Part {
+			dc.mu.Unlock()
+			return "", fmt.Errorf("exec: dist: duplicate follower part %q", hello.Part)
+		}
+	}
+	committed := dc.committed
+	p := &distPeer{part: hello.Part, conn: ctrl}
+	dc.peers = append(dc.peers, p)
+	dc.mu.Unlock()
+	if err := p.send(snapshot.DistMsg{Kind: snapshot.DistRestore, Epoch: committed}); err != nil {
+		return "", fmt.Errorf("exec: dist: handshake reply: %w", err)
+	}
+	go dc.readAcks(p)
+	return hello.Part, nil
+}
+
+// readAcks relays one peer's acks into the coordinator loop until the
+// connection closes.
+func (dc *DistCoordinator) readAcks(p *distPeer) {
+	for {
+		m, err := snapshot.ReadDistMsg(p.conn)
+		if err != nil {
+			return
+		}
+		if m.Kind != snapshot.DistAck {
+			continue
+		}
+		select {
+		case dc.acks <- distAck{part: p.part, msg: m}:
+		default:
+			// One epoch is in flight at a time and the buffer holds far more
+			// than one ack per peer; a full channel means only stale acks can
+			// be pending, which the loop would discard anyway.
+		}
+	}
+}
+
+// CheckpointOnce takes one distributed checkpoint end to end: trigger the
+// local epoch, wait for the local persist, collect every follower's ack,
+// commit the manifest, and announce the commit. The error covers abandoned
+// epochs (local failure, follower failure, ack timeout) — the plan keeps
+// running either way, exactly as with local checkpoint failures.
+func (dc *DistCoordinator) CheckpointOnce(mode snapshot.CaptureMode) (int64, error) {
+	c, err := dc.g.triggerCheckpoint(mode, dc.chain)
+	if err != nil {
+		return 0, err
+	}
+	<-c.done
+	return c.epoch, dc.finishEpoch(c.epoch, nil)
+}
+
+// finishEpoch runs the ack/commit half for a locally finished epoch; stop
+// (may be nil) aborts the wait early on shutdown.
+func (dc *DistCoordinator) finishEpoch(epoch int64, stop <-chan struct{}) error {
+	st, ok := dc.g.CheckpointStatus(epoch)
+	switch {
+	case !ok:
+		return fmt.Errorf("exec: dist: epoch %d has no recorded outcome", epoch)
+	case st.Err != nil:
+		return fmt.Errorf("exec: dist: epoch %d abandoned: %w", epoch, st.Err)
+	case !st.Persisted:
+		return fmt.Errorf("exec: dist: epoch %d abandoned: local chain write did not complete", epoch)
+	}
+	dc.mu.Lock()
+	peers := append([]*distPeer(nil), dc.peers...)
+	dc.mu.Unlock()
+	parts := []snapshot.DistPart{{Part: dc.part, Epoch: epoch, Chain: snapshot.IDFor(epoch, st.Base)}}
+	pending := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		pending[p.part] = true
+	}
+	timeout := dc.AckTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for len(pending) > 0 {
+		select {
+		case a := <-dc.acks:
+			if a.msg.Epoch != epoch || !pending[a.part] {
+				continue // stale epoch or duplicate: discard
+			}
+			if a.msg.Err != "" {
+				return fmt.Errorf("exec: dist: epoch %d abandoned: part %q failed to persist: %s", epoch, a.part, a.msg.Err)
+			}
+			delete(pending, a.part)
+			parts = append(parts, snapshot.DistPart{Part: a.part, Epoch: epoch, Chain: a.msg.Chain})
+		case <-timer.C:
+			missing := make([]string, 0, len(pending))
+			for part := range pending {
+				missing = append(missing, part)
+			}
+			return fmt.Errorf("exec: dist: epoch %d abandoned: no ack from %v within %v", epoch, missing, timeout)
+		case <-stop:
+			return fmt.Errorf("exec: dist: epoch %d abandoned: shutdown while awaiting acks", epoch)
+		}
+	}
+	if err := dc.log.Commit(&snapshot.DistManifest{Epoch: epoch, Parts: parts}); err != nil {
+		return fmt.Errorf("exec: dist: epoch %d abandoned: commit manifest: %w", epoch, err)
+	}
+	dc.mu.Lock()
+	dc.committed = epoch
+	dc.mu.Unlock()
+	for _, p := range peers {
+		// Best-effort: a follower that misses the commit notice only delays
+		// its local retention; the durable manifest is the commit.
+		_ = p.send(snapshot.DistMsg{Kind: snapshot.DistCommit, Epoch: epoch})
+	}
+	return nil
+}
+
+// RunCheckpointed runs the coordinator subplan under periodic distributed
+// checkpoints — the shared Graph.checkpointLoop driver with the ack/commit
+// protocol spliced between persist and retention. Retention and compaction
+// run only after a successful commit, so the newest retained epoch is
+// always committed. runErr is the plan's error; chkErr aggregates the
+// first checkpoint, commit, retention, or compaction failure.
+func (dc *DistCoordinator) RunCheckpointed(p CheckpointPolicy) (runErr, chkErr error) {
+	return dc.g.checkpointLoop(dc.chain, p, func(epoch int64, count int, stop <-chan struct{}, noteErr func(error)) {
+		if err := dc.finishEpoch(epoch, stop); err != nil {
+			noteErr(err)
+			return // abandoned: no manifest, no retention this cycle
+		}
+		dc.g.maintainChain(dc.chain, p, epoch, count, noteErr)
+		if p.Retain > 0 {
+			if err := dc.log.Retain(p.Retain); err != nil {
+				noteErr(fmt.Errorf("exec: dist: manifest retention after epoch %d: %w", epoch, err))
+			}
+		}
+	})
+}
+
+// DistFollower is the checkpoint glue for a subplan that receives its
+// stream over remote edges: it restores from the coordinator-committed
+// epoch at startup, turns incoming wire barriers into forced-epoch local
+// checkpoints, and acks each persisted epoch over the control connection.
+// Usage: build the graph → NewDistFollower → Handshake → Run.
+type DistFollower struct {
+	g     *Graph
+	part  string
+	chain *snapshot.Chain
+	peer  *distPeer
+
+	// Retain keeps the newest N local epochs after each commit notice
+	// (0 keeps everything). Retention keyed to commits can never collect
+	// the epoch a restore will target.
+	Retain int
+
+	mu         sync.Mutex
+	committed  int64
+	ackSpawned int64 // newest epoch with an ack watcher; dedups parallel edges
+}
+
+// NewDistFollower wraps a built (not yet run) graph and installs the
+// barrier hook on every BarrierReceiver source in it. Hooked sources cut
+// exclusively at their wire barriers (SourceBarrierInjector), never at the
+// poll-based position local sources use.
+func NewDistFollower(g *Graph, part string, chain *snapshot.Chain, ctrl net.Conn) *DistFollower {
+	df := &DistFollower{g: g, part: part, chain: chain, peer: &distPeer{part: part, conn: ctrl}}
+	for _, n := range g.nodes {
+		if n.src == nil {
+			continue
+		}
+		if br, ok := n.src.(BarrierReceiver); ok {
+			br.SetBarrierHook(df.onBarrier)
+			g.markWireBarrier(n.id)
+		}
+	}
+	return df
+}
+
+// CommittedEpoch reports the newest epoch the coordinator announced as
+// committed (including the one restored from at startup).
+func (df *DistFollower) CommittedEpoch() int64 {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.committed
+}
+
+// Handshake runs the follower's half of the startup protocol: report the
+// part name and local chain head, then restore from the epoch the
+// coordinator designates — truncating local epochs past it, which were
+// persisted but never committed. ok=false means cold start.
+func (df *DistFollower) Handshake() (restored bool, err error) {
+	head, _, err := df.chain.LatestEpoch()
+	if err != nil {
+		return false, err
+	}
+	if err := df.peer.send(snapshot.DistMsg{Kind: snapshot.DistHello, Part: df.part, Epoch: head}); err != nil {
+		return false, fmt.Errorf("exec: dist: handshake hello: %w", err)
+	}
+	m, err := snapshot.ReadDistMsg(df.peer.conn)
+	if err != nil {
+		return false, fmt.Errorf("exec: dist: handshake read: %w", err)
+	}
+	if m.Kind != snapshot.DistRestore {
+		return false, fmt.Errorf("exec: dist: handshake: expected restore directive, got kind %d", m.Kind)
+	}
+	if err := df.chain.TruncateAfter(m.Epoch); err != nil {
+		return false, err
+	}
+	if m.Epoch == 0 {
+		return false, nil
+	}
+	snaps, err := df.chain.ChainFor(m.Epoch)
+	if err != nil {
+		return false, err
+	}
+	if err := df.g.RestoreChain(snaps); err != nil {
+		return false, err
+	}
+	df.mu.Lock()
+	df.committed = m.Epoch
+	df.mu.Unlock()
+	return true, nil
+}
+
+// onBarrier is the installed BarrierReceiver hook: cut this subplan at the
+// coordinator's epoch and ack once the epoch is durable. It returns an
+// error only for malformed coordination (which surfaces as a node error and
+// stops the subplan); checkpoint failures are acked with Err instead, so
+// the coordinator abandons the epoch while the stream keeps flowing.
+func (df *DistFollower) onBarrier(epoch int64, mode snapshot.CaptureMode) error {
+	done, err := df.g.CheckpointAtInto(epoch, mode, df.chain)
+	if err != nil {
+		return err
+	}
+	if done == nil {
+		return nil // stale barrier (epoch already completed or superseded)
+	}
+	// Parallel remote edges deliver the same epoch once each and each gets
+	// the active checkpoint's channel back; exactly one ack watcher runs.
+	df.mu.Lock()
+	if epoch <= df.ackSpawned {
+		df.mu.Unlock()
+		return nil
+	}
+	df.ackSpawned = epoch
+	df.mu.Unlock()
+	go func() {
+		<-done
+		ack := snapshot.DistMsg{Kind: snapshot.DistAck, Part: df.part, Epoch: epoch}
+		st, ok := df.g.CheckpointStatus(epoch)
+		switch {
+		case !ok:
+			ack.Err = "checkpoint outcome unknown"
+		case st.Err != nil:
+			ack.Err = st.Err.Error()
+		case !st.Persisted:
+			ack.Err = "chain write did not complete"
+		default:
+			ack.Chain = snapshot.IDFor(epoch, st.Base)
+		}
+		// Best-effort: an unsendable ack is indistinguishable from a missing
+		// one, and the coordinator abandons the epoch either way.
+		_ = df.peer.send(ack)
+	}()
+	return nil
+}
+
+// Run executes the follower subplan while watching the control connection
+// for commit notices (which drive local retention). It returns the plan's
+// error after all background checkpoint work has drained; the caller owns
+// closing the control connection afterwards.
+func (df *DistFollower) Run() error {
+	go func() {
+		for {
+			m, err := snapshot.ReadDistMsg(df.peer.conn)
+			if err != nil {
+				return // connection closed: coordinator gone or shutdown
+			}
+			if m.Kind != snapshot.DistCommit {
+				continue
+			}
+			df.mu.Lock()
+			df.committed = m.Epoch
+			df.mu.Unlock()
+			if df.Retain > 0 {
+				// Retention is keyed to the committed epoch: epochs already
+				// persisted beyond it stay (a later restore may target this
+				// commit after truncating them), and only epochs falling out
+				// of the window below the commit are collectible.
+				_ = df.chain.RetainFrom(m.Epoch, df.Retain)
+			}
+		}
+	}()
+	err := df.g.Run()
+	df.g.WaitCheckpoints()
+	return err
+}

@@ -93,6 +93,10 @@ type Graph struct {
 	exitClean   map[NodeID]bool
 	staged      map[NodeID]stagedState // Restore: per-node base+delta blobs
 	stagedNames map[NodeID]string      // Restore: node names for drift checks
+	// wireBarrier marks sources whose cut is driven by in-band wire
+	// barriers (dist.go): the runner must not cut them at an arbitrary
+	// poll position. Written before Run (NewDistFollower), read-only after.
+	wireBarrier map[NodeID]bool
 
 	// Two-phase checkpointing (checkpoint.go): encode/persist run on
 	// background goroutines after the barrier releases. chkWG tracks them;
@@ -107,6 +111,15 @@ type Graph struct {
 
 // NewGraph creates an empty plan with default queue options.
 func NewGraph() *Graph { return &Graph{opts: queue.DefaultOptions()} }
+
+// markWireBarrier registers a source as wire-barrier-driven; must be
+// called before Run.
+func (g *Graph) markWireBarrier(id NodeID) {
+	if g.wireBarrier == nil {
+		g.wireBarrier = make(map[NodeID]bool)
+	}
+	g.wireBarrier[id] = true
+}
 
 // SetQueueOptions overrides the inter-operator connection configuration for
 // edges wired afterwards (benchmarks use this to ablate page size).

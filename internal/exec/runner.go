@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/queue"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 
 	"repro/internal/punct"
@@ -245,6 +246,12 @@ func (r *nodeRunner) runSource() error {
 	r.onFeedback = func(out int, f core.Feedback) error {
 		return src.ProcessFeedback(out, f, r)
 	}
+	// A wire-barrier-driven source (a remote edge under distributed
+	// coordination) cuts only where its own in-band barrier sits, via
+	// InjectWireBarrier — a poll-based cut here could land before the
+	// edge's barrier and strand that edge's in-flight tuples on the wrong
+	// side of the epoch.
+	wireCut := r.graph.wireBarrier[r.node.id]
 	for !r.stopping {
 		if err := r.drainControl(r.onFeedback); err != nil {
 			return err
@@ -255,7 +262,9 @@ func (r *nodeRunner) runSource() error {
 		// Between two Next calls the source's state is exactly its replay
 		// position, so saving state and injecting the barrier here makes
 		// the source's cut consistent by construction.
-		r.maybeCutSource()
+		if !wireCut {
+			r.maybeCutSource()
+		}
 		select {
 		case <-r.done:
 			r.stopping = true
@@ -284,6 +293,22 @@ func (r *nodeRunner) maybeCutSource() {
 	r.graph.cutNode(r.node, c.epoch)
 	for _, conn := range r.node.outConns {
 		conn.PutBarrier(c.epoch)
+	}
+}
+
+// InjectWireBarrier implements SourceBarrierInjector: a barrier-receiving
+// source calls it from inside Next, at the exact position its wire barrier
+// occupies in its stream, after the hook has registered the epoch. Stale
+// epochs (a cancelled epoch's frame still draining) are dropped; the
+// forwarded barrier is harmless downstream either way.
+func (r *nodeRunner) InjectWireBarrier(epoch int64) {
+	if epoch <= r.lastCutEpoch {
+		return
+	}
+	r.lastCutEpoch = epoch
+	r.graph.cutNode(r.node, epoch)
+	for _, conn := range r.node.outConns {
+		conn.PutBarrier(epoch)
 	}
 }
 
@@ -498,9 +523,25 @@ func (r *nodeRunner) maybeCompleteAlignment() error {
 		}
 	}
 	r.align = nil
+	// The capture mode travels out-of-band for local edges (the coordinator
+	// knows it); a process-boundary forwarder needs it on the wire, so read
+	// it off the still-pending checkpoint before this node's ack can retire
+	// it. A cancelled epoch defaults to delta — its ack is discarded anyway.
+	mode := snapshot.CaptureDelta
+	if c := r.graph.pendingChk.Load(); c != nil && c.epoch == a.epoch {
+		mode = c.mode
+	}
 	r.graph.cutNode(r.node, a.epoch)
 	for _, c := range r.node.outConns {
 		c.PutBarrier(a.epoch)
+	}
+	if bf, ok := r.node.op.(BarrierForwarder); ok {
+		// Process-boundary edges (remote sinks) forward the barrier in-band
+		// on their transport, after everything that preceded the cut and
+		// before the deferred post-barrier replay below.
+		if err := bf.ForwardBarrier(a.epoch, mode, r); err != nil {
+			return err
+		}
 	}
 	for in := range a.deferred {
 		for i := range a.deferred[in] {

@@ -31,6 +31,38 @@ type CheckpointPolicy struct {
 // returns Run's error; the second return aggregates the first checkpoint,
 // retention, or compaction failure, if any.
 func (g *Graph) RunCheckpointed(chain *snapshot.Chain, p CheckpointPolicy) (runErr, chkErr error) {
+	return g.checkpointLoop(chain, p, func(epoch int64, count int, stop <-chan struct{}, noteErr func(error)) {
+		if st, ok := g.CheckpointStatus(epoch); ok && st.Err != nil {
+			noteErr(st.Err)
+			return
+		}
+		g.maintainChain(chain, p, epoch, count, noteErr)
+	})
+}
+
+// maintainChain runs a cycle's compaction and retention for one
+// successfully persisted epoch.
+func (g *Graph) maintainChain(chain *snapshot.Chain, p CheckpointPolicy, epoch int64, count int, noteErr func(error)) {
+	if p.CompactEvery > 0 && count%p.CompactEvery == 0 {
+		if err := chain.Compact(); err != nil {
+			noteErr(fmt.Errorf("exec: compact after epoch %d: %w", epoch, err))
+		}
+	}
+	if p.Retain > 0 {
+		if err := chain.RetainFrom(epoch, p.Retain); err != nil {
+			noteErr(fmt.Errorf("exec: retention after epoch %d: %w", epoch, err))
+		}
+	}
+}
+
+// checkpointLoop is the shared periodic driver behind Graph.RunCheckpointed
+// and DistCoordinator.RunCheckpointed: run the plan while a ticker triggers
+// one checkpoint per interval (full/delta per the policy's cadence) and
+// hands each completed epoch to cycle — which verifies the outcome, runs
+// any cross-process commit work, and performs maintenance. Trigger failures
+// (not running yet, already stopping, one in flight) skip the tick. The
+// returned chkErr is the first error any cycle noted.
+func (g *Graph) checkpointLoop(chain *snapshot.Chain, p CheckpointPolicy, cycle func(epoch int64, count int, stop <-chan struct{}, noteErr func(error))) (runErr, chkErr error) {
 	if p.Interval <= 0 {
 		p.Interval = time.Second
 	}
@@ -62,30 +94,15 @@ func (g *Graph) RunCheckpointed(chain *snapshot.Chain, p CheckpointPolicy) (runE
 			}
 			c, err := g.triggerCheckpoint(mode, chain)
 			if err != nil {
-				// Not running yet / already stopping / one still in
-				// flight: skip this tick rather than fail the loop.
 				continue
 			}
 			count++
 			select {
-			case <-c.done: // persisted (or failed) — safe to run retention
+			case <-c.done: // persisted (or failed) — safe to run the cycle
 			case <-stop:
 				return
 			}
-			if st, ok := g.CheckpointStatus(c.epoch); ok && st.Err != nil {
-				noteErr(st.Err)
-				continue
-			}
-			if p.CompactEvery > 0 && count%p.CompactEvery == 0 {
-				if err := chain.Compact(); err != nil {
-					noteErr(fmt.Errorf("exec: compact after epoch %d: %w", c.epoch, err))
-				}
-			}
-			if p.Retain > 0 {
-				if err := chain.Retain(p.Retain); err != nil {
-					noteErr(fmt.Errorf("exec: retention after epoch %d: %w", c.epoch, err))
-				}
-			}
+			cycle(c.epoch, count, stop, noteErr)
 		}
 	}()
 	runErr = g.Run()

@@ -59,6 +59,15 @@ type Aggregate struct {
 	// Mode/Propagate configure feedback as in Select.
 	Mode      FeedbackMode
 	Propagate bool
+	// MaxChangelog caps the incremental-snapshot changelog (dirty + dead
+	// keys). Tracking starts at the first capture and records every
+	// mutation thereafter; if checkpointing then stops — coordinator gone,
+	// persistent storage failures — the changelog would grow without bound.
+	// Crossing the cap collapses it and makes the next capture full (which
+	// re-enables tracking). 0 means the scaled default,
+	// max(DefaultMaxChangelog, live state size); an explicit positive value
+	// is an absolute limit; negative disables the cap.
+	MaxChangelog int
 
 	responseLog
 	out          stream.Schema
@@ -178,6 +187,7 @@ func (a *Aggregate) noteDirty(k []byte) {
 	if len(a.chlogDead) > 0 {
 		delete(a.chlogDead, string(k))
 	}
+	a.capChangelog()
 }
 
 // noteDead records a state-key deletion in the changelog.
@@ -187,6 +197,31 @@ func (a *Aggregate) noteDead(k string) {
 	}
 	delete(a.chlogDirty, k)
 	a.chlogDead[k] = true
+	a.capChangelog()
+}
+
+// capChangelog bounds changelog memory when checkpointing has stopped:
+// past the cap the changelog is collapsed — tracking turns off, so
+// CaptureState answers the next delta request with a full capture, exactly
+// as if no capture had ever happened, and re-enables tracking at that cut.
+// The default cap scales with the live state: a changelog larger than the
+// state itself means a delta has no advantage over a full capture (the
+// dead-key-accumulation failure mode), while a fixed constant would
+// collapse perfectly healthy intervals on high-cardinality plans.
+func (a *Aggregate) capChangelog() {
+	limit := a.MaxChangelog
+	if limit < 0 {
+		return
+	}
+	if limit == 0 {
+		limit = DefaultMaxChangelog
+		if n := len(a.state); n > limit {
+			limit = n
+		}
+	}
+	if len(a.chlogDirty)+len(a.chlogDead) > limit {
+		a.chlogDirty, a.chlogDead = nil, nil
+	}
 }
 
 func (a *Aggregate) appendStateKey(b []byte, wid int64, t stream.Tuple) []byte {

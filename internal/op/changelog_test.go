@@ -1,0 +1,119 @@
+package op
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/snapshot"
+)
+
+// TestAggregateChangelogCap: once a capture has enabled changelog tracking,
+// a run that stops checkpointing must not accumulate dirty/dead keys
+// forever. Crossing MaxChangelog collapses the changelog (bounded memory),
+// and the next delta request upgrades to a full capture whose restored
+// state is identical to the live operator's.
+func TestAggregateChangelogCap(t *testing.T) {
+	a := minuteAvg(FeedbackExploit, false)
+	a.MaxChangelog = 4
+	h := exec.NewHarness(a)
+
+	// First capture enables tracking.
+	h.Tuples(traffic(1, 1, 10*1_000_000, 40))
+	if _, err := a.CaptureState(snapshot.CaptureFull); err != nil {
+		t.Fatal(err)
+	}
+	if a.chlogDirty == nil {
+		t.Fatal("tracking not enabled after first capture")
+	}
+
+	// "Checkpointing stops": mutate far more keys than the cap allows.
+	for seg := int64(0); seg < 12; seg++ {
+		h.Tuples(traffic(seg, 1, 10*1_000_000, 50))
+	}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	if a.chlogDirty != nil || a.chlogDead != nil {
+		t.Fatalf("changelog not collapsed past the cap (dirty=%d dead=%d)",
+			len(a.chlogDirty), len(a.chlogDead))
+	}
+
+	// Bounded from here on: further mutations must not revive tracking.
+	for seg := int64(0); seg < 12; seg++ {
+		h.Tuples(traffic(seg, 2, 20*1_000_000, 60))
+	}
+	if a.chlogDirty != nil || a.chlogDead != nil {
+		t.Fatal("collapsed changelog grew again without a capture")
+	}
+
+	// The next delta request upgrades to a full capture...
+	cap1, err := a.CaptureState(snapshot.CaptureDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap1.Delta {
+		t.Fatal("capped operator answered a delta; must upgrade to full")
+	}
+	// ...which re-enables tracking at the new baseline.
+	if a.chlogDirty == nil {
+		t.Fatal("tracking not re-enabled by the upgraded full capture")
+	}
+
+	// And the full capture restores to exactly the live state.
+	twin := minuteAvg(FeedbackExploit, false)
+	ht := exec.NewHarness(twin)
+	if ht.Err() != nil {
+		t.Fatal(ht.Err())
+	}
+	applyChain(t, twin, encodeCap(t, cap1))
+	if got, want := fullBlob(t, twin), fullBlob(t, a); !bytes.Equal(got, want) {
+		t.Fatalf("restored state differs from live state (%dB vs %dB)", len(got), len(want))
+	}
+}
+
+// TestJoinChangelogCap: the same bound for Join, summed over both sides.
+func TestJoinChangelogCap(t *testing.T) {
+	j := deltaJoin()
+	j.MaxChangelog = 4
+	h := exec.NewHarness(j)
+
+	h.Tuple(0, lrTuple(1, 1000, 1))
+	if _, err := j.CaptureState(snapshot.CaptureFull); err != nil {
+		t.Fatal(err)
+	}
+	if j.chlogDirty[0] == nil {
+		t.Fatal("tracking not enabled after first capture")
+	}
+
+	for k := int64(0); k < 6; k++ {
+		h.Tuple(0, lrTuple(k, 2000, 2))
+		h.Tuple(1, lrTuple(k, 2000, 3))
+	}
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	for side := 0; side < 2; side++ {
+		if j.chlogDirty[side] != nil || j.chlogDead[side] != nil {
+			t.Fatalf("side %d changelog not collapsed past the cap", side)
+		}
+	}
+
+	cap1, err := j.CaptureState(snapshot.CaptureDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap1.Delta {
+		t.Fatal("capped join answered a delta; must upgrade to full")
+	}
+
+	twin := deltaJoin()
+	ht := exec.NewHarness(twin)
+	if ht.Err() != nil {
+		t.Fatal(ht.Err())
+	}
+	applyChain(t, twin, encodeCap(t, cap1))
+	if got, want := fullBlob(t, twin), fullBlob(t, j); !bytes.Equal(got, want) {
+		t.Fatalf("restored state differs from live state (%dB vs %dB)", len(got), len(want))
+	}
+}

@@ -55,6 +55,10 @@ type Join struct {
 	// Impatient enables desired-feedback production toward input 1 for
 	// every new join key arriving on input 0.
 	Impatient bool
+	// MaxChangelog caps the incremental-snapshot changelog summed over both
+	// sides (dirty + dead keys); see Aggregate.MaxChangelog for semantics
+	// (0 = scaled default, positive = absolute, negative = disabled).
+	MaxChangelog int
 	// Adaptive, if set, is invoked for every accepted input tuple and may
 	// produce feedback toward either input — the §3.3 "Adaptive" source
 	// category, where an operator discovers opportunities in its own
@@ -212,6 +216,7 @@ func (j *Join) noteDirty(side int, key string) {
 	}
 	j.chlogDirty[side][key] = true
 	delete(j.chlogDead[side], key)
+	j.capChangelog()
 }
 
 // noteDead records a vanished entry list in the changelog.
@@ -221,6 +226,32 @@ func (j *Join) noteDead(side int, key string) {
 	}
 	delete(j.chlogDirty[side], key)
 	j.chlogDead[side][key] = true
+	j.capChangelog()
+}
+
+// capChangelog bounds changelog memory when checkpointing has stopped; see
+// Aggregate.capChangelog (the default limit scales with live table size
+// the same way). Collapsing turns tracking off on both sides, so the next
+// capture is full and re-enables it.
+func (j *Join) capChangelog() {
+	limit := j.MaxChangelog
+	if limit < 0 {
+		return
+	}
+	if limit == 0 {
+		limit = DefaultMaxChangelog
+		if n := len(j.leftTable) + len(j.rightTable); n > limit {
+			limit = n
+		}
+	}
+	total := 0
+	for side := 0; side < 2; side++ {
+		total += len(j.chlogDirty[side]) + len(j.chlogDead[side])
+	}
+	if total > limit {
+		j.chlogDirty = [2]map[string]bool{}
+		j.chlogDead = [2]map[string]bool{}
+	}
 }
 
 func (j *Join) outTuple(l, r stream.Tuple) stream.Tuple {

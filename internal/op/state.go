@@ -44,6 +44,15 @@ func errInputCountChanged(kind, name string, got, want int) error {
 // since the feedback's issuer has disclaimed the subset — Definition 1
 // permits any response up to full suppression).
 
+// DefaultMaxChangelog is the floor of the default cap on an operator's
+// incremental-snapshot changelog (dirty + dead keys); the effective
+// default is max(DefaultMaxChangelog, live state size), so a healthy
+// checkpoint cadence never hits it even on high-cardinality plans — a
+// capture drains the changelog, and a changelog that outgrows the state
+// itself (dead keys accumulating because checkpointing stopped) collapses,
+// making the next capture full.
+const DefaultMaxChangelog = 1 << 16
+
 var (
 	_ snapshot.TwoPhase    = (*Aggregate)(nil)
 	_ snapshot.TwoPhase    = (*Join)(nil)

@@ -9,10 +9,12 @@ package plan
 
 import (
 	"fmt"
+	"net"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/op"
+	"repro/internal/remote"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -374,4 +376,46 @@ func (s Stream) Into(sink exec.Operator) {
 	if !s.bad {
 		s.b.g.Add(sink, s.port)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Remote edges and distributed checkpoint coordination.
+// ---------------------------------------------------------------------------
+
+// RemoteSource registers a source replaying a remote subplan's stream from
+// conn; with a DistFollower attached, checkpoint barriers arriving on the
+// connection cut this subplan at the producer's epoch.
+func (b *Builder) RemoteSource(name string, schema stream.Schema, conn net.Conn) Stream {
+	return b.Source(remote.NewSource(name, schema, conn))
+}
+
+// IntoRemote terminates the stream in a remote sink framing it onto conn
+// and returns the sink (for WriteTimeout / FlushEvery tuning). Under
+// distributed checkpoints the sink forwards barriers in-band, so the
+// consuming subplan cuts the same epoch.
+func (s Stream) IntoRemote(name string, conn net.Conn) *remote.Sink {
+	sink := remote.NewSink(name, s.schema, conn)
+	s.Into(sink)
+	return sink
+}
+
+// DistCoordinate wraps the built plan as the coordinator of a distributed
+// checkpoint group (see exec.DistCoordinator): call after the full plan —
+// including remote sinks — is assembled, then RestoreCommitted,
+// AddFollower per control connection, and RunCheckpointed.
+func (b *Builder) DistCoordinate(part string, chain *snapshot.Chain, log *snapshot.DistLog) (*exec.DistCoordinator, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return exec.NewDistCoordinator(b.g, part, chain, log), nil
+}
+
+// DistFollow wraps the built plan as a follower subplan (see
+// exec.DistFollower), installing barrier hooks on its remote sources: call
+// after the full plan is assembled, then Handshake and Run.
+func (b *Builder) DistFollow(part string, chain *snapshot.Chain, ctrl net.Conn) (*exec.DistFollower, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	return exec.NewDistFollower(b.g, part, chain, ctrl), nil
 }

@@ -1,0 +1,321 @@
+package remote
+
+import (
+	"context"
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+// gatedSource emits tuples in small batches, parking (live, not blocked) at
+// gateAt until released, so a checkpoint can be taken mid-stream.
+type gatedSource struct {
+	tuples []stream.Tuple
+	gateAt int
+	gate   atomic.Bool
+	pos    atomic.Int64
+}
+
+// awaitGate blocks until the source has parked at its gate.
+func (s *gatedSource) awaitGate(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pos.Load() < int64(s.gateAt) {
+		if time.Now().After(deadline) {
+			t.Fatalf("source stuck at %d/%d", s.pos.Load(), s.gateAt)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *gatedSource) Name() string                                           { return "gated" }
+func (s *gatedSource) OutSchemas() []stream.Schema                            { return []stream.Schema{schema} }
+func (s *gatedSource) Open(exec.Context) error                                { return nil }
+func (s *gatedSource) Close(exec.Context) error                               { return nil }
+func (s *gatedSource) ProcessFeedback(int, core.Feedback, exec.Context) error { return nil }
+
+func (s *gatedSource) Next(ctx exec.Context) (bool, error) {
+	pos := int(s.pos.Load())
+	if pos >= len(s.tuples) {
+		return false, nil
+	}
+	for n := 0; n < 4 && pos < len(s.tuples); n++ {
+		if pos == s.gateAt && !s.gate.Load() {
+			time.Sleep(100 * time.Microsecond)
+			break
+		}
+		ctx.Emit(s.tuples[pos])
+		pos++
+	}
+	s.pos.Store(int64(pos))
+	return true, nil
+}
+
+// wireBarrier is one barrier observation on the consumer side.
+type wireBarrier struct {
+	epoch    int64
+	mode     snapshot.CaptureMode
+	received int64 // tuples decoded before the barrier frame
+}
+
+// TestBarrierCrossesWire: a checkpoint on the producer graph forwards its
+// barrier through the remote sink as a wire frame, positioned exactly after
+// the tuples that preceded the producer's cut; the consumer source hands
+// (epoch, mode) to its hook. Two epochs verify the mode travels too (the
+// second, incremental one must arrive as a delta).
+func TestBarrierCrossesWire(t *testing.T) {
+	c1, c2 := net.Pipe()
+	const total, gateAt = 600, 200
+	tuples := make([]stream.Tuple, total)
+	for i := range tuples {
+		tuples[i] = mkTuple(int64(i%5), int64(i)*1000, 50).WithSeq(int64(i))
+	}
+	src := &gatedSource{tuples: tuples, gateAt: gateAt}
+	sink := NewSink("wire-out", schema, c1)
+
+	gp := exec.NewGraph()
+	sp := gp.AddSource(src)
+	gp.Add(sink, exec.From(sp))
+
+	rsrc := NewSource("wire-in", schema, c2)
+	barriers := make(chan wireBarrier, 4)
+	rsrc.SetBarrierHook(func(epoch int64, mode snapshot.CaptureMode) error {
+		received, _ := rsrc.Stats()
+		barriers <- wireBarrier{epoch: epoch, mode: mode, received: received}
+		return nil
+	})
+	col := exec.NewCollector("col", schema)
+	gc := exec.NewGraph()
+	sc := gc.AddSource(rsrc)
+	gc.Add(col, exec.From(sc))
+
+	var wg sync.WaitGroup
+	var errP, errC error
+	wg.Add(2)
+	go func() { defer wg.Done(); errP = gp.Run() }()
+	go func() { defer wg.Done(); errC = gc.Run() }()
+	src.awaitGate(t)
+
+	ctx := context.Background()
+	snap1, err := gp.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := <-barriers
+	if b1.epoch != snap1.Epoch {
+		t.Errorf("wire barrier epoch %d, producer cut epoch %d", b1.epoch, snap1.Epoch)
+	}
+	if b1.mode != snapshot.CaptureFull {
+		t.Errorf("first barrier mode %v, want CaptureFull", b1.mode)
+	}
+	// The barrier's wire position is the cut: every tuple the producer sent
+	// before its cut — and none after — precedes the frame.
+	if b1.received != gateAt {
+		t.Errorf("barrier arrived after %d tuples, producer cut at %d", b1.received, gateAt)
+	}
+
+	snap2, err := gp.CheckpointIncremental(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := <-barriers
+	if b2.epoch != snap2.Epoch || b2.mode != snapshot.CaptureDelta {
+		t.Errorf("second barrier (epoch %d mode %v), want (epoch %d, CaptureDelta)", b2.epoch, b2.mode, snap2.Epoch)
+	}
+
+	src.gate.Store(true)
+	wg.Wait()
+	if errP != nil || errC != nil {
+		t.Fatal(errP, errC)
+	}
+	if got := len(col.Tuples()); got != total {
+		t.Errorf("%d tuples crossed, want %d (barrier frames corrupted the stream?)", got, total)
+	}
+}
+
+// TestBarrierDroppedWithoutHook: an uncoordinated consumer skips barrier
+// frames without disturbing the data stream.
+func TestBarrierDroppedWithoutHook(t *testing.T) {
+	c1, c2 := net.Pipe()
+	const total, gateAt = 200, 100
+	tuples := make([]stream.Tuple, total)
+	for i := range tuples {
+		tuples[i] = mkTuple(int64(i%5), int64(i)*1000, 50).WithSeq(int64(i))
+	}
+	src := &gatedSource{tuples: tuples, gateAt: gateAt}
+	gp := exec.NewGraph()
+	sp := gp.AddSource(src)
+	gp.Add(NewSink("wire-out", schema, c1), exec.From(sp))
+
+	rsrc := NewSource("wire-in", schema, c2) // no hook installed
+	col := exec.NewCollector("col", schema)
+	gc := exec.NewGraph()
+	gc.Add(col, exec.From(gc.AddSource(rsrc)))
+
+	var wg sync.WaitGroup
+	var errP, errC error
+	wg.Add(2)
+	go func() { defer wg.Done(); errP = gp.Run() }()
+	go func() { defer wg.Done(); errC = gc.Run() }()
+	src.awaitGate(t)
+	if _, err := gp.Checkpoint(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	src.gate.Store(true)
+	wg.Wait()
+	if errP != nil || errC != nil {
+		t.Fatal(errP, errC)
+	}
+	if got := len(col.Tuples()); got != total {
+		t.Errorf("%d tuples crossed, want %d", got, total)
+	}
+}
+
+// TestSinkWriteDeadline: a wedged peer — connected, never reading — must
+// surface as a node error within the configured write deadline instead of
+// blocking the plan forever.
+func TestSinkWriteDeadline(t *testing.T) {
+	c1, _ := net.Pipe() // the other end never reads
+	tuples := make([]stream.Tuple, 64)
+	for i := range tuples {
+		tuples[i] = mkTuple(int64(i), int64(i)*1000, 50)
+	}
+	src := exec.NewSliceSource("src", schema, tuples...)
+	sink := NewSink("wedged-out", schema, c1)
+	sink.FlushEvery = 1 // force a conn write per tuple
+	sink.WriteTimeout = 50 * time.Millisecond
+
+	g := exec.NewGraph()
+	sp := g.AddSource(src)
+	g.Add(sink, exec.From(sp))
+
+	done := make(chan error, 1)
+	go func() { done <- g.Run() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("wedged peer did not surface as an error")
+		}
+		if !strings.Contains(err.Error(), "timeout") && !strings.Contains(err.Error(), "deadline") {
+			t.Errorf("error %v does not look like a write deadline", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("plan hung on a wedged peer despite WriteTimeout")
+	}
+}
+
+// TestBarrierFrameWireRoundTrip is the property test for the barrier wire
+// frames: a random interleaving of tuple, punctuation, and barrier frames
+// written raw onto the transport replays through Source with every barrier
+// delivered to the hook in order, carrying its exact epoch and mode, with
+// the surrounding data intact.
+func TestBarrierFrameWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 30; iter++ {
+		c1, c2 := net.Pipe()
+		type sent struct {
+			epoch int64
+			mode  snapshot.CaptureMode
+		}
+		var wantBarriers []sent
+		wantTuples := 0
+		epoch := int64(0)
+		frames := make([]frame, 0, 64)
+		for i := 0; i < 2+rng.Intn(60); i++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				frames = append(frames, frame{Kind: frameTuple, Tuple: mkTuple(int64(i), int64(i)*1000, 50)})
+				wantTuples++
+			default:
+				epoch += 1 + rng.Int63n(3)
+				mode := snapshot.CaptureMode(rng.Intn(2))
+				frames = append(frames, frame{Kind: frameBarrier, Seq: epoch, Intent: uint8(mode)})
+				wantBarriers = append(wantBarriers, sent{epoch, mode})
+			}
+		}
+		go func() {
+			enc := gob.NewEncoder(c1)
+			for _, f := range frames {
+				if err := enc.Encode(f); err != nil {
+					return
+				}
+			}
+			enc.Encode(frame{Kind: frameEOS})
+		}()
+
+		rsrc := NewSource("in", schema, c2)
+		var gotBarriers []sent
+		rsrc.SetBarrierHook(func(epoch int64, mode snapshot.CaptureMode) error {
+			gotBarriers = append(gotBarriers, sent{epoch, mode})
+			return nil
+		})
+		h := exec.NewSourceHarness(rsrc).RunSource(10_000)
+		if h.Err() != nil {
+			t.Fatalf("iteration %d: %v", iter, h.Err())
+		}
+		if got := len(h.OutTuples(0)); got != wantTuples {
+			t.Fatalf("iteration %d: %d tuples, want %d", iter, got, wantTuples)
+		}
+		if len(gotBarriers) != len(wantBarriers) {
+			t.Fatalf("iteration %d: %d barriers, want %d", iter, len(gotBarriers), len(wantBarriers))
+		}
+		for i := range wantBarriers {
+			if gotBarriers[i] != wantBarriers[i] {
+				t.Fatalf("iteration %d: barrier %d changed in flight: %+v -> %+v",
+					iter, i, wantBarriers[i], gotBarriers[i])
+			}
+		}
+	}
+}
+
+// TestBarrierFrameCorrupt: malformed input on the data path — garbage
+// bytes, an unknown capture mode, a bare connection close — must surface
+// as clean errors, never a panic or a silent clean EOS.
+func TestBarrierFrameCorrupt(t *testing.T) {
+	// Unknown capture mode in an otherwise valid barrier frame.
+	c1, c2 := net.Pipe()
+	go gob.NewEncoder(c1).Encode(frame{Kind: frameBarrier, Seq: 1, Intent: 7})
+	rsrc := NewSource("in", schema, c2)
+	rsrc.SetBarrierHook(func(int64, snapshot.CaptureMode) error { return nil })
+	if h := exec.NewSourceHarness(rsrc).RunSource(10); h.Err() == nil {
+		t.Error("unknown capture mode accepted")
+	}
+
+	// Random garbage instead of a gob stream.
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 50; i++ {
+		c1, c2 := net.Pipe()
+		go func() {
+			buf := make([]byte, 1+rng.Intn(200))
+			rng.Read(buf)
+			c1.Write(buf)
+			c1.Close()
+		}()
+		h := exec.NewSourceHarness(NewSource("in", schema, c2)).RunSource(100)
+		if h.Err() == nil {
+			t.Fatalf("iteration %d: garbage stream replayed without error", i)
+		}
+	}
+
+	// A connection closed without an EOS frame is a producer crash, not a
+	// clean end of stream.
+	c1, c2 = net.Pipe()
+	go func() {
+		gob.NewEncoder(c1).Encode(frame{Kind: frameTuple, Tuple: mkTuple(1, 1000, 50)})
+		c1.Close()
+	}()
+	h := exec.NewSourceHarness(NewSource("in", schema, c2)).RunSource(100)
+	if h.Err() == nil || !strings.Contains(h.Err().Error(), "before end of stream") {
+		t.Errorf("bare close surfaced as %v, want producer-crash error", h.Err())
+	}
+}

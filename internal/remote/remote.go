@@ -27,7 +27,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
+)
+
+// Remote edges participate in distributed cuts: the sink forwards barriers
+// in-band over the wire, the source hands them to the local coordination
+// glue (exec.DistFollower).
+var (
+	_ exec.BarrierForwarder = (*Sink)(nil)
+	_ exec.BarrierReceiver  = (*Source)(nil)
 )
 
 // frame kinds.
@@ -36,6 +45,10 @@ const (
 	framePunct
 	frameEOS
 	frameFeedback
+	// frameBarrier carries a checkpoint barrier in-band on the data path:
+	// Seq is the epoch, Intent the capture mode. It must not be reordered
+	// past tuples — the cut's position on the wire is the cut.
+	frameBarrier
 )
 
 // frame is one wire message (downstream or upstream). Punctuation patterns
@@ -46,10 +59,10 @@ type frame struct {
 	Kind    uint8
 	Tuple   stream.Tuple
 	Pattern []byte // punctuation or feedback pattern (punct wire encoding)
-	Intent  uint8
+	Intent  uint8  // feedback intent; capture mode on barrier frames
 	Origin  string
 	Hops    int
-	Seq     int64
+	Seq     int64 // feedback sequence; epoch on barrier frames
 }
 
 func marshalPattern(p punct.Pattern) []byte { return p.AppendBinary(nil) }
@@ -74,6 +87,13 @@ type Sink struct {
 	// many tuples (default 64) and on every punctuation, mirroring the
 	// paged-queue flush rule.
 	FlushEvery int
+	// WriteTimeout bounds each write to the connection. A wedged peer — one
+	// that stops reading but keeps the connection open — then surfaces as a
+	// node error instead of blocking the pipeline (and any checkpoint
+	// barrier behind it) forever. 0 disables the deadline: backpressure
+	// from a merely slow consumer stalls the producer indefinitely, as a
+	// paged queue would.
+	WriteTimeout time.Duration
 
 	w       *bufio.Writer
 	enc     *gob.Encoder
@@ -152,8 +172,17 @@ func (s *Sink) flushEvery() int {
 	return s.FlushEvery
 }
 
+// armDeadline applies WriteTimeout ahead of encodes and flushes; gob may
+// flush the bufio writer mid-encode, so every encode is covered too.
+func (s *Sink) armDeadline() {
+	if s.WriteTimeout > 0 {
+		_ = s.Conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+	}
+}
+
 // ProcessTuple implements exec.Operator.
 func (s *Sink) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
+	s.armDeadline()
 	if err := s.enc.Encode(frame{Kind: frameTuple, Tuple: t}); err != nil {
 		return fmt.Errorf("remote: encode tuple: %w", err)
 	}
@@ -161,7 +190,9 @@ func (s *Sink) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
 	s.pending++
 	if s.pending >= s.flushEvery() {
 		s.pending = 0
-		return s.w.Flush()
+		if err := s.w.Flush(); err != nil {
+			return fmt.Errorf("remote: flush to peer: %w", err)
+		}
 	}
 	return nil
 }
@@ -169,11 +200,32 @@ func (s *Sink) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
 // ProcessPunct implements exec.Operator: punctuation flushes, like the
 // paged queues.
 func (s *Sink) ProcessPunct(_ int, e punct.Embedded, _ exec.Context) error {
+	s.armDeadline()
 	if err := s.enc.Encode(frame{Kind: framePunct, Pattern: marshalPattern(e.Pattern)}); err != nil {
 		return fmt.Errorf("remote: encode punct: %w", err)
 	}
 	s.pending = 0
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("remote: flush to peer: %w", err)
+	}
+	return nil
+}
+
+// ForwardBarrier implements exec.BarrierForwarder: the checkpoint barrier
+// crosses the process boundary as a wire frame, positioned after every
+// tuple that preceded the local cut (they are already in the gob stream)
+// and flushed immediately so the downstream subplan can start its aligned
+// cut without waiting for a page to fill.
+func (s *Sink) ForwardBarrier(epoch int64, mode snapshot.CaptureMode, _ exec.Context) error {
+	s.armDeadline()
+	if err := s.enc.Encode(frame{Kind: frameBarrier, Seq: epoch, Intent: uint8(mode)}); err != nil {
+		return fmt.Errorf("remote: encode barrier epoch %d: %w", epoch, err)
+	}
+	s.pending = 0
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("remote: flush barrier epoch %d: %w", epoch, err)
+	}
+	return nil
 }
 
 // closeWriter is the half-close surface of duplex transports (TCP).
@@ -193,6 +245,7 @@ func (s *Sink) Close(exec.Context) error {
 	var firstErr error
 	s.closing.Store(true)
 	if s.started {
+		s.armDeadline()
 		if err := s.enc.Encode(frame{Kind: frameEOS}); err != nil {
 			firstErr = err
 		}
@@ -245,7 +298,19 @@ type Source struct {
 	enc  *gob.Encoder
 	done bool
 
+	// barrierHook (SetBarrierHook) hands wire barriers to the local
+	// checkpoint coordination glue; without one, barriers are dropped —
+	// an uncoordinated consumer cannot cut, and the producer's coordinator
+	// abandons the epoch when its ack never arrives.
+	barrierHook func(epoch int64, mode snapshot.CaptureMode) error
+
 	received, feedbackOut int64
+}
+
+// SetBarrierHook implements exec.BarrierReceiver. It must be called before
+// the plan runs.
+func (s *Source) SetBarrierHook(fn func(epoch int64, mode snapshot.CaptureMode) error) {
+	s.barrierHook = fn
 }
 
 // NewSource replays a remote stream from conn.
@@ -280,8 +345,13 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 	var f frame
 	if err := s.dec.Decode(&f); err != nil {
 		if err == io.EOF {
+			// Only an explicit EOS frame ends the stream cleanly; a bare
+			// connection close means the producer died (kill -9, node error
+			// teardown) and the consumer's results would be silently
+			// partial. Surfacing it lets a supervisor treat the subplan as
+			// crashed and restore from the last committed cut.
 			s.done = true
-			return false, nil
+			return false, fmt.Errorf("remote: connection closed before end of stream (producer crashed?)")
 		}
 		return false, fmt.Errorf("remote: decode: %w", err)
 	}
@@ -295,6 +365,25 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 			return false, fmt.Errorf("remote: decode punct pattern: %w", err)
 		}
 		ctx.EmitPunct(punct.NewEmbedded(pat))
+	case frameBarrier:
+		mode := snapshot.CaptureMode(f.Intent)
+		if mode != snapshot.CaptureFull && mode != snapshot.CaptureDelta {
+			return false, fmt.Errorf("remote: barrier epoch %d carries unknown capture mode %d", f.Seq, f.Intent)
+		}
+		if s.barrierHook != nil {
+			// The hook registers the epoch with the local coordinator
+			// (forced-epoch checkpoint); the runtime then cuts this source
+			// right here — the frame's position in this edge's stream IS the
+			// cut, which is what keeps parallel remote edges consistent
+			// (each cuts at its own barrier, not when the first edge's
+			// barrier registered the epoch).
+			if err := s.barrierHook(f.Seq, mode); err != nil {
+				return false, fmt.Errorf("remote: barrier epoch %d: %w", f.Seq, err)
+			}
+			if inj, ok := ctx.(exec.SourceBarrierInjector); ok {
+				inj.InjectWireBarrier(f.Seq)
+			}
+		}
 	case frameEOS:
 		s.done = true
 		return false, nil

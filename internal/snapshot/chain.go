@@ -262,6 +262,16 @@ func (c *Chain) Latest() ([]*Snapshot, error) {
 // epoch without its chain: the needed set is computed before the first
 // delete and is itself never touched.
 func (c *Chain) Retain(n int) error {
+	return c.RetainFrom(int64(^uint64(0)>>1), n)
+}
+
+// RetainFrom keeps every epoch newer than head untouched, plus the newest
+// n epochs at or below head (and their restore need-sets), deleting the
+// rest. It is the commit-aware retention for distributed followers: head
+// is the newest COMMITTED epoch, so epochs persisted beyond it — which a
+// restore may yet target after the uncommitted tail is truncated — can
+// never push the committed cut out of the retention window.
+func (c *Chain) RetainFrom(head int64, n int) error {
 	if n <= 0 {
 		return nil
 	}
@@ -271,18 +281,30 @@ func (c *Chain) Retain(n int) error {
 	if err != nil {
 		return err
 	}
-	var epochs []int64
+	var epochs []int64 // distinct epochs ≤ head, ascending
+	need := map[string]bool{}
+	byEpoch := bestByEpoch(es)
 	for _, e := range es {
+		if e.epoch > head {
+			// Beyond the head: keep unconditionally, with full lineage (it
+			// may chain through epochs below the head).
+			order, err := resolve(byEpoch, e.epoch)
+			if err != nil {
+				return err
+			}
+			for _, o := range order {
+				need[o.id] = true
+			}
+			continue
+		}
 		if len(epochs) == 0 || epochs[len(epochs)-1] != e.epoch {
 			epochs = append(epochs, e.epoch)
 		}
 	}
-	if len(epochs) <= n {
-		return nil
+	if len(epochs) > n {
+		epochs = epochs[len(epochs)-n:]
 	}
-	byEpoch := bestByEpoch(es)
-	need := map[string]bool{}
-	for _, keep := range epochs[len(epochs)-n:] {
+	for _, keep := range epochs {
 		order, err := resolve(byEpoch, keep)
 		if err != nil {
 			return err

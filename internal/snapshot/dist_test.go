@@ -1,0 +1,271 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randString draws arbitrary bytes (not just ASCII) of bounded length.
+func randString(rng *rand.Rand, max int) string {
+	b := make([]byte, rng.Intn(max+1))
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+func randDistMsg(rng *rand.Rand) DistMsg {
+	return DistMsg{
+		Kind:  DistMsgKind(1 + rng.Intn(int(distMsgKindMax))),
+		Part:  randString(rng, 24),
+		Epoch: rng.Int63n(1<<40) - 1,
+		Chain: randString(rng, 32),
+		Err:   randString(rng, 64),
+	}
+}
+
+// TestDistMsgRoundTrip is the property test for the control wire frames:
+// every randomly drawn message survives framing → parsing structurally
+// intact, including over a stream carrying several messages back to back.
+func TestDistMsgRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		m := randDistMsg(rng)
+		got, err := DecodeDistMsg(m.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if got != m {
+			t.Fatalf("iteration %d: round trip changed message: %+v -> %+v", i, m, got)
+		}
+	}
+	// Stream framing: several messages over one connection.
+	var buf bytes.Buffer
+	var want []DistMsg
+	for i := 0; i < 50; i++ {
+		m := randDistMsg(rng)
+		want = append(want, m)
+		if err := WriteDistMsg(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, m := range want {
+		got, err := ReadDistMsg(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got != m {
+			t.Fatalf("message %d changed in flight: %+v -> %+v", i, m, got)
+		}
+	}
+	if _, err := ReadDistMsg(&buf); err != io.EOF {
+		t.Fatalf("drained stream returned %v, want EOF", err)
+	}
+}
+
+// TestDistMsgCorrupt fuzzes the payload decoder with truncations and byte
+// flips of valid encodings: every outcome must be a clean error or a valid
+// message — never a panic — and oversized or zero length prefixes must be
+// rejected before any allocation happens.
+func TestDistMsgCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		raw := randDistMsg(rng).AppendBinary(nil)
+		switch rng.Intn(3) {
+		case 0: // truncate
+			raw = raw[:rng.Intn(len(raw))]
+		case 1: // flip a byte
+			raw[rng.Intn(len(raw))] ^= byte(1 + rng.Intn(255))
+		default: // append garbage
+			raw = append(raw, byte(rng.Intn(256)))
+		}
+		_, _ = DecodeDistMsg(raw) // must not panic; error or valid both fine
+	}
+	if _, err := DecodeDistMsg(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := DecodeDistMsg([]byte{0xee}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Length prefix beyond MaxDistMsg: rejected without reading the body.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxDistMsg+1)
+	if _, err := ReadDistMsg(bytes.NewReader(hdr[:])); err == nil || strings.Contains(err.Error(), "EOF") {
+		t.Errorf("oversized length prefix not rejected by bound check: %v", err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 0)
+	if _, err := ReadDistMsg(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("zero length prefix accepted")
+	}
+	// A huge declared string length inside a small payload must error, not
+	// allocate: kind byte + maxed-out uvarint for Part's length.
+	huge := append([]byte{byte(DistHello)}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := DecodeDistMsg(huge); err == nil {
+		t.Error("huge declared string length accepted")
+	}
+}
+
+// TestDistManifestRoundTrip covers the manifest codec the same way.
+func TestDistManifestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		m := &DistManifest{Epoch: 1 + rng.Int63n(1<<40)}
+		for p := 0; p < rng.Intn(5); p++ {
+			m.Parts = append(m.Parts, DistPart{
+				Part: randString(rng, 16), Epoch: m.Epoch, Chain: randString(rng, 24),
+			})
+		}
+		raw := m.Encode()
+		got, err := DecodeDistManifest(raw)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got.Epoch != m.Epoch || len(got.Parts) != len(m.Parts) {
+			t.Fatalf("iteration %d: round trip changed manifest", i)
+		}
+		for j := range m.Parts {
+			if got.Parts[j] != m.Parts[j] {
+				t.Fatalf("iteration %d: part %d changed: %+v -> %+v", i, j, m.Parts[j], got.Parts[j])
+			}
+		}
+		// Corruption must never panic.
+		mut := append([]byte(nil), raw...)
+		mut = mut[:rng.Intn(len(mut))]
+		_, _ = DecodeDistManifest(mut)
+	}
+	if _, err := DecodeDistManifest([]byte("not a manifest")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := DecodeDistManifest(append((&DistManifest{Epoch: 1, Parts: []DistPart{{Part: "a"}}}).Encode(), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// TestDistLog pins the manifest log: commit ordering, latest, retention,
+// and coexistence with a chain in one backend.
+func TestDistLog(t *testing.T) {
+	b := NewMemory()
+	log := NewDistLog(b)
+	if _, ok, err := log.Latest(); err != nil || ok {
+		t.Fatalf("empty log: ok=%v err=%v", ok, err)
+	}
+	if err := log.Commit(&DistManifest{Epoch: 0, Parts: []DistPart{{Part: "a"}}}); err == nil {
+		t.Fatal("epoch 0 committed")
+	}
+	if err := log.Commit(&DistManifest{Epoch: 1}); err == nil {
+		t.Fatal("partless manifest committed")
+	}
+	for ep := int64(1); ep <= 5; ep++ {
+		m := &DistManifest{Epoch: ep, Parts: []DistPart{
+			{Part: "coord", Epoch: ep, Chain: IDFor(ep, 0)},
+			{Part: "follow", Epoch: ep, Chain: IDFor(ep, ep-1)},
+		}}
+		if err := log.Commit(m); err != nil {
+			t.Fatalf("commit %d: %v", ep, err)
+		}
+	}
+	// Out-of-order commit rejected: restore always resumes past the newest.
+	if err := log.Commit(&DistManifest{Epoch: 3, Parts: []DistPart{{Part: "x"}}}); err == nil {
+		t.Fatal("stale commit accepted")
+	}
+	m, ok, err := log.Latest()
+	if err != nil || !ok || m.Epoch != 5 {
+		t.Fatalf("latest: %+v ok=%v err=%v", m, ok, err)
+	}
+	if m.Parts[1].Chain != IDFor(5, 4) {
+		t.Fatalf("part chain id %q", m.Parts[1].Chain)
+	}
+	if err := log.Retain(2); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := b.List()
+	if len(ids) != 2 {
+		t.Fatalf("retained %d manifests, want 2: %v", len(ids), ids)
+	}
+	m, ok, _ = log.Latest()
+	if !ok || m.Epoch != 5 {
+		t.Fatal("retention lost the newest manifest")
+	}
+
+	// Shared backend: a chain's ids are invisible to the log and vice versa.
+	chain := NewChain(b)
+	snap := &Snapshot{Epoch: 9, Nodes: []NodeState{{ID: 0, Name: "n"}}}
+	if _, err := chain.Put(snap); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok, _ = log.Latest(); !ok || m.Epoch != 5 {
+		t.Fatal("chain id leaked into the manifest log")
+	}
+	if ep, ok, _ := chain.LatestEpoch(); !ok || ep != 9 {
+		t.Fatal("manifest id leaked into the chain")
+	}
+
+	// A fresh log over the same backend (a restarted process) reseeds its
+	// head cache from storage.
+	if m, ok, err := NewDistLog(b).Latest(); err != nil || !ok || m.Epoch != 5 {
+		t.Fatalf("reseeded log latest: %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+// TestIDFor pins the exported id helper against the chain's own naming.
+func TestIDFor(t *testing.T) {
+	if got := IDFor(4, 0); got != "ep0000000004-full" {
+		t.Fatalf("full id %q", got)
+	}
+	if got := IDFor(5, 4); got != "ep0000000005-d0000000004" {
+		t.Fatalf("delta id %q", got)
+	}
+	if _, ok := parseChainID(IDFor(7, 6)); !ok {
+		t.Fatal("IDFor output not parseable by the chain")
+	}
+}
+
+// TestChainRetainFrom pins commit-aware retention: epochs persisted beyond
+// the committed head must never push the committed epoch (a restore's only
+// valid target) out of the retention window.
+func TestChainRetainFrom(t *testing.T) {
+	chain := NewChain(NewMemory())
+	node := []NodeState{{ID: 0, Name: "n"}}
+	for ep := int64(1); ep <= 4; ep++ {
+		if _, err := chain.Put(&Snapshot{Epoch: ep, Nodes: node}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 5 chains off 4 — an uncommitted delta past the committed head.
+	if _, err := chain.Put(&Snapshot{Epoch: 5, Base: 4, Nodes: node}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed head is 3; epochs 4 and 5 are persisted but uncommitted.
+	// Plain Retain(1) would keep only {5,4} and delete 3 — the exact epoch
+	// a crash now would restore to.
+	if err := chain.RetainFrom(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.ChainFor(3); err != nil {
+		t.Fatalf("committed epoch 3 was collected: %v", err)
+	}
+	for _, gone := range []int64{1, 2} {
+		if _, err := chain.ChainFor(gone); err == nil {
+			t.Errorf("epoch %d survived RetainFrom(3, 1)", gone)
+		}
+	}
+	// The uncommitted tail is untouched (with its lineage through 4).
+	if _, err := chain.ChainFor(5); err != nil {
+		t.Fatalf("uncommitted tail lost: %v", err)
+	}
+
+	// The crash-restore path the bug broke: truncate the uncommitted tail,
+	// then load the committed epoch.
+	if err := chain.TruncateAfter(3); err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := chain.ChainFor(3)
+	if err != nil || len(snaps) != 1 || snaps[0].Epoch != 3 {
+		t.Fatalf("restore from committed epoch after truncate: %v (%d snaps)", err, len(snaps))
+	}
+}

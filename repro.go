@@ -30,6 +30,7 @@ import (
 	"repro/internal/punct"
 	"repro/internal/queue"
 	"repro/internal/remote"
+	"repro/internal/snapshot"
 	"repro/internal/stream"
 	"repro/internal/window"
 )
@@ -267,4 +268,28 @@ var (
 	NewRemoteSink   = remote.NewSink
 	NewRemoteSource = remote.NewSource
 	ListenRemote    = remote.Listen
+)
+
+// Distributed checkpoint coordination (DESIGN.md §8): a plan spanning
+// processes cuts one epoch across every subplan — barriers cross remote
+// edges in-band, each subplan persists its own chain, and the coordinator
+// commits a distributed manifest only after every part's ack.
+type (
+	// DistCoordinator drives distributed checkpoints for the subplan that
+	// owns the sources.
+	DistCoordinator = exec.DistCoordinator
+	// DistFollower is the checkpoint glue for a subplan fed by remote
+	// edges: forced-epoch cuts on wire barriers, acks after local persist.
+	DistFollower = exec.DistFollower
+	// DistManifest is one committed distributed cut.
+	DistManifest = snapshot.DistManifest
+	// DistLog stores committed manifests in a snapshot backend.
+	DistLog = snapshot.DistLog
+)
+
+// Distributed coordination constructors (see exec and snapshot).
+var (
+	NewDistCoordinator = exec.NewDistCoordinator
+	NewDistFollower    = exec.NewDistFollower
+	NewDistLog         = snapshot.NewDistLog
 )
