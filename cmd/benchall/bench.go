@@ -202,7 +202,11 @@ func measureRecovery(parts, tuples int) (ckptNs, recNs float64, err error) {
 	if err := rb.Stop(); err != nil {
 		return 0, 0, err
 	}
-	for rep := 0; rep < 3; rep++ {
+	// Best-of-7: recovery is dominated by catch-up replay (~1ms), where
+	// best-of-3 on a shared CI runner has produced >1.5x outliers that read
+	// as regressions. Interleaved A/B of the underlying benchmark across
+	// commits shows parity, so widen the sample instead of chasing ghosts.
+	for rep := 0; rep < 7; rep++ {
 		start := time.Now()
 		if err := rb.Recover(snap); err != nil {
 			return 0, 0, err

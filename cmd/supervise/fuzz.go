@@ -1,0 +1,352 @@
+// The -fuzz mode: seeded fault-schedule fuzzing of the supervised runtime.
+//
+// For each seed (and each mode: single-process and -dist) the driver
+// derives a deterministic fault schedule (internal/chaos.Generate), runs a
+// full supervised crash run under it in a subprocess, and asserts the
+// robustness invariants:
+//
+//  1. crash ≡ clean — every RESULTS digest the chaos run prints equals the
+//     clean (fault-free) run's digest, computed once per mode up front;
+//  2. chain-aware restorability — after the run, every retained epoch
+//     (single mode) and every committed DistManifest (dist mode) is
+//     restored and replayed to completion in-process, and each replay's
+//     digest must again equal the clean digest. A lineage the schedule
+//     corrupted may be skipped (that is the degradation contract); a
+//     corrupt lineage with no scheduled corruption fault is a bug.
+//
+// A failure prints the seed and its schedule; re-running with the same
+// seed replays the same schedule — one-command reproduction.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	execpkg "repro/internal/exec"
+	"repro/internal/snapshot"
+)
+
+// resultsRe extracts canonical digest lines from a supervised run's output.
+var resultsRe = regexp.MustCompile(`(?m)^RESULTS .*$`)
+
+// fuzzRunTimeout bounds one supervised subprocess — generous, because a
+// schedule can stack several kills with restart backoff between them.
+const fuzzRunTimeout = 5 * time.Minute
+
+func modeName(dist bool) string {
+	if dist {
+		return "dist"
+	}
+	return "single"
+}
+
+// runFuzz drives -fuzz: clean baselines first, then the seed loop.
+func runFuzz(o options) error {
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	work := o.dir
+	keep := work != ""
+	if work == "" {
+		if work, err = os.MkdirTemp("", "supervise-fuzz-"); err != nil {
+			return err
+		}
+	}
+	var deadline time.Time
+	if o.fuzzTime > 0 {
+		deadline = time.Now().Add(o.fuzzTime)
+	}
+	modes := []bool{false, true}
+
+	// The workload is identical across seeds, so each mode's clean digest
+	// is computed once and reused as the equality witness for every run
+	// and every replayed epoch.
+	clean := map[bool]string{}
+	for _, dist := range modes {
+		out, err := superviseRun(self, o, filepath.Join(work, "clean-"+modeName(dist)), 0, dist)
+		if err != nil {
+			return fmt.Errorf("fuzz: clean %s run: %w\n%s", modeName(dist), err, out)
+		}
+		res := resultsRe.FindAllString(out, -1)
+		if len(res) != 1 {
+			return fmt.Errorf("fuzz: clean %s run printed %d RESULTS lines:\n%s", modeName(dist), len(res), out)
+		}
+		clean[dist] = res[0]
+		fmt.Printf("FUZZ clean %s digest: %s\n", modeName(dist), res[0])
+	}
+
+	ran := 0
+	for s := o.seed; s < o.seed+uint64(o.fuzzSeeds); s++ {
+		for _, dist := range modes {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				fmt.Printf("FUZZ stopping: time budget %v spent after %d runs\n", o.fuzzTime, ran)
+				if !keep {
+					os.RemoveAll(work)
+				}
+				return nil
+			}
+			if err := fuzzOne(self, o, work, s, dist, clean[dist]); err != nil {
+				return err
+			}
+			ran++
+		}
+	}
+	fmt.Printf("FUZZ PASS %d runs (%d seeds x %d modes, base seed %d)\n", ran, o.fuzzSeeds, len(modes), o.seed)
+	if !keep {
+		os.RemoveAll(work)
+	}
+	return nil
+}
+
+// fuzzOne runs one seeded schedule in one mode and verifies both
+// invariants. On failure it prints the seed, the schedule, and the
+// reproduction command before returning the error.
+func fuzzOne(self string, o options, work string, seed uint64, dist bool, want string) error {
+	p := chaos.Generate(seed, dist)
+	dir := filepath.Join(work, fmt.Sprintf("%s-seed-%d", modeName(dist), seed))
+	fail := func(format string, args ...any) error {
+		fmt.Printf("FUZZ FAIL seed=%d mode=%s\n  schedule: %s\n  repro: supervise %s\n",
+			seed, modeName(dist), p, strings.Join(superviseArgs(o, "<fresh-dir>", seed, dist), " "))
+		return fmt.Errorf("fuzz: seed %d (%s): %s", seed, modeName(dist), fmt.Sprintf(format, args...))
+	}
+	out, err := superviseRun(self, o, dir, seed, dist)
+	if err != nil {
+		return fail("supervised run failed: %v\n%s", err, out)
+	}
+	res := resultsRe.FindAllString(out, -1)
+	if len(res) == 0 {
+		return fail("run printed no RESULTS line:\n%s", out)
+	}
+	// A kill can land between a RESULTS print and process exit, so a
+	// restarted incarnation may legitimately print a second line — every
+	// one of them must equal the clean digest.
+	for _, r := range res {
+		if r != want {
+			return fail("digest diverged: %q != clean %q\n%s", r, want, out)
+		}
+	}
+	var verified, skipped int
+	if dist {
+		verified, skipped, err = verifyDist(o, dir, want, p)
+	} else {
+		verified, skipped, err = verifySingle(o, dir, want, p)
+	}
+	if err != nil {
+		return fail("chain verification: %v", err)
+	}
+	fmt.Printf("FUZZ PASS seed=%d mode=%s results=%d verified=%d skipped=%d [%s]\n",
+		seed, modeName(dist), len(res), verified, skipped, p)
+	return nil
+}
+
+// superviseArgs assembles the supervisor invocation for one chaos run —
+// also what a failure prints as the repro command.
+func superviseArgs(o options, dir string, seed uint64, dist bool) []string {
+	args := []string{
+		"-dir", dir,
+		"-interval", o.interval.String(),
+		"-full-every", fmt.Sprint(o.fullEvery),
+		"-retain", fmt.Sprint(o.retain),
+		"-compact-every", fmt.Sprint(o.compactEvery),
+		"-parts", fmt.Sprint(o.parts),
+		"-minutes", fmt.Sprint(o.minutes),
+		"-max-restarts", fmt.Sprint(o.maxRestarts),
+		"-restart-backoff", o.backoff.String(),
+		"-ack-timeout", o.ackTimeout.String(),
+		"-write-timeout", o.writeTimeout.String(),
+		"-read-timeout", o.readTimeout.String(),
+	}
+	if dist {
+		args = append(args, "-dist")
+	}
+	if seed != 0 {
+		args = append(args, "-chaos-seed", fmt.Sprint(seed))
+	}
+	return args
+}
+
+// superviseRun executes one supervised run (seed 0 = clean) with a
+// watchdog, returning its combined output.
+func superviseRun(self string, o options, dir string, seed uint64, dist bool) (string, error) {
+	cmd := exec.Command(self, superviseArgs(o, dir, seed, dist)...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() { out, err = cmd.CombinedOutput(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(fuzzRunTimeout):
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		<-done
+		return string(out), fmt.Errorf("run exceeded %v watchdog", fuzzRunTimeout)
+	}
+	return string(out), err
+}
+
+// verifySingle is the chain-aware check for single-process runs: every
+// retained epoch restores and replays to the clean digest. Corrupt
+// lineages are skippable only when the schedule injected corruption.
+func verifySingle(o options, dir string, want string, p *chaos.Plan) (verified, skipped int, err error) {
+	d, err := snapshot.NewDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	chain := snapshot.NewChain(d)
+	epochs, err := chain.Epochs()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(epochs) == 0 {
+		return 0, 0, fmt.Errorf("no retained epochs to verify")
+	}
+	for _, ep := range epochs {
+		snaps, err := chain.ChainFor(ep)
+		if errors.Is(err, snapshot.ErrCorruptSnapshot) {
+			if !p.SchedulesCorruption("") {
+				return verified, skipped, fmt.Errorf("epoch %d corrupt with no scheduled corruption fault: %w", ep, err)
+			}
+			skipped++
+			continue
+		}
+		if err != nil {
+			return verified, skipped, fmt.Errorf("epoch %d: %w", ep, err)
+		}
+		b, sink := buildPlan(o)
+		if err := b.Err(); err != nil {
+			return verified, skipped, err
+		}
+		if err := b.Graph().RestoreChain(snaps); err != nil {
+			return verified, skipped, fmt.Errorf("restore epoch %d: %w", ep, err)
+		}
+		if err := b.Run(); err != nil {
+			return verified, skipped, fmt.Errorf("replay from epoch %d: %w", ep, err)
+		}
+		if line := digestLine(sink); line != want {
+			return verified, skipped, fmt.Errorf("replay from epoch %d diverged: %q != clean %q", ep, line, want)
+		}
+		verified++
+	}
+	return verified, skipped, nil
+}
+
+// verifyDist is the chain-aware check for distributed runs: every
+// committed DistManifest restores both subplans at its epoch and replays
+// the pair in-process over a pipe to the clean digest.
+func verifyDist(o options, dir string, want string, p *chaos.Plan) (verified, skipped int, err error) {
+	cd, err := snapshot.NewDir(filepath.Join(dir, "coord"))
+	if err != nil {
+		return 0, 0, err
+	}
+	fd, err := snapshot.NewDir(filepath.Join(dir, "follow"))
+	if err != nil {
+		return 0, 0, err
+	}
+	coordChain, followChain := snapshot.NewChain(cd), snapshot.NewChain(fd)
+	log := snapshot.NewDistLog(cd)
+	epochs, err := log.Epochs()
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(epochs) == 0 {
+		// A dropped follower ack stalls each affected epoch for the full
+		// ack timeout; on a short run that can abandon every epoch — the
+		// results were still exact, there is just nothing to replay.
+		if p.StarvesCommits() {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("no committed manifests to verify")
+	}
+	// Corruption faults in dist schedules target the coordinator's backend
+	// (shared by its chain and the manifest log).
+	skippable := func(err error) bool {
+		return errors.Is(err, snapshot.ErrCorruptSnapshot) && p.SchedulesCorruption("coord")
+	}
+	for _, ep := range epochs {
+		m, err := log.At(ep)
+		if err != nil {
+			if skippable(err) {
+				skipped++
+				continue
+			}
+			return verified, skipped, fmt.Errorf("manifest %d: %w", ep, err)
+		}
+		line, err := replayPair(o, coordChain, followChain, m)
+		if err != nil {
+			if skippable(err) {
+				skipped++
+				continue
+			}
+			return verified, skipped, fmt.Errorf("manifest %d: %w", ep, err)
+		}
+		if line != want {
+			return verified, skipped, fmt.Errorf("replay of manifest %d diverged: %q != clean %q", ep, line, want)
+		}
+		verified++
+	}
+	return verified, skipped, nil
+}
+
+// replayPair restores both halves of the distributed plan at one committed
+// manifest and runs them to completion in-process over a pipe (no
+// checkpoints fire during verification, so no control connection is
+// needed), returning the follower's digest line.
+func replayPair(o options, coordChain, followChain *snapshot.Chain, m *snapshot.DistManifest) (string, error) {
+	partEpoch := func(name string) (int64, error) {
+		for _, pt := range m.Parts {
+			if pt.Part == name {
+				return pt.Epoch, nil
+			}
+		}
+		return 0, fmt.Errorf("manifest %d has no part %q", m.Epoch, name)
+	}
+	c1, c2 := net.Pipe()
+	bc, _ := buildCoordPlan(o, c1)
+	bf, sink := buildFollowPlan(o, c2)
+	if err := bc.Err(); err != nil {
+		return "", err
+	}
+	if err := bf.Err(); err != nil {
+		return "", err
+	}
+	for _, part := range []struct {
+		name  string
+		chain *snapshot.Chain
+		g     *execpkg.Graph
+	}{
+		{"coord", coordChain, bc.Graph()},
+		{"follow", followChain, bf.Graph()},
+	} {
+		ep, err := partEpoch(part.name)
+		if err != nil {
+			return "", err
+		}
+		snaps, err := part.chain.ChainFor(ep)
+		if err != nil {
+			return "", fmt.Errorf("part %s epoch %d: %w", part.name, ep, err)
+		}
+		if err := part.g.RestoreChain(snaps); err != nil {
+			return "", fmt.Errorf("part %s epoch %d: %w", part.name, ep, err)
+		}
+	}
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- bc.Run() }()
+	ferr := bf.Run()
+	if cerr := <-coordErr; cerr != nil {
+		return "", fmt.Errorf("coordinator replay: %w", cerr)
+	}
+	if ferr != nil {
+		return "", fmt.Errorf("follower replay: %w", ferr)
+	}
+	return digestLine(sink), nil
+}

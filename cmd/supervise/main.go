@@ -44,11 +44,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	execpkg "repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/op"
 	"repro/internal/plan"
+	"repro/internal/remote"
 	"repro/internal/snapshot"
 	"repro/internal/window"
 	"repro/internal/work"
@@ -71,6 +73,22 @@ type options struct {
 	addr         string
 	ackTimeout   time.Duration
 	writeTimeout time.Duration
+	readTimeout  time.Duration
+	chaosSeed    uint64
+	chaosInc     int
+	fuzz         bool
+	seed         uint64
+	fuzzSeeds    int
+	fuzzTime     time.Duration
+}
+
+// chaosPlan derives this run's fault schedule (nil when chaos is off). The
+// schedule depends only on the seed and the mode, never on which child asks.
+func (o options) chaosPlan() *chaos.Plan {
+	if o.chaosSeed == 0 {
+		return nil
+	}
+	return chaos.Generate(o.chaosSeed, o.dist || o.role != "")
 }
 
 func main() {
@@ -91,8 +109,15 @@ func main() {
 	flag.StringVar(&o.addr, "addr", "", "dist mode: coordinator listen address (internal; supervisor picks one)")
 	flag.DurationVar(&o.ackTimeout, "ack-timeout", 10*time.Second, "dist mode: abandon an epoch when follower acks do not arrive in time")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "dist mode: remote sink write deadline (0 = none)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "dist mode: remote source idle read deadline (0 = none)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "fault-injection schedule seed (0 = chaos off; see internal/chaos)")
+	flag.IntVar(&o.chaosInc, "chaos-incarnation", 0, "chaos: restart generation of this child (internal)")
+	flag.BoolVar(&o.fuzz, "fuzz", false, "run seeded chaos schedules (single-process and -dist) and verify crash ≡ clean plus every retained epoch")
+	flag.Uint64Var(&o.seed, "seed", 1, "fuzz: base seed; schedules seed..seed+fuzz-seeds-1 run per mode")
+	flag.IntVar(&o.fuzzSeeds, "fuzz-seeds", 4, "fuzz: seeds per mode")
+	flag.DurationVar(&o.fuzzTime, "fuzz-time", 0, "fuzz: stop starting new seeds after this long (0 = no cap)")
 	flag.Parse()
-	if o.dir == "" {
+	if o.dir == "" && !o.fuzz {
 		fmt.Fprintln(os.Stderr, "supervise: -dir is required")
 		os.Exit(2)
 	}
@@ -104,6 +129,8 @@ func main() {
 		err = runChildFollow(o)
 	case o.child:
 		err = runChild(o)
+	case o.fuzz:
+		err = runFuzz(o)
 	case o.dist:
 		err = runSupervisorDist(o)
 	default:
@@ -164,6 +191,13 @@ func (o options) childArgs(role string) []string {
 			"-addr", o.addr,
 			"-ack-timeout", o.ackTimeout.String(),
 			"-write-timeout", o.writeTimeout.String(),
+			"-read-timeout", o.readTimeout.String(),
+		)
+	}
+	if o.chaosSeed != 0 {
+		args = append(args,
+			"-chaos-seed", fmt.Sprint(o.chaosSeed),
+			"-chaos-incarnation", fmt.Sprint(o.chaosInc),
 		)
 	}
 	return args
@@ -178,6 +212,7 @@ func runSupervisor(o options) error {
 	restarts := 0
 	bo := newBackoff(o.backoff)
 	for {
+		o.chaosInc = restarts
 		args := o.childArgs("")
 		if restarts == 0 && o.crashAfter > 0 {
 			args = append(args, "-crash-after-epochs", fmt.Sprint(o.crashAfter))
@@ -221,6 +256,7 @@ func runSupervisorDist(o options) error {
 	restarts := 0
 	bo := newBackoff(o.backoff)
 	for {
+		o.chaosInc = restarts
 		coordArgs := o.childArgs("coord")
 		if restarts == 0 && o.crashAfter > 0 {
 			coordArgs = append(coordArgs, "-crash-after-epochs", fmt.Sprint(o.crashAfter))
@@ -280,32 +316,66 @@ func freeLoopbackAddr() (string, error) {
 	return addr, nil
 }
 
-// openChain sets up the async-backed chain (and backend) under dir.
-func openChain(dir string) (*snapshot.Async, *snapshot.Chain, error) {
+// openChain sets up the async-backed chain (and backend) under dir. Chaos
+// faults, if any, wrap the durable backend UNDER the async writer, so an
+// injected write failure poisons the queue exactly like a dying disk.
+func openChain(dir string, faults []chaos.Fault) (*snapshot.Async, *snapshot.Chain, error) {
 	d, err := snapshot.NewDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	async := snapshot.NewAsync(d)
+	async := snapshot.NewAsync(chaos.WrapBackend(d, faults))
 	return async, snapshot.NewChain(async), nil
+}
+
+// armKills starts one watcher per scheduled kill fault for this
+// incarnation: once the process's durable progress reaches the fault's
+// epoch threshold, wait the fault's delay (which varies the phase of the
+// next epoch the kill lands in) and SIGKILL.
+func armKills(p *chaos.Plan, part string, inc int, progress func() (int64, bool)) {
+	if p == nil {
+		return
+	}
+	for _, f := range p.Kills(part, inc) {
+		go func(f chaos.Fault) {
+			for {
+				time.Sleep(5 * time.Millisecond)
+				if v, ok := progress(); ok && v >= f.Epoch {
+					time.Sleep(f.Delay)
+					fmt.Printf("CHAOS firing %s at progress %d (kill -9)\n", f, v)
+					syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
+			}
+		}(f)
+	}
+}
+
+// logSkips reports restore degradation: epochs whose stored lineage was
+// corrupt and were skipped in favor of an older intact cut.
+func logSkips(who string, skipped []snapshot.Fallback) {
+	for _, sk := range skipped {
+		fmt.Printf("%s restore degraded: skipped corrupt epoch %d: %v\n", who, sk.Epoch, sk.Err)
+	}
 }
 
 // runChild runs one single-process incarnation: restore-from-latest, then
 // the plan under periodic checkpoints.
 func runChild(o options) error {
+	cp := o.chaosPlan()
 	// Async writes: the checkpoint loop never stalls on the filesystem;
 	// Flush on the way out surfaces any write failure.
-	async, chain, err := openChain(o.dir)
+	async, chain, err := openChain(o.dir, cp.ChainFaults("", o.chaosInc))
 	if err != nil {
 		return err
 	}
 	defer async.Close()
 
 	b, sink := buildPlan(o)
-	restored, err := b.RestoreLatest(chain)
+	restored, skipped, err := b.RestoreLatestIntact(chain)
 	if err != nil {
 		return err
 	}
+	logSkips("CHILD", skipped)
 	if restored {
 		ep, _, _ := chain.LatestEpoch()
 		fmt.Printf("CHILD restored from epoch %d\n", ep)
@@ -313,12 +383,14 @@ func runChild(o options) error {
 		fmt.Println("CHILD cold start")
 	}
 
-	if o.crashAfter > 0 {
-		go crashWhen(func() (int64, bool) {
-			ep, ok, err := chain.LatestEpoch()
-			return ep, err == nil && ok
-		}, o.crashAfter)
+	chainProgress := func() (int64, bool) {
+		ep, ok, err := chain.LatestEpoch()
+		return ep, err == nil && ok
 	}
+	if o.crashAfter > 0 {
+		go crashWhen(chainProgress, o.crashAfter)
+	}
+	armKills(cp, "", o.chaosInc, chainProgress)
 
 	runErr, chkErr := b.RunCheckpointed(chain, policyOf(o))
 	if runErr != nil {
@@ -330,8 +402,7 @@ func runChild(o options) error {
 	if err := async.Flush(); err != nil {
 		return err
 	}
-	count, sum := canonicalDigest(sink)
-	fmt.Printf("RESULTS count=%d checksum=%08x\n", count, sum)
+	fmt.Println(digestLine(sink))
 	return nil
 }
 
@@ -355,7 +426,8 @@ const (
 // sink, as the distributed checkpoint coordinator. It listens on -addr for
 // the follower's control and data connections.
 func runChildCoord(o options) error {
-	async, chain, err := openChain(filepath.Join(o.dir, "coord"))
+	cp := o.chaosPlan()
+	async, chain, err := openChain(filepath.Join(o.dir, "coord"), cp.ChainFaults("coord", o.chaosInc))
 	if err != nil {
 		return err
 	}
@@ -372,12 +444,11 @@ func runChildCoord(o options) error {
 		return err
 	}
 	ctrl, data := conns[0], conns[1]
+	ctrl = chaos.WrapConn(ctrl, cp.ConnFaults("coord", o.chaosInc, chaos.TargetCtrl))
+	data = chaos.WrapConn(data, cp.ConnFaults("coord", o.chaosInc, chaos.TargetData))
 	defer ctrl.Close()
 
-	b := plan.New()
-	out := b.Source(trafficSource(o)).Select("filter", nil)
-	rsink := out.IntoRemote("to-consumer", data)
-	rsink.WriteTimeout = o.writeTimeout
+	b, _ := buildCoordPlan(o, data)
 
 	dc, err := b.DistCoordinate("coord", chain, log)
 	if err != nil {
@@ -388,6 +459,7 @@ func runChildCoord(o options) error {
 	if err != nil {
 		return err
 	}
+	logSkips("COORD", dc.Degraded())
 	if restored {
 		fmt.Printf("COORD restored from committed epoch %d\n", dc.CommittedEpoch())
 	} else {
@@ -399,15 +471,17 @@ func runChildCoord(o options) error {
 	}
 	fmt.Printf("COORD follower %q joined\n", part)
 
-	if o.crashAfter > 0 {
-		go crashWhen(func() (int64, bool) {
-			m, ok, err := log.Latest()
-			if err != nil || !ok {
-				return 0, false
-			}
-			return m.Epoch, true
-		}, o.crashAfter)
+	commitProgress := func() (int64, bool) {
+		m, ok, err := log.Latest()
+		if err != nil || !ok {
+			return 0, false
+		}
+		return m.Epoch, true
 	}
+	if o.crashAfter > 0 {
+		go crashWhen(commitProgress, o.crashAfter)
+	}
+	armKills(cp, "coord", o.chaosInc, commitProgress)
 
 	runErr, chkErr := dc.RunCheckpointed(policyOf(o))
 	if runErr != nil {
@@ -429,7 +503,8 @@ func runChildCoord(o options) error {
 // aggregate → recording sink, as a distributed checkpoint follower. It
 // dials the coordinator's -addr for control and data.
 func runChildFollow(o options) error {
-	async, chain, err := openChain(filepath.Join(o.dir, "follow"))
+	cp := o.chaosPlan()
+	async, chain, err := openChain(filepath.Join(o.dir, "follow"), cp.ChainFaults("follow", o.chaosInc))
 	if err != nil {
 		return err
 	}
@@ -439,21 +514,15 @@ func runChildFollow(o options) error {
 	if err != nil {
 		return err
 	}
+	ctrl = chaos.WrapConn(ctrl, cp.ConnFaults("follow", o.chaosInc, chaos.TargetCtrl))
 	defer ctrl.Close()
 	data, err := dialTagged(o.addr, tagData)
 	if err != nil {
 		return err
 	}
+	data = chaos.WrapConn(data, cp.ConnFaults("follow", o.chaosInc, chaos.TargetData))
 
-	const minute = int64(60_000_000)
-	b := plan.New()
-	out := b.RemoteSource("from-producer", gen.TrafficSchema, data).
-		Parallel("part", o.parts, []string{"segment"}, func(ss plan.Stream) plan.Stream {
-			return ss.Through(&op.Aggregate{OpName: "agg", In: gen.TrafficSchema, Kind: core.AggAvg,
-				TsAttr: 2, ValAttr: 3, GroupBy: []int{0}, Window: window.Tumbling(minute),
-				ValueName: "avg_speed", Mode: op.FeedbackExploit, Propagate: true})
-		})
-	sink := out.Collect("sink")
+	b, sink := buildFollowPlan(o, data)
 
 	df, err := b.DistFollow("follow", chain, ctrl)
 	if err != nil {
@@ -469,14 +538,17 @@ func runChildFollow(o options) error {
 	} else {
 		fmt.Println("FOLLOW cold start")
 	}
+	armKills(cp, "follow", o.chaosInc, func() (int64, bool) {
+		ep, ok, err := chain.LatestEpoch()
+		return ep, err == nil && ok
+	})
 	if err := df.Run(); err != nil {
 		return err
 	}
 	if err := async.Flush(); err != nil {
 		return err
 	}
-	count, sum := canonicalDigest(sink)
-	fmt.Printf("RESULTS count=%d checksum=%08x\n", count, sum)
+	fmt.Println(digestLine(sink))
 	return nil
 }
 
@@ -558,19 +630,48 @@ func trafficSource(o options) *gen.TrafficSource {
 	}}
 }
 
+// aggStage is the per-partition aggregate sub-plan shared by the
+// single-process plan and the distributed follower (and by the fuzz
+// verifier, which must rebuild byte-identical plans to restore into).
+func aggStage() func(plan.Stream) plan.Stream {
+	const minute = int64(60_000_000)
+	return func(ss plan.Stream) plan.Stream {
+		return ss.Through(&op.Aggregate{OpName: "agg", In: gen.TrafficSchema, Kind: core.AggAvg,
+			TsAttr: 2, ValAttr: 3, GroupBy: []int{0}, Window: window.Tumbling(minute),
+			ValueName: "avg_speed", Mode: op.FeedbackExploit, Propagate: true})
+	}
+}
+
 // buildPlan assembles the single-process demo workload: deterministic
 // synthetic traffic → Parallel(parts) per-segment average → recording sink.
 // Every node is a snapshot.Stater, so the whole plan recovers.
 func buildPlan(o options) (*plan.Builder, *execpkg.Collector) {
-	const minute = int64(60_000_000)
 	b := plan.New()
-	out := b.Source(trafficSource(o)).Parallel("part", o.parts, []string{"segment"}, func(ss plan.Stream) plan.Stream {
-		return ss.Through(&op.Aggregate{OpName: "agg", In: gen.TrafficSchema, Kind: core.AggAvg,
-			TsAttr: 2, ValAttr: 3, GroupBy: []int{0}, Window: window.Tumbling(minute),
-			ValueName: "avg_speed", Mode: op.FeedbackExploit, Propagate: true})
-	})
+	out := b.Source(trafficSource(o)).Parallel("part", o.parts, []string{"segment"}, aggStage())
 	sink := execpkg.NewCollector("sink", out.Schema())
 	out.Into(sink)
+	return b, sink
+}
+
+// buildCoordPlan assembles the producer subplan of the distributed pair:
+// traffic source → filter → remote sink framing onto data.
+func buildCoordPlan(o options, data net.Conn) (*plan.Builder, *remote.Sink) {
+	b := plan.New()
+	out := b.Source(trafficSource(o)).Select("filter", nil)
+	rsink := out.IntoRemote("to-consumer", data)
+	rsink.WriteTimeout = o.writeTimeout
+	return b, rsink
+}
+
+// buildFollowPlan assembles the consumer subplan: remote source →
+// partitioned aggregate → recording sink. The source's read deadline
+// surfaces a wedged producer instead of hanging the subplan forever.
+func buildFollowPlan(o options, data net.Conn) (*plan.Builder, *execpkg.Collector) {
+	b := plan.New()
+	src := remote.NewSource("from-producer", gen.TrafficSchema, data)
+	src.ReadTimeout = o.readTimeout
+	out := b.Source(src).Parallel("part", o.parts, []string{"segment"}, aggStage())
+	sink := out.Collect("sink")
 	return b, sink
 }
 
@@ -585,4 +686,11 @@ func canonicalDigest(sink *execpkg.Collector) (int, uint32) {
 	h := fnv.New32a()
 	h.Write([]byte(strings.Join(lines, "\n")))
 	return len(lines), h.Sum32()
+}
+
+// digestLine renders the RESULTS line — single-sourced so the fuzz
+// verifier's replays compare byte-identically against run output.
+func digestLine(sink *execpkg.Collector) string {
+	count, sum := canonicalDigest(sink)
+	return fmt.Sprintf("RESULTS count=%d checksum=%08x", count, sum)
 }

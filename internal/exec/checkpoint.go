@@ -617,6 +617,35 @@ func (g *Graph) RestoreLatest(chain *snapshot.Chain) (ok bool, err error) {
 	return true, g.RestoreChain(snaps)
 }
 
+// RestoreLatestIntact stages the newest epoch of a chain whose lineage
+// decodes cleanly, degrading past corrupt blobs (ErrCorruptSnapshot)
+// instead of failing the whole restore. When it degrades, the corrupt tail
+// is truncated before staging so the resumed run's epoch numbering — which
+// continues from the restored cut — cannot collide with the damaged epochs
+// still on disk; skipped reports what was walked past so callers can log
+// the degradation. A chain where nothing is intact truncates to empty and
+// cold-starts (ok=false).
+func (g *Graph) RestoreLatestIntact(chain *snapshot.Chain) (ok bool, skipped []snapshot.Fallback, err error) {
+	snaps, skipped, err := chain.LatestIntact()
+	if err != nil {
+		return false, skipped, err
+	}
+	if len(snaps) == 0 {
+		if len(skipped) > 0 {
+			if err := chain.TruncateAfter(0); err != nil {
+				return false, skipped, err
+			}
+		}
+		return false, skipped, nil
+	}
+	if len(skipped) > 0 {
+		if err := chain.TruncateAfter(snaps[len(snaps)-1].Epoch); err != nil {
+			return false, skipped, err
+		}
+	}
+	return true, skipped, g.RestoreChain(snaps)
+}
+
 // RestoreSnapshot stages one self-contained snapshot (see Restore).
 func (g *Graph) RestoreSnapshot(s *snapshot.Snapshot) error {
 	return g.RestoreChain([]*snapshot.Snapshot{s})

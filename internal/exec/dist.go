@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -102,6 +103,7 @@ type DistCoordinator struct {
 	peers     []*distPeer
 	committed int64
 	restored  bool
+	degraded  []snapshot.Fallback
 	acks      chan distAck
 }
 
@@ -123,34 +125,75 @@ func (dc *DistCoordinator) CommittedEpoch() int64 {
 // coordinator's own (rebuilt) subplan: local epochs past the committed one
 // are truncated — they were persisted but never globally acknowledged —
 // and the chain at the committed epoch is restored. ok=false means no
-// manifest was ever committed (cold start); any uncommitted local chain is
-// wiped so the fresh run's epoch numbering can restart.
+// commit is restorable (cold start); any uncommitted local chain is wiped
+// so the fresh run's epoch numbering can restart.
+//
+// Damage degrades instead of failing: a corrupt manifest, or a committed
+// epoch whose local chain hits ErrCorruptSnapshot, is walked past to the
+// next older commit, and the manifests above the chosen one are truncated
+// from the log — they can never be restored again, and leaving them would
+// make every re-commit of those epochs fail the log's ascending-order
+// check. Skipped commits are reported via Degraded. Non-corruption
+// failures (backend I/O, broken lineage) still fail loudly.
 func (dc *DistCoordinator) RestoreCommitted() (ok bool, err error) {
-	m, found, err := dc.log.Latest()
+	dc.restored = true
+	epochs, err := dc.log.Epochs()
 	if err != nil {
 		return false, err
 	}
-	dc.restored = true
-	if !found {
-		if err := dc.chain.TruncateAfter(0); err != nil {
+	var skipped []snapshot.Fallback
+	for i := len(epochs) - 1; i >= 0; i-- {
+		m, err := dc.log.At(epochs[i])
+		if err != nil {
+			if !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+				return false, err
+			}
+			skipped = append(skipped, snapshot.Fallback{Epoch: epochs[i], Err: err})
+			continue
+		}
+		snaps, err := dc.chain.ChainFor(m.Epoch)
+		if err != nil {
+			if !errors.Is(err, snapshot.ErrCorruptSnapshot) {
+				return false, err
+			}
+			skipped = append(skipped, snapshot.Fallback{Epoch: epochs[i], Err: err})
+			continue
+		}
+		if err := dc.log.TruncateAfter(m.Epoch); err != nil {
 			return false, err
 		}
-		return false, nil
+		if err := dc.chain.TruncateAfter(m.Epoch); err != nil {
+			return false, err
+		}
+		if err := dc.g.RestoreChain(snaps); err != nil {
+			return false, err
+		}
+		dc.mu.Lock()
+		dc.committed = m.Epoch
+		dc.degraded = skipped
+		dc.mu.Unlock()
+		return true, nil
 	}
-	if err := dc.chain.TruncateAfter(m.Epoch); err != nil {
+	// No restorable commit: wipe the log and any local chain so the cold
+	// run's epoch numbering can restart from 1.
+	if err := dc.log.TruncateAfter(0); err != nil {
 		return false, err
 	}
-	snaps, err := dc.chain.ChainFor(m.Epoch)
-	if err != nil {
-		return false, err
-	}
-	if err := dc.g.RestoreChain(snaps); err != nil {
+	if err := dc.chain.TruncateAfter(0); err != nil {
 		return false, err
 	}
 	dc.mu.Lock()
-	dc.committed = m.Epoch
+	dc.degraded = skipped
 	dc.mu.Unlock()
-	return true, nil
+	return false, nil
+}
+
+// Degraded reports the committed cuts RestoreCommitted walked past because
+// of storage damage (newest first); empty on a clean restore.
+func (dc *DistCoordinator) Degraded() []snapshot.Fallback {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.degraded
 }
 
 // AddFollower runs the coordinator's half of the startup handshake on one

@@ -80,6 +80,18 @@ func (b *Builder) RestoreLatest(chain *snapshot.Chain) (ok bool, err error) {
 	return b.g.RestoreLatest(chain)
 }
 
+// RestoreLatestIntact is RestoreLatest with graceful degradation: epochs
+// whose stored lineage is corrupt (snapshot.ErrCorruptSnapshot) are
+// skipped — and reported — in favor of the newest older epoch that decodes
+// cleanly, and the corrupt tail is truncated so the resumed run re-records
+// those epochs. ok is false on an empty or fully corrupt chain.
+func (b *Builder) RestoreLatestIntact(chain *snapshot.Chain) (ok bool, skipped []snapshot.Fallback, err error) {
+	if err := b.Err(); err != nil {
+		return false, nil, err
+	}
+	return b.g.RestoreLatestIntact(chain)
+}
+
 // RunCheckpointed validates and executes the plan under periodic
 // checkpoints persisted to the chain (see exec.Graph.RunCheckpointed).
 func (b *Builder) RunCheckpointed(chain *snapshot.Chain, p exec.CheckpointPolicy) (runErr, chkErr error) {

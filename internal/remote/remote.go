@@ -17,6 +17,7 @@ package remote
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -293,6 +294,16 @@ type Source struct {
 	Schema     stream.Schema
 	Conn       net.Conn
 
+	// ReadTimeout bounds each frame read, the read-side mirror of
+	// Sink.WriteTimeout: a wedged upstream peer — crashed without closing
+	// the connection, or stalled mid-barrier — surfaces as a node error
+	// instead of blocking the plan (and any barrier alignment waiting on
+	// this edge) forever. It is an idle bound, not a rate bound: every
+	// Next call re-arms it, so it only fires after a full timeout with no
+	// frame at all. Set it well above the longest legitimate gap between
+	// frames (source think time, feedback-driven droughts). Zero disables.
+	ReadTimeout time.Duration
+
 	dec  *gob.Decoder
 	w    *bufio.Writer
 	enc  *gob.Encoder
@@ -342,8 +353,15 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 	if s.done {
 		return false, nil
 	}
+	if s.ReadTimeout > 0 {
+		_ = s.Conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+	}
 	var f frame
 	if err := s.dec.Decode(&f); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return false, fmt.Errorf("remote: no frame from upstream within %v (wedged producer?): %w", s.ReadTimeout, err)
+		}
 		if err == io.EOF {
 			// Only an explicit EOS frame ends the stream cleanly; a bare
 			// connection close means the producer died (kill -9, node error

@@ -2,8 +2,10 @@ package remote
 
 import (
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -245,3 +247,29 @@ func TestRemotePunctuationCrossesWire(t *testing.T) {
 // test helpers over queue items.
 func itemPunct(p punct.Pattern) queue.Item { return queue.PunctItem(punct.NewEmbedded(p)) }
 func itIsPunct(it queue.Item) bool         { return it.Kind == queue.ItemPunct }
+
+// A wedged upstream peer — connection open, no frames — must surface as a
+// timed-out node error through Source.ReadTimeout, not stall forever.
+func TestSourceReadTimeout(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	src := NewSource("stalled", schema, c2)
+	src.ReadTimeout = 50 * time.Millisecond
+	if err := src.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.Next(nil) // the timeout path never touches the context
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "wedged") {
+			t.Fatalf("Next returned %v, want wedged-producer timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not time out")
+	}
+}

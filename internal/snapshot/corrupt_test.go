@@ -1,0 +1,214 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Every way a stored blob can be damaged must surface as
+// ErrCorruptSnapshot — the typed signal restore paths use to degrade to an
+// older epoch instead of treating damage as a bug.
+func TestDecodeCorruptionIsTyped(t *testing.T) {
+	blob := mkSnap(3, 2).Encode()
+	cases := map[string][]byte{
+		"bad magic": []byte("not a snapshot at all"),
+		"empty":     {},
+		"truncated": blob[:len(blob)-3],
+		"torn head": blob[:len(magicV3)+2],
+	}
+	for i := 0; i < 8; i++ {
+		mut := append([]byte(nil), blob...)
+		bit := (i*7 + 1) % (len(mut) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		cases[fmt.Sprintf("bit flip %d", bit)] = mut
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("%s: err = %v, want ErrCorruptSnapshot", name, err)
+		}
+	}
+	if _, err := Decode(blob); err != nil {
+		t.Fatalf("pristine blob: %v", err)
+	}
+}
+
+// Blobs written by the pre-checksum format (v2 magic, no CRC) must still
+// decode: upgrading the binary must not orphan existing chains.
+func TestDecodeV2Compat(t *testing.T) {
+	s := mkSnap(7, 6)
+	e := NewEncoder()
+	e.buf = append(e.buf, magic...)
+	e.PutInt64(s.Epoch)
+	e.PutInt64(s.Base)
+	e.PutInt(len(s.Nodes))
+	for _, n := range s.Nodes {
+		e.PutInt(n.ID)
+		e.PutString(n.Name)
+		e.PutBool(n.Delta)
+		e.PutBytes(n.State)
+		e.PutInt(len(n.Deltas))
+	}
+	v2, err := e.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(v2)
+	if err != nil {
+		t.Fatalf("v2 decode: %v", err)
+	}
+	if back.Epoch != 7 || back.Base != 6 || string(back.Nodes[0].State) != "d7" {
+		t.Fatalf("v2 round trip drifted: %+v", back)
+	}
+}
+
+// A corrupt blob at the newest epoch must degrade LatestIntact to the
+// newest older epoch whose full lineage is intact, reporting the skip.
+func TestChainLatestIntactFallsBack(t *testing.T) {
+	c := NewChain(NewMemory())
+	putAll(t, c, mkSnap(1, 0), mkSnap(2, 1), mkSnap(3, 2))
+	// Damage epoch 3's delta in place.
+	blob, err := c.Backend().Get("ep0000000003-d0000000002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xff
+	if err := c.Backend().Put("ep0000000003-d0000000002", blob); err != nil {
+		t.Fatal(err)
+	}
+	snaps, skipped, err := c.LatestIntact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chainSignature(t, snaps); got != "b1+d2" {
+		t.Fatalf("intact chain = %s, want b1+d2", got)
+	}
+	if len(skipped) != 1 || skipped[0].Epoch != 3 || !errors.Is(skipped[0].Err, ErrCorruptSnapshot) {
+		t.Fatalf("skipped = %+v, want one typed skip of epoch 3", skipped)
+	}
+}
+
+// Corruption in a chain's base poisons every epoch above it; with nothing
+// intact, LatestIntact reports a cold start, not an error.
+func TestChainLatestIntactNothingIntact(t *testing.T) {
+	c := NewChain(NewMemory())
+	putAll(t, c, mkSnap(1, 0), mkSnap(2, 1))
+	if err := c.Backend().Put("ep0000000001-full", []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	snaps, skipped, err := c.LatestIntact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps != nil {
+		t.Fatalf("snaps = %v, want nil (cold start)", snaps)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %+v, want both epochs", skipped)
+	}
+}
+
+// Manifest damage must also be typed, and old-format manifests must still
+// decode.
+func TestManifestCorruptionIsTyped(t *testing.T) {
+	m := &DistManifest{Epoch: 4, Parts: []DistPart{{Part: "coord", Epoch: 4, Chain: "ep0000000004-full"}}}
+	blob := m.Encode()
+	for name, data := range map[string][]byte{
+		"truncated": blob[:len(blob)-2],
+		"bit flip":  append(append([]byte(nil), blob[:len(blob)-1]...), blob[len(blob)-1]^1),
+		"garbage":   []byte("dm but not really"),
+	} {
+		if _, err := DecodeDistManifest(data); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("%s: err = %v, want ErrCorruptSnapshot", name, err)
+		}
+	}
+	// v1 (no checksum) still decodes.
+	e := NewEncoder()
+	e.buf = append(e.buf, distMagic...)
+	e.PutInt64(m.Epoch)
+	e.PutInt(len(m.Parts))
+	for _, p := range m.Parts {
+		e.PutString(p.Part)
+		e.PutInt64(p.Epoch)
+		e.PutString(p.Chain)
+	}
+	v1, err := e.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeDistManifest(v1)
+	if err != nil {
+		t.Fatalf("v1 decode: %v", err)
+	}
+	if back.Epoch != 4 || len(back.Parts) != 1 || back.Parts[0].Part != "coord" {
+		t.Fatalf("v1 round trip drifted: %+v", back)
+	}
+}
+
+// A crash mid-commit leaves a torn manifest; recovery must land on the
+// previous committed head and, after truncating the torn tail, be able to
+// re-commit the epoch.
+func TestDistLogTornManifestRecovery(t *testing.T) {
+	mem := NewMemory()
+	log := NewDistLog(mem)
+	commit := func(l *DistLog, epoch int64) {
+		t.Helper()
+		if err := l.Commit(&DistManifest{Epoch: epoch,
+			Parts: []DistPart{{Part: "coord", Epoch: epoch, Chain: IDFor(epoch, epoch-1)}}}); err != nil {
+			t.Fatalf("commit %d: %v", epoch, err)
+		}
+	}
+	commit(log, 1)
+	commit(log, 2)
+	// Simulate the crash: epoch 3's manifest reaches storage torn.
+	torn := (&DistManifest{Epoch: 3,
+		Parts: []DistPart{{Part: "coord", Epoch: 3, Chain: IDFor(3, 2)}}}).Encode()
+	if err := mem.Put(distID(3), torn[:len(torn)-4]); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh log (the restarted coordinator) must degrade to epoch 2.
+	fresh := NewDistLog(mem)
+	if _, _, err := fresh.Latest(); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("strict Latest on torn head: err = %v, want typed corruption", err)
+	}
+	m, skipped, err := fresh.LatestIntact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Epoch != 2 {
+		t.Fatalf("intact head = %+v, want epoch 2", m)
+	}
+	if len(skipped) != 1 || skipped[0].Epoch != 3 || !errors.Is(skipped[0].Err, ErrCorruptSnapshot) {
+		t.Fatalf("skipped = %+v, want one typed skip of epoch 3", skipped)
+	}
+
+	// Restoring from epoch 2 truncates the torn tail, after which epoch 3
+	// commits cleanly (no ascending-order collision with the torn ghost).
+	if err := fresh.TruncateAfter(2); err != nil {
+		t.Fatal(err)
+	}
+	commit(fresh, 3)
+	got, ok, err := fresh.Latest()
+	if err != nil || !ok || got.Epoch != 3 {
+		t.Fatalf("after recovery: Latest = %+v ok=%v err=%v, want epoch 3", got, ok, err)
+	}
+}
+
+// TruncateAfter on an unseeded log must not fabricate an empty head.
+func TestDistLogTruncateAfterSeedsHead(t *testing.T) {
+	mem := NewMemory()
+	log := NewDistLog(mem)
+	if err := log.Commit(&DistManifest{Epoch: 5,
+		Parts: []DistPart{{Part: "p", Epoch: 5, Chain: IDFor(5, 0)}}}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewDistLog(mem)
+	if err := fresh.TruncateAfter(9); err != nil { // deletes nothing
+		t.Fatal(err)
+	}
+	if err := fresh.Commit(&DistManifest{Epoch: 3,
+		Parts: []DistPart{{Part: "p", Epoch: 3, Chain: IDFor(3, 0)}}}); err == nil {
+		t.Fatal("commit below the existing head accepted after no-op TruncateAfter")
+	}
+}

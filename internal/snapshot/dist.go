@@ -2,7 +2,9 @@ package snapshot
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"strconv"
@@ -54,13 +56,23 @@ type DistManifest struct {
 	Parts []DistPart
 }
 
-// distMagic guards manifest decoding against arbitrary files.
-var distMagic = []byte("padist1\n")
+// distMagicV2 guards manifest decoding against arbitrary files and, like
+// the snapshot v3 format, carries a CRC-32C of the payload so a torn or
+// bit-rotted manifest surfaces as ErrCorruptSnapshot — the signal the
+// restore path needs to fall back to the previous committed head instead
+// of treating damage as a coordinator bug. distMagic (v1, no checksum) is
+// still decoded.
+var (
+	distMagicV2 = []byte("padist2\n")
+	distMagic   = []byte("padist1\n")
+)
 
-// Encode serializes the manifest.
+// Encode serializes the manifest: v2 magic, CRC-32C of the payload
+// (little-endian), then the payload.
 func (m *DistManifest) Encode() []byte {
 	e := NewEncoder()
-	e.buf = append(e.buf, distMagic...)
+	e.buf = append(e.buf, distMagicV2...)
+	e.buf = append(e.buf, 0, 0, 0, 0) // crc placeholder, patched below
 	e.PutInt64(m.Epoch)
 	e.PutInt(len(m.Parts))
 	for _, p := range m.Parts {
@@ -69,22 +81,35 @@ func (m *DistManifest) Encode() []byte {
 		e.PutString(p.Chain)
 	}
 	b, _ := e.Bytes() // the encoder has no failing paths
+	crc := crc32.Checksum(b[len(distMagicV2)+4:], crcTable)
+	binary.LittleEndian.PutUint32(b[len(distMagicV2):], crc)
 	return b
 }
 
-// DecodeDistManifest parses a manifest serialized by Encode.
+// DecodeDistManifest parses a manifest serialized by Encode (either format
+// version). Every failure wraps ErrCorruptSnapshot.
 func DecodeDistManifest(data []byte) (*DistManifest, error) {
-	if len(data) < len(distMagic) || string(data[:len(distMagic)]) != string(distMagic) {
-		return nil, fmt.Errorf("snapshot: not a distributed manifest (bad magic)")
+	switch {
+	case len(data) >= len(distMagicV2)+4 && string(data[:len(distMagicV2)]) == string(distMagicV2):
+		payload := data[len(distMagicV2)+4:]
+		want := binary.LittleEndian.Uint32(data[len(distMagicV2):])
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			return nil, corruptf("manifest checksum mismatch (stored %08x, computed %08x)", want, got)
+		}
+		data = payload
+	case len(data) >= len(distMagic) && string(data[:len(distMagic)]) == string(distMagic):
+		data = data[len(distMagic):]
+	default:
+		return nil, corruptf("not a distributed manifest (bad magic)")
 	}
-	d := NewDecoder(data[len(distMagic):])
+	d := NewDecoder(data)
 	m := &DistManifest{Epoch: d.GetInt64()}
 	n := d.GetInt()
 	if err := d.Err(); err != nil {
-		return nil, err
+		return nil, corrupted(err)
 	}
 	if n < 0 {
-		return nil, fmt.Errorf("snapshot: negative part count")
+		return nil, corruptf("negative part count")
 	}
 	for i := 0; i < n && d.Err() == nil; i++ {
 		m.Parts = append(m.Parts, DistPart{
@@ -92,10 +117,10 @@ func DecodeDistManifest(data []byte) (*DistManifest, error) {
 		})
 	}
 	if err := d.Err(); err != nil {
-		return nil, err
+		return nil, corrupted(err)
 	}
 	if d.Remaining() != 0 {
-		return nil, fmt.Errorf("snapshot: %d trailing bytes", d.Remaining())
+		return nil, corruptf("manifest: %d trailing bytes", d.Remaining())
 	}
 	return m, nil
 }
@@ -211,6 +236,84 @@ func (l *DistLog) Latest() (*DistManifest, bool, error) {
 		return nil, false, err
 	}
 	return m, true, nil
+}
+
+// Epochs lists the committed epochs in ascending order.
+func (l *DistLog) Epochs() ([]int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epochsLocked()
+}
+
+// At loads the manifest committed for the given epoch.
+func (l *DistLog) At(epoch int64) (*DistManifest, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := l.b.Get(distID(epoch))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeDistManifest(data)
+}
+
+// LatestIntact loads the newest committed manifest that decodes cleanly,
+// walking past corrupt ones (reported as skips so the caller can log the
+// degradation and truncate them). Nil manifest with no error means no
+// intact commit exists. A non-corruption failure stops the walk.
+func (l *DistLog) LatestIntact() (m *DistManifest, skipped []Fallback, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	es, err := l.epochsLocked()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := len(es) - 1; i >= 0; i-- {
+		data, err := l.b.Get(distID(es[i]))
+		if err != nil {
+			return nil, skipped, err
+		}
+		m, err := DecodeDistManifest(data)
+		if err == nil {
+			return m, skipped, nil
+		}
+		if !errors.Is(err, ErrCorruptSnapshot) {
+			return nil, skipped, err
+		}
+		skipped = append(skipped, Fallback{Epoch: es[i], Err: err})
+	}
+	return nil, skipped, nil
+}
+
+// TruncateAfter deletes every committed manifest newer than the given
+// epoch — the manifest-log half of restoring from a non-newest commit.
+// Without it, a run resumed from an older cut would re-commit epochs the
+// log already holds and every commit would fail the ascending-order check.
+// Deletion runs newest-first so a crash mid-truncate never leaves a gap
+// below a surviving manifest.
+func (l *DistLog) TruncateAfter(epoch int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.headLocked(); err != nil {
+		return err
+	}
+	es, err := l.epochsLocked()
+	if err != nil {
+		return err
+	}
+	for i := len(es) - 1; i >= 0; i-- {
+		if es[i] <= epoch {
+			break
+		}
+		if err := l.b.Delete(distID(es[i])); err != nil {
+			l.seeded = false // partial truncate: reseed the head on next use
+			return err
+		}
+		l.head = 0
+		if i > 0 {
+			l.head = es[i-1]
+		}
+	}
+	return nil
 }
 
 // Retain keeps the newest n manifests and deletes the rest (oldest first,

@@ -21,8 +21,33 @@
 package snapshot
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 )
+
+// ErrCorruptSnapshot is wrapped by every decode failure that indicates the
+// stored bytes are damaged (truncation, bit rot, torn write) rather than
+// the caller holding a wrong id or the plan having drifted. Restore paths
+// test for it with errors.Is to decide between degrading to an older epoch
+// and failing loudly: corruption is a storage fault the chain can fall
+// back across, anything else is a bug that must surface.
+var ErrCorruptSnapshot = errors.New("corrupt snapshot")
+
+// corruptf builds an error wrapping ErrCorruptSnapshot.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("snapshot: "+format+": %w", append(args, ErrCorruptSnapshot)...)
+}
+
+// corrupted marks an existing decode error as corruption.
+func corrupted(err error) error {
+	return fmt.Errorf("%w: %w", err, ErrCorruptSnapshot)
+}
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on amd64 and
+// arm64), shared by snapshot and manifest checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Stater is the optional interface operators and sources implement to
 // participate in checkpoints. SaveState is called on the operator's own
@@ -77,17 +102,25 @@ type Snapshot struct {
 // IsFull reports whether the snapshot restores on its own (no parent).
 func (s *Snapshot) IsFull() bool { return s.Base == 0 }
 
-// magic guards against feeding arbitrary files to Decode; magicV1 is the
-// pre-chain format (no Base, no per-node delta segments), still decoded.
+// magic guards against feeding arbitrary files to Decode. magicV3 (the
+// written format) carries a CRC-32C of the payload so bit rot and torn
+// writes on weaker backends surface as ErrCorruptSnapshot at load time —
+// before a restore commits to the epoch — instead of as a structural decode
+// error (or worse, silently wrong state) mid-restore. magic (v2, no
+// checksum) and magicV1 (pre-chain: no Base, no per-node delta segments)
+// are still decoded.
 var (
+	magicV3 = []byte("pasnap3\n")
 	magic   = []byte("pasnap2\n")
 	magicV1 = []byte("pasnap1\n")
 )
 
-// Encode serializes the snapshot.
+// Encode serializes the snapshot: v3 magic, CRC-32C of the payload
+// (little-endian), then the payload.
 func (s *Snapshot) Encode() []byte {
 	e := NewEncoder()
-	e.buf = append(e.buf, magic...)
+	e.buf = append(e.buf, magicV3...)
+	e.buf = append(e.buf, 0, 0, 0, 0) // crc placeholder, patched below
 	e.PutInt64(s.Epoch)
 	e.PutInt64(s.Base)
 	e.PutInt(len(s.Nodes))
@@ -102,30 +135,44 @@ func (s *Snapshot) Encode() []byte {
 		}
 	}
 	b, _ := e.Bytes() // the encoder has no failing paths
+	crc := crc32.Checksum(b[len(magicV3)+4:], crcTable)
+	binary.LittleEndian.PutUint32(b[len(magicV3):], crc)
 	return b
 }
 
-// Decode parses a snapshot serialized by Encode (either format version).
+// Decode parses a snapshot serialized by Encode (any format version).
+// Every failure wraps ErrCorruptSnapshot: the magic matched no known
+// version, the v3 checksum disagrees with the payload, or the payload is
+// structurally damaged.
 func Decode(data []byte) (*Snapshot, error) {
 	v1 := false
 	switch {
+	case len(data) >= len(magicV3)+4 && string(data[:len(magicV3)]) == string(magicV3):
+		payload := data[len(magicV3)+4:]
+		want := binary.LittleEndian.Uint32(data[len(magicV3):])
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			return nil, corruptf("checksum mismatch (stored %08x, computed %08x)", want, got)
+		}
+		data = payload
 	case len(data) >= len(magic) && string(data[:len(magic)]) == string(magic):
+		data = data[len(magic):]
 	case len(data) >= len(magicV1) && string(data[:len(magicV1)]) == string(magicV1):
 		v1 = true
+		data = data[len(magicV1):]
 	default:
-		return nil, fmt.Errorf("snapshot: not a snapshot (bad magic)")
+		return nil, corruptf("not a snapshot (bad magic)")
 	}
-	d := NewDecoder(data[len(magic):])
+	d := NewDecoder(data)
 	s := &Snapshot{Epoch: d.GetInt64()}
 	if !v1 {
 		s.Base = d.GetInt64()
 	}
 	n := d.GetInt()
 	if d.Err() != nil {
-		return nil, d.Err()
+		return nil, corrupted(d.Err())
 	}
 	if n < 0 {
-		return nil, fmt.Errorf("snapshot: negative node count")
+		return nil, corruptf("negative node count")
 	}
 	for i := 0; i < n; i++ {
 		ns := NodeState{ID: d.GetInt(), Name: d.GetString()}
@@ -140,12 +187,12 @@ func Decode(data []byte) (*Snapshot, error) {
 			}
 		}
 		if d.Err() != nil {
-			return nil, d.Err()
+			return nil, corrupted(d.Err())
 		}
 		s.Nodes = append(s.Nodes, ns)
 	}
 	if d.Remaining() != 0 {
-		return nil, fmt.Errorf("snapshot: %d trailing bytes", d.Remaining())
+		return nil, corruptf("%d trailing bytes", d.Remaining())
 	}
 	return s, nil
 }
