@@ -20,8 +20,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/experiments"
+	"repro/internal/fuse"
 	"repro/internal/gen"
 	"repro/internal/op"
+	"repro/internal/plan"
 	"repro/internal/punct"
 	"repro/internal/queue"
 	"repro/internal/snapshot"
@@ -348,6 +350,125 @@ func BenchmarkJoinProbe(b *testing.B) {
 		h.Tuple(0, stream.NewTuple(stream.Int(int64(i%1000)), stream.TimeMicros(0), stream.Float(60)))
 		if i%4096 == 0 {
 			h.Reset()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Plan compiler: operator fusion (DESIGN.md §10).
+// ---------------------------------------------------------------------------
+
+// runFusedPipeline builds the stateless hot path source → select → project
+// → map → sink, optionally compiled (Builder.Compile fuses the three
+// stateless stages into one flat kernel), and runs it to completion.
+func runFusedPipeline(b *testing.B, items []queue.Item, fused bool) {
+	b.Helper()
+	bld := plan.New()
+	src := &exec.SliceSource{SourceName: "src", Schema: gen.TrafficSchema, Items: items, BatchSize: 256}
+	keep := make([]string, gen.TrafficSchema.Arity())
+	outs := make([]op.MapAttr, gen.TrafficSchema.Arity())
+	for i := range keep {
+		keep[i] = gen.TrafficSchema.Field(i).Name
+		outs[i] = op.Carry(keep[i])
+	}
+	out := bld.Source(src).
+		SelectExpr("hot", op.ExprStep{Col: 3, Name: "speed", Pred: punct.Ge(stream.Float(10))}).
+		Project("keep", keep...).
+		Map("norm", outs...)
+	sink := exec.NewCollector("sink", out.Schema())
+	sink.Discard = true
+	out.Into(sink)
+	if fused {
+		bld.Compile()
+	}
+	if err := bld.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFusedPipeline is the plan compiler's acceptance benchmark: the
+// same stateless chain with and without Builder.Compile. The fused variant
+// runs select+project+map as one flat kernel — two queue hops instead of
+// four, no intermediate emits — and must beat the unfused twin ≥2×.
+// cmd/benchall records both variants into BENCH_pipeline.json.
+func BenchmarkFusedPipeline(b *testing.B) {
+	// Punctuated stream, like every workload in this engine: a progress
+	// punctuation on ts every 50 tuples. Unfused, each punctuation crosses
+	// four queue edges (flushing the page at each, per FlushOnPunct) and is
+	// re-projected by every stateless op; fused it crosses two and is
+	// relayed by one kernel pass.
+	const n = 100_000
+	items := make([]queue.Item, 0, n+n/50)
+	for i := 0; i < n; i++ {
+		items = append(items, queue.TupleItem(stream.NewTuple(
+			stream.Int(int64(i%9)), stream.Int(int64(i%40)),
+			stream.TimeMicros(int64(i)*1000), stream.Float(float64(20+i%80)))))
+		if i%50 == 49 {
+			items = append(items, queue.PunctItem(punct.NewEmbedded(
+				punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(int64(i)*1000))))))
+		}
+	}
+	for _, fused := range []bool{true, false} {
+		b.Run(fmt.Sprintf("fused=%v", fused), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runFusedPipeline(b, items, fused)
+			}
+			b.ReportMetric(n, "tuples/op")
+		})
+	}
+}
+
+// noopCtx discards everything: direct kernel measurement with no queue in
+// sight.
+type noopCtx struct{}
+
+func (noopCtx) Emit(stream.Tuple)               {}
+func (noopCtx) EmitTo(int, stream.Tuple)        {}
+func (noopCtx) EmitPunct(punct.Embedded)        {}
+func (noopCtx) EmitPunctTo(int, punct.Embedded) {}
+func (noopCtx) SendFeedback(int, core.Feedback) {}
+func (noopCtx) ShutdownUpstream(int)            {}
+func (noopCtx) NumInputs() int                  { return 1 }
+func (noopCtx) NumOutputs() int                 { return 1 }
+func (noopCtx) Logf(string, ...any)             {}
+
+// BenchmarkFusedKernel measures the flat kernel alone — one ProcessTuple
+// through select+project+map. The acceptance bar is 0 allocs/op in steady
+// state (also pinned by the fuse package's zero-alloc test).
+func BenchmarkFusedKernel(b *testing.B) {
+	schema := gen.TrafficSchema
+	expr, err := op.NewExpr(schema.Arity(),
+		op.ExprStep{Col: 0, Name: "segment", Pred: punct.Le(stream.Int(1000))},
+		op.ExprStep{Col: 3, Name: "speed", Pred: punct.Ge(stream.Float(10))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keep := make([]string, schema.Arity())
+	outs := make([]op.MapAttr, schema.Arity())
+	for i := range keep {
+		keep[i] = schema.Field(i).Name
+		outs[i] = op.Carry(keep[i])
+	}
+	fused, err := fuse.New([]exec.Operator{
+		&op.Select{OpName: "hot", Schema: schema, Expr: expr, Mode: op.FeedbackExploit},
+		&op.Project{OpName: "keep", In: schema, Keep: keep},
+		&op.Map{OpName: "norm", In: schema, Outs: outs},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := noopCtx{}
+	if err := fused.Open(ctx); err != nil {
+		b.Fatal(err)
+	}
+	t := stream.NewTuple(stream.Int(3), stream.Int(7), stream.TimeMicros(500_000), stream.Float(60))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fused.ProcessTuple(0, t, ctx); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/op"
+	"repro/internal/plan"
+	"repro/internal/punct"
 	"repro/internal/queue"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
@@ -42,7 +44,7 @@ type benchFile struct {
 // source→select→sink plan as BenchmarkAblationPageSize, 100k tuples per
 // run) and appends a labelled run to the baseline file, creating it if
 // missing. It also prints the speedup against the recorded seed.
-func writeBenchJSON(path, label string) error {
+func writeBenchJSON(path, label string, fuse bool) error {
 	var f benchFile
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &f); err != nil {
@@ -63,6 +65,25 @@ func writeBenchJSON(path, label string) error {
 			base = fmt.Sprintf("  (%.2fx vs seed)", s.NsPerOp/ns)
 		}
 		fmt.Printf("%-42s %12.0f ns/op%s\n", name, ns, base)
+	}
+
+	// Plan compiler: the stateless hot path select→project→map with and
+	// without operator fusion (Builder.Compile). The fused kernel must beat
+	// the unfused twin ≥2× (ISSUE 7's acceptance bar).
+	variants := []bool{true, false}
+	if !fuse {
+		variants = []bool{false}
+	}
+	fusedNs := map[bool]float64{}
+	for _, fused := range variants {
+		name := fmt.Sprintf("BenchmarkFusedPipeline/fused=%v", fused)
+		ns := measureFusedPipeline(fused, n)
+		fusedNs[fused] = ns
+		results[name] = benchResult{NsPerOp: ns, TuplesPerOp: n}
+		fmt.Printf("%-42s %12.0f ns/op\n", name, ns)
+	}
+	if fusedNs[true] > 0 {
+		fmt.Printf("%-42s %12.2fx (≥ 2x wanted)\n", "fusion speedup over unfused twin", fusedNs[false]/fusedNs[true])
 	}
 
 	// Partitioned-aggregate scaling: pipeline with Aggregate parallelized
@@ -165,6 +186,55 @@ func measurePipeline(pageSize, n int) float64 {
 		start := time.Now()
 		if err := g.Run(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchall: pipeline run:", err)
+			os.Exit(1)
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// measureFusedPipeline times the stateless hot path source → select →
+// project → map → sink over n tuples (progress punctuation every 50, as in
+// BenchmarkFusedPipeline), optionally compiled with Builder.Compile, and
+// returns the best-of-3 wall time in nanoseconds.
+func measureFusedPipeline(fused bool, n int) float64 {
+	schema := gen.TrafficSchema
+	items := make([]queue.Item, 0, n+n/50)
+	for i := 0; i < n; i++ {
+		items = append(items, queue.TupleItem(stream.NewTuple(
+			stream.Int(int64(i%9)), stream.Int(int64(i%40)),
+			stream.TimeMicros(int64(i)*1000), stream.Float(float64(20+i%80)))))
+		if i%50 == 49 {
+			items = append(items, queue.PunctItem(punct.NewEmbedded(
+				punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(int64(i)*1000))))))
+		}
+	}
+	keep := make([]string, schema.Arity())
+	outs := make([]op.MapAttr, schema.Arity())
+	for i := range keep {
+		keep[i] = schema.Field(i).Name
+		outs[i] = op.Carry(keep[i])
+	}
+	best := float64(0)
+	for rep := 0; rep < 3; rep++ {
+		bld := plan.New()
+		src := &exec.SliceSource{SourceName: "src", Schema: schema, Items: items, BatchSize: 256}
+		out := bld.Source(src).
+			SelectExpr("hot", op.ExprStep{Col: 3, Name: "speed", Pred: punct.Ge(stream.Float(10))}).
+			Project("keep", keep...).
+			Map("norm", outs...)
+		sink := exec.NewCollector("sink", out.Schema())
+		sink.Discard = true
+		out.Into(sink)
+		if fused {
+			bld.Compile()
+		}
+		start := time.Now()
+		if err := bld.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall: fused pipeline run:", err)
 			os.Exit(1)
 		}
 		ns := float64(time.Since(start).Nanoseconds())

@@ -26,10 +26,11 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-scale run")
 	benchJSON := flag.String("bench-json", "", "measure hot-path benchmarks and append a run to this JSON baseline file")
 	label := flag.String("label", "manual", "label for the appended -bench-json run")
+	fuse := flag.Bool("fuse", true, "measure the compiled (operator-fused) pipeline variant alongside the unfused twin in -bench-json mode")
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *label); err != nil {
+		if err := writeBenchJSON(*benchJSON, *label, *fuse); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

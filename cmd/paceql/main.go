@@ -36,6 +36,8 @@ func main() {
 	var streams streamFlags
 	flag.Var(&streams, "stream", "input stream as name=schema@file (repeatable)")
 	punctEvery := flag.Int("punct-every", 100, "emit progress punctuation every N tuples (on a leading time attribute)")
+	fuse := flag.Bool("fuse", true, "compile the plan: fuse stateless operator chains into flat kernels")
+	explain := flag.Bool("explain", false, "print the (compiled) plan instead of running it")
 	flag.Parse()
 	if flag.NArg() != 1 || len(streams) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: paceql -stream name=schema@file ... 'QUERY'")
@@ -77,6 +79,17 @@ func main() {
 		}
 	}
 	result.Into(sink)
+	if *fuse {
+		b.Compile()
+	}
+	if *explain {
+		if err := b.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Print(b.Explain())
+		return
+	}
 	if err := b.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

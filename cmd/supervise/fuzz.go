@@ -164,6 +164,7 @@ func superviseArgs(o options, dir string, seed uint64, dist bool) []string {
 		"-ack-timeout", o.ackTimeout.String(),
 		"-write-timeout", o.writeTimeout.String(),
 		"-read-timeout", o.readTimeout.String(),
+		"-fuse=" + fmt.Sprint(o.fuse),
 	}
 	if dist {
 		args = append(args, "-dist")

@@ -50,8 +50,10 @@ import (
 	"repro/internal/gen"
 	"repro/internal/op"
 	"repro/internal/plan"
+	"repro/internal/punct"
 	"repro/internal/remote"
 	"repro/internal/snapshot"
+	"repro/internal/stream"
 	"repro/internal/window"
 	"repro/internal/work"
 )
@@ -76,6 +78,7 @@ type options struct {
 	readTimeout  time.Duration
 	chaosSeed    uint64
 	chaosInc     int
+	fuse         bool
 	fuzz         bool
 	seed         uint64
 	fuzzSeeds    int
@@ -112,6 +115,7 @@ func main() {
 	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "dist mode: remote source idle read deadline (0 = none)")
 	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "fault-injection schedule seed (0 = chaos off; see internal/chaos)")
 	flag.IntVar(&o.chaosInc, "chaos-incarnation", 0, "chaos: restart generation of this child (internal)")
+	flag.BoolVar(&o.fuse, "fuse", true, "compile the plan: fuse stateless operator chains into flat kernels (must match between the run that wrote a checkpoint and the run restoring it)")
 	flag.BoolVar(&o.fuzz, "fuzz", false, "run seeded chaos schedules (single-process and -dist) and verify crash ≡ clean plus every retained epoch")
 	flag.Uint64Var(&o.seed, "seed", 1, "fuzz: base seed; schedules seed..seed+fuzz-seeds-1 run per mode")
 	flag.IntVar(&o.fuzzSeeds, "fuzz-seeds", 4, "fuzz: seeds per mode")
@@ -184,6 +188,7 @@ func (o options) childArgs(role string) []string {
 		"-compact-every", fmt.Sprint(o.compactEvery),
 		"-parts", fmt.Sprint(o.parts),
 		"-minutes", fmt.Sprint(o.minutes),
+		"-fuse=" + fmt.Sprint(o.fuse),
 	}
 	if role != "" {
 		args = append(args,
@@ -630,6 +635,20 @@ func trafficSource(o options) *gen.TrafficSource {
 	}}
 }
 
+// preStage prepends the stateless normalization chain shared by every mode:
+// a keep-everything filter (ts is never null and never negative) plus a
+// carry-all rename. It is a semantic no-op whose purpose is giving the plan
+// compiler a fusible stateless prefix on the hot path; with -fuse the two
+// stages collapse into one fused(clean+norm) kernel.
+func preStage(s plan.Stream) plan.Stream {
+	s = s.SelectExpr("clean", op.ExprStep{Col: 2, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))})
+	outs := make([]op.MapAttr, gen.TrafficSchema.Arity())
+	for i := range outs {
+		outs[i] = op.Carry(gen.TrafficSchema.Field(i).Name)
+	}
+	return s.Map("norm", outs...)
+}
+
 // aggStage is the per-partition aggregate sub-plan shared by the
 // single-process plan and the distributed follower (and by the fuzz
 // verifier, which must rebuild byte-identical plans to restore into).
@@ -647,9 +666,12 @@ func aggStage() func(plan.Stream) plan.Stream {
 // Every node is a snapshot.Stater, so the whole plan recovers.
 func buildPlan(o options) (*plan.Builder, *execpkg.Collector) {
 	b := plan.New()
-	out := b.Source(trafficSource(o)).Parallel("part", o.parts, []string{"segment"}, aggStage())
+	out := preStage(b.Source(trafficSource(o))).Parallel("part", o.parts, []string{"segment"}, aggStage())
 	sink := execpkg.NewCollector("sink", out.Schema())
 	out.Into(sink)
+	if o.fuse {
+		b.Compile()
+	}
 	return b, sink
 }
 
@@ -657,9 +679,12 @@ func buildPlan(o options) (*plan.Builder, *execpkg.Collector) {
 // traffic source → filter → remote sink framing onto data.
 func buildCoordPlan(o options, data net.Conn) (*plan.Builder, *remote.Sink) {
 	b := plan.New()
-	out := b.Source(trafficSource(o)).Select("filter", nil)
+	out := preStage(b.Source(trafficSource(o)))
 	rsink := out.IntoRemote("to-consumer", data)
 	rsink.WriteTimeout = o.writeTimeout
+	if o.fuse {
+		b.Compile()
+	}
 	return b, rsink
 }
 
@@ -670,8 +695,11 @@ func buildFollowPlan(o options, data net.Conn) (*plan.Builder, *execpkg.Collecto
 	b := plan.New()
 	src := remote.NewSource("from-producer", gen.TrafficSchema, data)
 	src.ReadTimeout = o.readTimeout
-	out := b.Source(src).Parallel("part", o.parts, []string{"segment"}, aggStage())
+	out := preStage(b.Source(src)).Parallel("part", o.parts, []string{"segment"}, aggStage())
 	sink := out.Collect("sink")
+	if o.fuse {
+		b.Compile()
+	}
 	return b, sink
 }
 

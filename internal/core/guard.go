@@ -69,6 +69,15 @@ func (g *GuardTable) Install(f Feedback) bool {
 // be dropped by the caller). The probe runs against the guards' compiled
 // patterns without copying or allocating.
 func (g *GuardTable) Suppress(t stream.Tuple) bool {
+	// Empty-table fast path, kept trivial so the call inlines: with no
+	// feedback installed the hot path pays one length check, no call.
+	if len(g.guards) == 0 {
+		return false
+	}
+	return g.suppressScan(t)
+}
+
+func (g *GuardTable) suppressScan(t stream.Tuple) bool {
 	for i := range g.guards {
 		if g.guards[i].compiled.Matches(t) {
 			g.hits++

@@ -34,6 +34,9 @@ type SliceSource struct {
 	guards   *core.GuardTable
 	received []core.Feedback
 	skipped  int64
+	// batch backs the run-of-tuples fast path in Next; transient scratch,
+	// never part of captured state.
+	batch []stream.Tuple
 }
 
 // NewSliceSource builds a source over tuples only.
@@ -60,9 +63,21 @@ func (s *SliceSource) Next(ctx Context) (bool, error) {
 		n = 16
 	}
 	// The logical stream is Tuples followed by Items; pos indexes the
-	// concatenation.
+	// concatenation. A feedback-unaware source never suppresses, so runs of
+	// tuples go downstream in one batched emit when the runtime offers it.
+	be, _ := ctx.(BatchEmitter)
+	batch := be != nil && !s.FeedbackAware
 	total := len(s.Tuples) + len(s.Items)
 	i := 0
+	if batch && s.pos < len(s.Tuples) {
+		end := s.pos + n
+		if end > len(s.Tuples) {
+			end = len(s.Tuples)
+		}
+		be.EmitBatch(s.Tuples[s.pos:end])
+		i = end - s.pos
+		s.pos = end
+	}
 	for ; i < n && s.pos < len(s.Tuples); i++ {
 		t := s.Tuples[s.pos]
 		s.pos++
@@ -72,9 +87,27 @@ func (s *SliceSource) Next(ctx Context) (bool, error) {
 		}
 		ctx.Emit(t)
 	}
-	for ; i < n && s.pos < total; i++ {
-		it := s.Items[s.pos-len(s.Tuples)]
+	for i < n && s.pos < total {
+		base := s.pos - len(s.Tuples)
+		if batch && s.Items[base].Kind == queue.ItemTuple {
+			lim := base + (n - i)
+			if lim > len(s.Items) {
+				lim = len(s.Items)
+			}
+			buf := s.batch[:0]
+			j := base
+			for ; j < lim && s.Items[j].Kind == queue.ItemTuple; j++ {
+				buf = append(buf, s.Items[j].Tuple)
+			}
+			be.EmitBatch(buf)
+			s.batch = buf[:0]
+			i += j - base
+			s.pos += j - base
+			continue
+		}
+		it := s.Items[base]
 		s.pos++
+		i++
 		switch it.Kind {
 		case queue.ItemTuple:
 			if s.FeedbackAware && s.guards.Suppress(it.Tuple) {
@@ -341,6 +374,22 @@ func (c *Collector) ProcessTuple(_ int, t stream.Tuple, ctx Context) error {
 	c.mu.Unlock()
 	if askShutdown {
 		ctx.ShutdownUpstream(0)
+	}
+	return nil
+}
+
+// ProcessTupleBatch implements TupleBatcher. A pure-counter sink (Discard,
+// no callback, no Limit) absorbs a whole run with one atomic add; anything
+// that needs per-tuple behavior falls back to the per-tuple path.
+func (c *Collector) ProcessTupleBatch(input int, items []queue.Item, ctx Context) error {
+	if c.OnTuple == nil && c.Discard && c.Limit <= 0 {
+		c.tuples.Add(int64(len(items)))
+		return nil
+	}
+	for i := range items {
+		if err := c.ProcessTuple(input, items[i].Tuple, ctx); err != nil {
+			return err
+		}
 	}
 	return nil
 }

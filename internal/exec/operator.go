@@ -14,6 +14,7 @@ package exec
 import (
 	"repro/internal/core"
 	"repro/internal/punct"
+	"repro/internal/queue"
 	"repro/internal/stream"
 )
 
@@ -78,6 +79,27 @@ type Operator interface {
 	// Close is called once after all inputs ended (or on shutdown);
 	// operators flush remaining state here.
 	Close(ctx Context) error
+}
+
+// TupleBatcher is an optional Operator fast path: the runtime hands an
+// implementing operator maximal runs of consecutive tuples from one page in
+// a single call instead of one ProcessTuple call each. Every item in the
+// slice has Kind ItemTuple. The call must be exactly equivalent to invoking
+// ProcessTuple on each tuple in order — same emissions, same state, same
+// stats — because the runtime freely mixes the two paths (per-item dispatch
+// remains in use for barrier alignment and singleton runs). The slice and
+// its backing page are only valid for the duration of the call.
+type TupleBatcher interface {
+	ProcessTupleBatch(input int, items []queue.Item, ctx Context) error
+}
+
+// BatchEmitter is an optional Context fast path: a runtime context that
+// accepts a run of tuples for output port 0 in one call, paying the page
+// capacity check per chunk instead of per tuple. Exactly equivalent to
+// calling Emit on each tuple in order. Callers must not retain the slice
+// after the call; implementations must not retain it either.
+type BatchEmitter interface {
+	EmitBatch(ts []stream.Tuple)
 }
 
 // Source is a self-driving operator with no inputs. The runtime repeatedly

@@ -1,0 +1,176 @@
+package exec
+
+import "fmt"
+
+// Plan-rewrite support: read-only graph accessors plus ReplaceChain, the
+// primitive the plan compiler (internal/fuse) uses to collapse a chain of
+// single-input/single-output operator nodes into one node. Rewrites are only
+// legal on an assembled, not-yet-prepared graph with no staged restore state
+// — a checkpoint names every node, so the restored shape must be the shape
+// that was compiled, not an intermediate.
+
+// NumNodes returns the number of nodes added so far.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// OperatorAt returns the operator at id, or nil when id is out of range or
+// names a source node.
+func (g *Graph) OperatorAt(id NodeID) Operator {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id].op
+}
+
+// IsSource reports whether id names a source node.
+func (g *Graph) IsSource(id NodeID) bool {
+	return int(id) >= 0 && int(id) < len(g.nodes) && g.nodes[id].src != nil
+}
+
+// NameAt returns the node's name ("" when id is out of range).
+func (g *Graph) NameAt(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return ""
+	}
+	return g.nodes[id].name()
+}
+
+// NumOutputsAt returns the node's output-port count (0 when out of range).
+func (g *Graph) NumOutputsAt(id NodeID) int {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return 0
+	}
+	return g.nodes[id].numOutputs()
+}
+
+// InputsOf returns a copy of the upstream ports feeding node id, in input
+// order (nil for sources and out-of-range ids).
+func (g *Graph) InputsOf(id NodeID) []Port {
+	if int(id) < 0 || int(id) >= len(g.nodes) {
+		return nil
+	}
+	return append([]Port(nil), g.nodes[id].inputs...)
+}
+
+// ReplaceChain substitutes a single operator for a chain of operator nodes.
+// chain lists node ids upstream→downstream; each must be a 1-in/1-out
+// operator node, each link must wire chain[i+1]'s only input to chain[i]'s
+// output 0, and no node outside the chain may consume an intermediate
+// output. The replacement keeps the head's id and input wiring, takes over
+// the tail's consumers, and must preserve the chain's end-to-end schemas.
+// Later node ids shift down to stay dense; edge labels and wire-barrier
+// marks are remapped (labels on interior edges vanish with the edges).
+func (g *Graph) ReplaceChain(chain []NodeID, with Operator) error {
+	if g.prepared {
+		return fmt.Errorf("exec: rewrite after graph already run")
+	}
+	if g.err != nil {
+		return g.err
+	}
+	if g.staged != nil {
+		return fmt.Errorf("exec: rewrite after Restore (compile the plan before staging a checkpoint)")
+	}
+	if len(chain) == 0 {
+		return fmt.Errorf("exec: empty rewrite chain")
+	}
+	inChain := make(map[NodeID]bool, len(chain))
+	for i, id := range chain {
+		if int(id) < 0 || int(id) >= len(g.nodes) {
+			return fmt.Errorf("exec: rewrite chain names unknown node %d", id)
+		}
+		n := g.nodes[id]
+		if n.op == nil {
+			return fmt.Errorf("exec: rewrite chain includes source %q", n.name())
+		}
+		if len(n.inputs) != 1 || n.numOutputs() != 1 {
+			return fmt.Errorf("exec: rewrite chain node %q is not 1-in/1-out", n.name())
+		}
+		if inChain[id] {
+			return fmt.Errorf("exec: rewrite chain repeats node %q", n.name())
+		}
+		inChain[id] = true
+		if i > 0 && n.inputs[0] != (Port{Node: chain[i-1], Out: 0}) {
+			return fmt.Errorf("exec: rewrite chain broken: %q does not consume %q",
+				n.name(), g.nodes[chain[i-1]].name())
+		}
+	}
+	head, tail := chain[0], chain[len(chain)-1]
+	// Interior outputs (every chain node but the tail) must have no consumer
+	// outside the chain; the tail's consumers move to the replacement.
+	for _, n := range g.nodes {
+		if inChain[n.id] {
+			continue
+		}
+		for _, p := range n.inputs {
+			if inChain[p.Node] && p.Node != tail {
+				return fmt.Errorf("exec: rewrite chain interior %q also consumed by %q",
+					g.nodes[p.Node].name(), n.name())
+			}
+		}
+	}
+	if len(with.InSchemas()) != 1 || len(with.OutSchemas()) != 1 {
+		return fmt.Errorf("exec: rewrite replacement %q is not 1-in/1-out", with.Name())
+	}
+	headOp, tailNode := g.nodes[head], g.nodes[tail]
+	if !with.InSchemas()[0].Equal(headOp.op.InSchemas()[0]) {
+		return fmt.Errorf("exec: rewrite replacement %q input schema %s != chain input %s",
+			with.Name(), with.InSchemas()[0], headOp.op.InSchemas()[0])
+	}
+	if !with.OutSchemas()[0].Equal(tailNode.outSchemas()[0]) {
+		return fmt.Errorf("exec: rewrite replacement %q output schema %s != chain output %s",
+			with.Name(), with.OutSchemas()[0], tailNode.outSchemas()[0])
+	}
+
+	headOp.op = with
+	if len(chain) == 1 {
+		return nil
+	}
+
+	removed := make(map[NodeID]bool, len(chain)-1)
+	for _, id := range chain[1:] {
+		removed[id] = true
+	}
+	remap := make([]NodeID, len(g.nodes)) // old id → new id (-1 = removed)
+	kept := g.nodes[:0]
+	for _, n := range g.nodes {
+		if removed[n.id] {
+			remap[n.id] = -1
+			continue
+		}
+		remap[n.id] = NodeID(len(kept))
+		kept = append(kept, n)
+	}
+	g.nodes = kept
+	for _, n := range g.nodes {
+		for i, p := range n.inputs {
+			if p.Node == tail {
+				p.Node = head
+			}
+			n.inputs[i] = Port{Node: remap[p.Node], Out: p.Out}
+		}
+		n.id = remap[n.id]
+	}
+	if g.labels != nil {
+		relabeled := make(map[edgeKey]string, len(g.labels))
+		for k, v := range g.labels {
+			switch {
+			case k.node == tail:
+				relabeled[edgeKey{remap[head], k.out}] = v
+			case k.node == head || removed[k.node]:
+				// Interior edge: gone with the fusion.
+			default:
+				relabeled[edgeKey{remap[k.node], k.out}] = v
+			}
+		}
+		g.labels = relabeled
+	}
+	if g.wireBarrier != nil {
+		remarked := make(map[NodeID]bool, len(g.wireBarrier))
+		for id, v := range g.wireBarrier {
+			if remap[id] >= 0 {
+				remarked[remap[id]] = v
+			}
+		}
+		g.wireBarrier = remarked
+	}
+	return nil
+}

@@ -124,6 +124,7 @@ type nodeRunner struct {
 	ctrlEvery    int    // items between control rechecks (K)
 	shutdownOuts bitset // outputs whose consumers sent shutdown
 	stopping     bool
+	batcher      TupleBatcher // non-nil when the operator takes tuple runs whole
 
 	onFeedback func(int, core.Feedback) error
 
@@ -152,6 +153,7 @@ func (r *nodeRunner) run() error {
 	if r.ctrlEvery <= 0 {
 		r.ctrlEvery = DefaultControlInterval
 	}
+	r.batcher, _ = n.op.(TupleBatcher)
 	r.shutdownOuts = newBitset(len(n.outConns))
 	r.ctrlCh = make(chan ctrlEvent, 4*len(n.outConns)+1)
 	// One buffered slot per input keeps single-input steady state from
@@ -399,7 +401,7 @@ func (r *nodeRunner) runOperator() error {
 
 func (r *nodeRunner) processPage(ev inEvent) error {
 	items := ev.page.Items
-	for i := range items {
+	for i := 0; i < len(items); i++ {
 		// Re-check control every K items so feedback overtakes
 		// pending tuples within a bounded window without paying
 		// a channel poll per tuple.
@@ -410,6 +412,22 @@ func (r *nodeRunner) processPage(ev inEvent) error {
 			if r.stopping {
 				return nil
 			}
+		}
+		// Batch fast path: hand the operator a maximal run of consecutive
+		// tuples in one call, capped at the next control recheck so the
+		// feedback-overtaking window is unchanged. Any in-progress barrier
+		// alignment falls back to the per-item path, which owns the
+		// freeze/defer logic.
+		if r.batcher != nil && r.align == nil && items[i].Kind == queue.ItemTuple {
+			j := i + 1
+			for lim := i + r.ctrlEvery - i%r.ctrlEvery; j < len(items) && j < lim &&
+				items[j].Kind == queue.ItemTuple; j++ {
+			}
+			if err := r.batcher.ProcessTupleBatch(ev.input, items[i:j], r); err != nil {
+				return err
+			}
+			i = j - 1
+			continue
 		}
 		if err := r.processItem(ev.input, &items[i]); err != nil {
 			return err
@@ -596,6 +614,12 @@ func (r *nodeRunner) Emit(t stream.Tuple) { r.EmitTo(0, t) }
 // EmitTo implements Context.
 func (r *nodeRunner) EmitTo(port int, t stream.Tuple) {
 	r.node.outConns[port].PutTuple(t)
+}
+
+// EmitBatch implements BatchEmitter: a run of tuples goes to output port 0
+// with one page-capacity check per chunk instead of per tuple.
+func (r *nodeRunner) EmitBatch(ts []stream.Tuple) {
+	r.node.outConns[0].PutTuples(ts)
 }
 
 // EmitPunct implements Context.

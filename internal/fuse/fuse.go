@@ -1,0 +1,507 @@
+// Package fuse is the plan compiler: a rewrite pass over exec.Graph that
+// collapses maximal chains of adjacent stateless operators (Select, Project,
+// Map) into single Fused nodes. A fused node runs its chain as a flat kernel
+// loop — per-step guard probe, compiled predicate, attribute mapping — with
+// no intermediate Emit and no inter-node page handoff, which removes the
+// ~60ns/tuple/hop the interpreted path pays at page=64.
+//
+// Fusion is semantics-preserving by the paper's §4.3 characterization of
+// stateless operators, and the kernel preserves each composition rule
+// exactly (DESIGN.md §10):
+//
+//   - punctuation relays iff every constituent would relay it (chain order,
+//     stopping at the first constituent that must consume it);
+//   - feedback is applied to each constituent's own guard table in reverse
+//     chain order and propagates upstream iff every constituent propagates;
+//   - per-step in/out/suppressed counters and work meters keep Stats and
+//     CostBurned observable per logical operator;
+//   - no constituent is a snapshot.Stater, so the fused node is stateless
+//     and checkpoint barrier alignment is unchanged.
+package fuse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/op"
+	"repro/internal/punct"
+	"repro/internal/queue"
+	"repro/internal/stream"
+	"repro/internal/work"
+)
+
+type stepKind int
+
+const (
+	kSelect stepKind = iota
+	kProject
+	kMap
+)
+
+func (k stepKind) String() string {
+	switch k {
+	case kSelect:
+		return "select"
+	case kProject:
+		return "project"
+	case kMap:
+		return "map"
+	}
+	return "?"
+}
+
+// step is one constituent operator in evaluation form: the flat step table
+// entry the kernel loop interprets.
+type step struct {
+	kind      stepKind
+	name      string
+	mode      op.FeedbackMode
+	propagate bool
+
+	// Select evaluation.
+	cond func(stream.Tuple) bool
+	expr *op.Expr
+	cost int
+
+	// Project/Map attribute mapping. toInput maps output attr → input attr
+	// (-1 = computed); inv maps input attr → first carrying output attr
+	// (-1 = dropped), precomputed for punctuation relay.
+	out      stream.Schema
+	toInput  []int
+	fns      []func(stream.Tuple) stream.Value
+	identity bool
+	attrMap  core.AttrMap
+	inv      []int
+
+	// guards live in the step's OUTPUT attribute space, exactly like the
+	// unfused operator's table.
+	guards    *core.GuardTable
+	responses []core.Response
+	meter     *work.Meter
+
+	nIn, nOut, suppressed, punctDropped int64
+}
+
+// Fused runs a chain of stateless operators as one exec node.
+type Fused struct {
+	exec.Base
+	in    stream.Schema
+	steps []step
+	name  string
+	// scratch backs ProcessTupleBatch's survivor filtering; reused across
+	// batches (operators are single-goroutine) so the steady state is
+	// allocation-free. Transient within one call — never checkpointed.
+	scratch []stream.Tuple
+}
+
+// New builds a fused kernel from a chain of operators (upstream→downstream).
+// Every operator must be a *op.Select, *op.Project, or *op.Map; Project/Map
+// misconfiguration surfaces as an error (via Init), not a panic.
+func New(ops []exec.Operator) (*Fused, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("fuse: empty chain")
+	}
+	f := &Fused{}
+	names := make([]string, 0, len(ops))
+	for _, o := range ops {
+		switch o := o.(type) {
+		case *op.Select:
+			f.steps = append(f.steps, step{
+				kind: kSelect, name: o.Name(), mode: o.Mode, propagate: o.Propagate,
+				cond: o.Cond, expr: o.Expr, cost: o.Cost, meter: &work.Meter{},
+				out: o.Schema, identity: true,
+			})
+		case *op.Project:
+			if err := o.Init(); err != nil {
+				return nil, fmt.Errorf("fuse: %v", err)
+			}
+			outS, idxs, err := o.In.Project(o.Keep...)
+			if err != nil {
+				return nil, fmt.Errorf("fuse: project %q: %v", o.Name(), err)
+			}
+			f.steps = append(f.steps, newMappingStep(kProject, o.Name(), o.Mode, o.Propagate,
+				o.In, outS, idxs, nil))
+		case *op.Map:
+			if err := o.Init(); err != nil {
+				return nil, fmt.Errorf("fuse: %v", err)
+			}
+			toInput := make([]int, len(o.Outs))
+			fns := make([]func(stream.Tuple) stream.Value, len(o.Outs))
+			for i, a := range o.Outs {
+				if a.From != "" {
+					toInput[i] = o.In.Index(a.From)
+				} else {
+					toInput[i] = -1
+					fns[i] = a.Fn
+				}
+			}
+			f.steps = append(f.steps, newMappingStep(kMap, o.Name(), o.Mode, o.Propagate,
+				o.In, o.OutSchemas()[0], toInput, fns))
+		default:
+			return nil, fmt.Errorf("fuse: %q (%T) is not a fusible operator", o.Name(), o)
+		}
+		names = append(names, o.Name())
+	}
+	f.in = ops[0].InSchemas()[0]
+	f.name = "fused(" + strings.Join(names, "+") + ")"
+	return f, nil
+}
+
+func newMappingStep(kind stepKind, name string, mode op.FeedbackMode, propagate bool,
+	in, out stream.Schema, toInput []int, fns []func(stream.Tuple) stream.Value) step {
+	st := step{
+		kind: kind, name: name, mode: mode, propagate: propagate,
+		out: out, toInput: toInput, fns: fns,
+		attrMap: core.AttrMap{InputArity: in.Arity(), ToInput: append([]int(nil), toInput...)},
+	}
+	st.identity = len(toInput) == in.Arity()
+	for i, src := range toInput {
+		if src != i {
+			st.identity = false
+			break
+		}
+	}
+	st.inv = make([]int, in.Arity())
+	for i := range st.inv {
+		st.inv[i] = -1
+	}
+	// First carrying output wins, matching the unfused outputOf scan order.
+	for o, src := range toInput {
+		if src >= 0 && st.inv[src] < 0 {
+			st.inv[src] = o
+		}
+	}
+	return st
+}
+
+// Name implements exec.Operator.
+func (f *Fused) Name() string { return f.name }
+
+// InSchemas implements exec.Operator.
+func (f *Fused) InSchemas() []stream.Schema { return []stream.Schema{f.in} }
+
+// OutSchemas implements exec.Operator.
+func (f *Fused) OutSchemas() []stream.Schema {
+	return []stream.Schema{f.steps[len(f.steps)-1].out}
+}
+
+// Open implements exec.Operator.
+func (f *Fused) Open(exec.Context) error {
+	for i := range f.steps {
+		st := &f.steps[i]
+		st.guards = core.NewGuardTable(st.out.Arity())
+	}
+	return nil
+}
+
+// ProcessTuple implements exec.Operator: the flat kernel loop. Each step
+// performs exactly the unfused operator's per-tuple work — guard probe,
+// predicate/cost, attribute mapping — but the tuple moves to the next step
+// by local variable, not by page handoff, and only the survivor of the whole
+// chain is emitted.
+func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	cur := t
+	for i := range f.steps {
+		st := &f.steps[i]
+		st.nIn++
+		switch st.kind {
+		case kSelect:
+			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
+				st.suppressed++
+				return nil
+			}
+			if st.cost > 0 {
+				st.meter.Do(st.cost)
+			}
+			if st.expr != nil && !st.expr.Eval(cur) {
+				return nil
+			}
+			if st.cond != nil && !st.cond(cur) {
+				return nil
+			}
+		case kProject:
+			if !st.identity {
+				cur = cur.Project(st.toInput)
+			}
+			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
+				st.suppressed++
+				return nil
+			}
+		case kMap:
+			if !st.identity {
+				vals := make([]stream.Value, len(st.toInput))
+				for o, src := range st.toInput {
+					if src >= 0 {
+						vals[o] = cur.Values[src]
+					} else {
+						vals[o] = st.fns[o](cur)
+					}
+				}
+				cur = stream.Tuple{Values: vals, Seq: cur.Seq}
+			}
+			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
+				st.suppressed++
+				return nil
+			}
+		}
+		st.nOut++
+	}
+	ctx.Emit(cur)
+	return nil
+}
+
+// ProcessTupleBatch implements exec.TupleBatcher: a run of consecutive
+// tuples goes through each step as one tight loop — counters batched, the
+// guard-table check hoisted per batch (feedback only arrives between
+// batches, so the table cannot change mid-run) — and the survivors are
+// emitted in order. Exactly equivalent to calling ProcessTuple per item;
+// the runtime mixes both paths freely.
+func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) error {
+	buf := f.scratch[:0]
+	for i := range items {
+		buf = append(buf, items[i].Tuple)
+	}
+	for si := range f.steps {
+		st := &f.steps[si]
+		st.nIn += int64(len(buf))
+		guarded := st.mode != op.FeedbackIgnore && st.guards.Active() > 0
+		if st.kind != kSelect && st.identity && !guarded {
+			// Identity projection/rename with no active guards: every tuple
+			// passes through unchanged, so only the counters move.
+			st.nOut += int64(len(buf))
+			continue
+		}
+		out := buf[:0] // in-place filter: writes trail reads
+		switch st.kind {
+		case kSelect:
+			for _, t := range buf {
+				if guarded && st.guards.Suppress(t) {
+					st.suppressed++
+					continue
+				}
+				if st.cost > 0 {
+					st.meter.Do(st.cost)
+				}
+				if st.expr != nil && !st.expr.Eval(t) {
+					continue
+				}
+				if st.cond != nil && !st.cond(t) {
+					continue
+				}
+				out = append(out, t)
+			}
+		case kProject:
+			for _, t := range buf {
+				if !st.identity {
+					t = t.Project(st.toInput)
+				}
+				if guarded && st.guards.Suppress(t) {
+					st.suppressed++
+					continue
+				}
+				out = append(out, t)
+			}
+		case kMap:
+			for _, t := range buf {
+				if !st.identity {
+					vals := make([]stream.Value, len(st.toInput))
+					for o, src := range st.toInput {
+						if src >= 0 {
+							vals[o] = t.Values[src]
+						} else {
+							vals[o] = st.fns[o](t)
+						}
+					}
+					t = stream.Tuple{Values: vals, Seq: t.Seq}
+				}
+				if guarded && st.guards.Suppress(t) {
+					st.suppressed++
+					continue
+				}
+				out = append(out, t)
+			}
+		}
+		st.nOut += int64(len(out))
+		buf = out
+	}
+	if be, ok := ctx.(exec.BatchEmitter); ok {
+		be.EmitBatch(buf)
+	} else {
+		for i := range buf {
+			ctx.Emit(buf[i])
+		}
+	}
+	f.scratch = buf[:0]
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: the chain relays punctuation iff
+// every constituent would. Steps are visited in chain order; a Select
+// observes the pattern unchanged, a Project/Map relays it through its
+// attribute mapping (op.RelayPunct) or consumes it — and a consumed
+// punctuation stops the walk exactly where the unfused chain would have.
+func (f *Fused) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	cur := e
+	for i := range f.steps {
+		st := &f.steps[i]
+		if st.kind == kSelect || st.identity {
+			// Select never remaps; an identity projection/rename relays the
+			// pattern unchanged — proved at fuse time, so no re-projection
+			// (or allocation) happens per punctuation.
+			st.guards.ObservePunct(cur)
+			continue
+		}
+		projected, ok := op.RelayPunct(cur.Pattern, func(in int) int {
+			if in < 0 || in >= len(st.inv) {
+				return -1
+			}
+			return st.inv[in]
+		}, st.out.Arity())
+		if !ok {
+			st.punctDropped++
+			return nil
+		}
+		cur = punct.NewEmbedded(projected)
+		st.guards.ObservePunct(cur)
+	}
+	ctx.EmitPunct(cur)
+	return nil
+}
+
+// ProcessFeedback implements exec.Operator: feedback arrives at the chain's
+// downstream end and walks the steps in reverse, exactly as it would hop
+// node to node unfused. Each step installs assumed patterns into its own
+// guard table (in its output space) and decides propagation by its own rule
+// — identity for Select, SafePropagation through the attribute map for
+// Project/Map. The pattern is re-expressed hop by hop; it leaves the fused
+// node upstream iff every constituent propagates.
+func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error {
+	cur := fb
+	for i := len(f.steps) - 1; i >= 0; i-- {
+		st := &f.steps[i]
+		resp := core.Response{Feedback: cur}
+		proceed := false
+		switch st.kind {
+		case kSelect:
+			switch cur.Intent {
+			case core.Assumed:
+				if st.mode != op.FeedbackIgnore {
+					st.guards.Install(cur)
+					resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
+				} else {
+					resp.Actions = append(resp.Actions, core.ActNone)
+				}
+			case core.Desired, core.Demanded:
+				resp.Actions = append(resp.Actions, core.ActNone)
+			}
+			if st.propagate {
+				relayed := cur.Relayed(cur.Pattern)
+				resp.Actions = append(resp.Actions, core.ActPropagate)
+				resp.Propagated = []*core.Feedback{&relayed}
+				cur = relayed
+				proceed = true
+			}
+		case kProject, kMap:
+			if cur.Intent == core.Assumed && st.mode != op.FeedbackIgnore {
+				st.guards.Install(cur)
+				resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
+			}
+			if st.propagate {
+				if prop := core.SafePropagation(cur.Pattern, st.attrMap); prop.OK {
+					relayed := cur.Relayed(prop.Pattern)
+					resp.Actions = append(resp.Actions, core.ActPropagate)
+					resp.Propagated = []*core.Feedback{&relayed}
+					cur = relayed
+					proceed = true
+				} else {
+					resp.Note = "propagation refused: " + prop.Reason
+				}
+			}
+			if len(resp.Actions) == 0 {
+				resp.Actions = []core.Action{core.ActNone}
+			}
+		}
+		st.responses = append(st.responses, resp)
+		if !proceed {
+			return nil
+		}
+	}
+	ctx.SendFeedback(0, cur)
+	return nil
+}
+
+// NumSteps returns the number of fused constituents.
+func (f *Fused) NumSteps() int { return len(f.steps) }
+
+// StepStat is one constituent's accounting, preserving the per-logical-
+// operator observability the unfused chain had.
+type StepStat struct {
+	Name       string
+	Kind       string
+	In         int64
+	Out        int64
+	Suppressed int64
+	// PunctDropped counts punctuation consumed at this step because its
+	// bound attributes did not survive the step's mapping.
+	PunctDropped int64
+	CostBurned   int64
+}
+
+// StepStats reports per-constituent counters in chain order.
+func (f *Fused) StepStats() []StepStat {
+	out := make([]StepStat, len(f.steps))
+	for i := range f.steps {
+		st := &f.steps[i]
+		s := StepStat{
+			Name: st.name, Kind: st.kind.String(),
+			In: st.nIn, Out: st.nOut, Suppressed: st.suppressed,
+			PunctDropped: st.punctDropped,
+		}
+		if st.meter != nil {
+			s.CostBurned = st.meter.Total()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// StepResponses returns the feedback-response log of constituent i, the
+// fused equivalent of the unfused operator's Responses().
+func (f *Fused) StepResponses(i int) []core.Response {
+	return f.steps[i].responses
+}
+
+// CostBurned reports total evaluation work done across all constituents.
+func (f *Fused) CostBurned() int64 {
+	var total int64
+	for i := range f.steps {
+		if m := f.steps[i].meter; m != nil {
+			total += m.Total()
+		}
+	}
+	return total
+}
+
+// Explain renders the kernel's step table, one entry per constituent.
+func (f *Fused) Explain() string {
+	parts := make([]string, len(f.steps))
+	for i := range f.steps {
+		st := &f.steps[i]
+		d := st.kind.String() + " " + st.name
+		if st.kind == kSelect && st.expr != nil {
+			d += " [" + st.expr.String() + "]"
+		}
+		if st.kind != kSelect {
+			d += " -> " + st.out.String()
+		}
+		parts[i] = d
+	}
+	return strings.Join(parts, " | ")
+}
+
+// String describes the operator.
+func (f *Fused) String() string {
+	return fmt.Sprintf("FUSED[%s]", f.Explain())
+}

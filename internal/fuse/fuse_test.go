@@ -1,0 +1,572 @@
+package fuse
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/op"
+	"repro/internal/punct"
+	"repro/internal/queue"
+	"repro/internal/remote"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+var chainSchema = stream.MustSchema(
+	stream.F("a", stream.KindInt),
+	stream.F("b", stream.KindInt),
+	stream.F("ts", stream.KindTime),
+	stream.F("v", stream.KindFloat),
+)
+
+// ---------------------------------------------------------------------------
+// Randomized harness-twin property test: a fused kernel must be
+// observationally identical to the unfused operator chain — emitted items,
+// upstream feedback, per-step counters, and feedback-response logs — across
+// random chains and random scripts of tuples, punctuation, and feedback in
+// every mode.
+// ---------------------------------------------------------------------------
+
+// stepSpec describes one chain constituent; build constructs a fresh
+// operator instance so the fused and unfused twins never share state.
+type stepSpec struct {
+	build func() exec.Operator
+	out   stream.Schema
+}
+
+func randMode(rng *rand.Rand) op.FeedbackMode {
+	return []op.FeedbackMode{op.FeedbackIgnore, op.FeedbackGuardOutput, op.FeedbackExploit}[rng.Intn(3)]
+}
+
+// randPred builds a predicate for a column of the given kind.
+func randPred(rng *rand.Rand, kind stream.Kind) punct.Pred {
+	switch kind {
+	case stream.KindInt:
+		v := stream.Int(int64(rng.Intn(5)))
+		switch rng.Intn(4) {
+		case 0:
+			return punct.Eq(v)
+		case 1:
+			return punct.Ne(v)
+		case 2:
+			return punct.Le(v)
+		default:
+			return punct.Ge(v)
+		}
+	case stream.KindTime:
+		return punct.Le(stream.TimeMicros(int64(rng.Intn(40)) * 1000))
+	case stream.KindFloat:
+		if rng.Intn(4) == 0 {
+			return punct.NullPred()
+		}
+		return punct.Ge(stream.Float(float64(rng.Intn(60))))
+	default:
+		return punct.Eq(stream.Int(0))
+	}
+}
+
+// randChain generates 2–5 stateless steps over evolving schemas.
+func randChain(rng *rand.Rand) []stepSpec {
+	cur := chainSchema
+	n := 2 + rng.Intn(4)
+	specs := make([]stepSpec, 0, n)
+	for i := 0; i < n; i++ {
+		mode, propagate := randMode(rng), rng.Intn(3) > 0
+		name := fmt.Sprintf("s%d", i)
+		in := cur
+		switch rng.Intn(3) {
+		case 0: // select
+			var steps []op.ExprStep
+			for c := 0; c < in.Arity(); c++ {
+				if rng.Intn(3) == 0 {
+					steps = append(steps, op.ExprStep{Col: c, Name: in.Field(c).Name, Pred: randPred(rng, in.Field(c).Kind)})
+				}
+			}
+			expr, err := op.NewExpr(in.Arity(), steps...)
+			if err != nil {
+				panic(err)
+			}
+			cost := rng.Intn(3)
+			specs = append(specs, stepSpec{out: in, build: func() exec.Operator {
+				return &op.Select{OpName: name, Schema: in, Expr: expr, Cost: cost, Mode: mode, Propagate: propagate}
+			}})
+		case 1: // project: random non-empty keep subset, in order
+			var keep []string
+			for c := 0; c < in.Arity(); c++ {
+				if rng.Intn(2) == 0 {
+					keep = append(keep, in.Field(c).Name)
+				}
+			}
+			if len(keep) == 0 {
+				keep = []string{in.Field(rng.Intn(in.Arity())).Name}
+			}
+			kept := keep
+			p := &op.Project{OpName: name, In: in, Keep: kept}
+			if err := p.Init(); err != nil {
+				panic(err)
+			}
+			out := p.OutSchemas()[0]
+			specs = append(specs, stepSpec{out: out, build: func() exec.Operator {
+				return &op.Project{OpName: name, In: in, Keep: kept, Mode: mode, Propagate: propagate}
+			}})
+			cur = out
+		default: // map: carries (some renamed) plus sometimes a computed attr
+			var outs []op.MapAttr
+			for c := 0; c < in.Arity(); c++ {
+				switch rng.Intn(3) {
+				case 0: // dropped
+				case 1:
+					outs = append(outs, op.Carry(in.Field(c).Name))
+				default:
+					outs = append(outs, op.CarryAs("r_"+in.Field(c).Name, in.Field(c).Name))
+				}
+			}
+			if rng.Intn(2) == 0 {
+				outs = append(outs, op.Compute(fmt.Sprintf("x%d", i), stream.KindInt,
+					func(t stream.Tuple) stream.Value { return stream.Int(int64(t.Arity())) }))
+			}
+			if len(outs) == 0 {
+				outs = append(outs, op.Carry(in.Field(0).Name))
+			}
+			outsCopy := outs
+			m := &op.Map{OpName: name, In: in, Outs: outsCopy}
+			if err := m.Init(); err != nil {
+				panic(err)
+			}
+			out := m.OutSchemas()[0]
+			specs = append(specs, stepSpec{out: out, build: func() exec.Operator {
+				return &op.Map{OpName: name, In: in, Outs: outsCopy, Mode: mode, Propagate: propagate}
+			}})
+			cur = out
+		}
+		cur = specs[len(specs)-1].out
+	}
+	return specs
+}
+
+func randTuple(rng *rand.Rand, i int) stream.Tuple {
+	v := stream.Float(20 + float64(rng.Intn(60)))
+	if rng.Intn(8) == 0 {
+		v = stream.Null
+	}
+	return stream.NewTuple(
+		stream.Int(int64(rng.Intn(5))), stream.Int(int64(rng.Intn(5))),
+		stream.TimeMicros(int64(i)*1000), v)
+}
+
+func randPattern(rng *rand.Rand, sch stream.Schema) punct.Pattern {
+	c := rng.Intn(sch.Arity())
+	return punct.OnAttr(sch.Arity(), c, randPred(rng, sch.Field(c).Kind))
+}
+
+// unfusedChain drives the constituent operators through linked harnesses:
+// data cascades downstream harness to harness, feedback cascades upstream.
+type unfusedChain struct {
+	ops    []exec.Operator
+	hs     []*exec.Harness
+	outCur []int
+	fbCur  []int
+	items  []queue.Item
+	fb     []core.Feedback
+}
+
+func newUnfusedChain(specs []stepSpec) *unfusedChain {
+	u := &unfusedChain{
+		outCur: make([]int, len(specs)),
+		fbCur:  make([]int, len(specs)),
+	}
+	for _, s := range specs {
+		o := s.build()
+		u.ops = append(u.ops, o)
+		u.hs = append(u.hs, exec.NewHarness(o))
+	}
+	return u
+}
+
+func (u *unfusedChain) drain(t *testing.T) {
+	for {
+		progress := false
+		for i, h := range u.hs {
+			out := h.Out(0)
+			for u.outCur[i] < len(out) {
+				it := out[u.outCur[i]]
+				u.outCur[i]++
+				progress = true
+				if i+1 == len(u.hs) {
+					u.items = append(u.items, it)
+					continue
+				}
+				switch it.Kind {
+				case queue.ItemTuple:
+					u.hs[i+1].Tuple(0, it.Tuple)
+				case queue.ItemPunct:
+					u.hs[i+1].Punct(0, *it.Punct)
+				}
+			}
+			sent := h.SentFeedback(0)
+			for u.fbCur[i] < len(sent) {
+				f := sent[u.fbCur[i]]
+				u.fbCur[i]++
+				progress = true
+				if i == 0 {
+					u.fb = append(u.fb, f)
+				} else {
+					u.hs[i-1].Feedback(0, f)
+				}
+			}
+			if err := h.Err(); err != nil {
+				t.Fatalf("unfused harness %d: %v", i, err)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func TestFusedEqualsUnfusedProperty(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		specs := randChain(rng)
+		outSchema := specs[len(specs)-1].out
+
+		unfused := newUnfusedChain(specs)
+		fusedOps := make([]exec.Operator, len(specs))
+		for i, s := range specs {
+			fusedOps[i] = s.build()
+		}
+		fused, err := New(fusedOps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fh := exec.NewHarness(fused)
+
+		events := 20 + rng.Intn(30)
+		var seq int64
+		for i := 0; i < events; i++ {
+			switch r := rng.Intn(10); {
+			case r < 6:
+				tp := randTuple(rng, i)
+				unfused.hs[0].Tuple(0, tp)
+				fh.Tuple(0, tp)
+			case r < 8:
+				e := punct.NewEmbedded(randPattern(rng, chainSchema))
+				unfused.hs[0].Punct(0, e)
+				fh.Punct(0, e)
+			default:
+				seq++
+				f := core.Feedback{
+					Intent:  []core.Intent{core.Assumed, core.Desired, core.Demanded}[rng.Intn(3)],
+					Pattern: randPattern(rng, outSchema),
+					Origin:  "downstream", Seq: seq,
+				}
+				unfused.hs[len(unfused.hs)-1].Feedback(0, f)
+				fh.Feedback(0, f)
+			}
+			unfused.drain(t)
+		}
+		if err := fh.Err(); err != nil {
+			t.Fatalf("seed %d: fused harness: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(unfused.items, fh.Out(0)) {
+			t.Fatalf("seed %d: emitted items diverge\nunfused: %v\nfused:   %v",
+				seed, unfused.items, fh.Out(0))
+		}
+		if !reflect.DeepEqual(unfused.fb, fh.SentFeedback(0)) {
+			t.Fatalf("seed %d: upstream feedback diverges\nunfused: %v\nfused:   %v",
+				seed, unfused.fb, fh.SentFeedback(0))
+		}
+		stats := fused.StepStats()
+		if len(stats) != len(unfused.ops) {
+			t.Fatalf("seed %d: %d steps, want %d", seed, len(stats), len(unfused.ops))
+		}
+		for i, o := range unfused.ops {
+			st := stats[i]
+			var in, out, sup, dropped, cost int64
+			var responses []core.Response
+			switch o := o.(type) {
+			case *op.Select:
+				in, out, sup = o.Stats()
+				cost = o.CostBurned()
+				responses = o.Responses()
+			case *op.Project:
+				in, out, sup, dropped = o.Stats()
+				responses = o.Responses()
+			case *op.Map:
+				in, out, sup = o.Stats()
+				dropped = o.PunctDropped()
+				responses = o.Responses()
+			}
+			if st.In != in || st.Out != out || st.Suppressed != sup || st.PunctDropped != dropped || st.CostBurned != cost {
+				t.Fatalf("seed %d step %d (%s): fused stats %+v, unfused (in=%d out=%d sup=%d dropped=%d cost=%d)",
+					seed, i, st.Name, st, in, out, sup, dropped, cost)
+			}
+			if !reflect.DeepEqual(responses, fused.StepResponses(i)) {
+				t.Fatalf("seed %d step %d (%s): response logs diverge\nunfused: %+v\nfused:   %+v",
+					seed, i, st.Name, responses, fused.StepResponses(i))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fusion-boundary tests: the pass must stop at stateful operators, fan
+// in/out, and remote edges, and must leave length-1 chains alone.
+// ---------------------------------------------------------------------------
+
+func nodeNames(g *exec.Graph) []string {
+	names := make([]string, g.NumNodes())
+	for i := range names {
+		names[i] = g.NameAt(exec.NodeID(i))
+	}
+	return names
+}
+
+func TestRewriteFusesAroundStatefulOperator(t *testing.T) {
+	g := exec.NewGraph()
+	src := g.AddSource(exec.NewSliceSource("src", chainSchema))
+	sel1 := g.Add(&op.Select{OpName: "sel1", Schema: chainSchema}, exec.From(src))
+	proj := &op.Project{OpName: "proj", In: chainSchema, Keep: []string{"a", "ts", "v"}}
+	pid := g.Add(proj, exec.From(sel1))
+	agg := &op.Aggregate{OpName: "agg", In: proj.OutSchemas()[0], Kind: core.AggAvg,
+		TsAttr: 1, ValAttr: 2, GroupBy: []int{0}, Window: window.Tumbling(1_000_000), ValueName: "avg_v"}
+	aid := g.Add(agg, exec.From(pid))
+	aggOut := agg.OutSchemas()[0]
+	sel2 := g.Add(&op.Select{OpName: "sel2", Schema: aggOut}, exec.From(aid))
+	carries := make([]op.MapAttr, aggOut.Arity())
+	for i := 0; i < aggOut.Arity(); i++ {
+		carries[i] = op.Carry(aggOut.Field(i).Name)
+	}
+	mid := g.Add(&op.Map{OpName: "map2", In: aggOut, Outs: carries}, exec.From(sel2))
+	g.Add(exec.NewCollector("sink", aggOut), exec.From(mid))
+
+	fusions, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fusions) != 2 {
+		t.Fatalf("fusions = %+v, want 2", fusions)
+	}
+	want := []string{"src", "fused(sel1+proj)", "agg", "fused(sel2+map2)", "sink"}
+	if got := nodeNames(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("nodes after rewrite = %v, want %v", got, want)
+	}
+	// The compiled plan must still be runnable end to end.
+	if err := g.Run(); err != nil {
+		t.Fatalf("compiled plan run: %v", err)
+	}
+}
+
+func TestRewriteStopsAtFanOut(t *testing.T) {
+	g := exec.NewGraph()
+	src := g.AddSource(exec.NewSliceSource("src", chainSchema))
+	sel := g.Add(&op.Select{OpName: "sel", Schema: chainSchema}, exec.From(src))
+	dup := g.Add(&op.Duplicate{OpName: "dup", Schema: chainSchema, N: 2}, exec.From(sel))
+	p1 := &op.Project{OpName: "p1", In: chainSchema, Keep: []string{"a"}}
+	p2 := &op.Project{OpName: "p2", In: chainSchema, Keep: []string{"b"}}
+	i1 := g.Add(p1, exec.FromPort(dup, 0))
+	i2 := g.Add(p2, exec.FromPort(dup, 1))
+	g.Add(exec.NewCollector("k1", p1.OutSchemas()[0]), exec.From(i1))
+	g.Add(exec.NewCollector("k2", p2.OutSchemas()[0]), exec.From(i2))
+
+	before := g.NumNodes()
+	fusions, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fusions) != 0 || g.NumNodes() != before {
+		t.Fatalf("fan-out plan was rewritten: fusions=%+v nodes=%v", fusions, nodeNames(g))
+	}
+}
+
+func TestRewriteStopsAtRemoteEdge(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	g := exec.NewGraph()
+	src := g.AddSource(exec.NewSliceSource("src", chainSchema))
+	sel := g.Add(&op.Select{OpName: "sel", Schema: chainSchema}, exec.From(src))
+	carries := make([]op.MapAttr, chainSchema.Arity())
+	for i := 0; i < chainSchema.Arity(); i++ {
+		carries[i] = op.Carry(chainSchema.Field(i).Name)
+	}
+	mid := g.Add(&op.Map{OpName: "norm", In: chainSchema, Outs: carries}, exec.From(sel))
+	g.Add(remote.NewSink("rsink", chainSchema, c1), exec.From(mid))
+
+	fusions, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"src", "fused(sel+norm)", "rsink"}
+	if got := nodeNames(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("nodes after rewrite = %v, want %v (fusions=%+v)", got, want, fusions)
+	}
+}
+
+func TestRewriteLeavesSingletonsAlone(t *testing.T) {
+	g := exec.NewGraph()
+	src := g.AddSource(exec.NewSliceSource("src", chainSchema))
+	sel := g.Add(&op.Select{OpName: "sel", Schema: chainSchema}, exec.From(src))
+	g.Add(exec.NewCollector("sink", chainSchema), exec.From(sel))
+	fusions, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fusions) != 0 {
+		t.Fatalf("singleton chain fused: %+v", fusions)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Kernel allocation: the fused hot loop must not allocate for identity-
+// shaped chains (select + carry-all map), matching the unfused steady state.
+// ---------------------------------------------------------------------------
+
+// discardCtx is a no-op exec.Context for direct kernel measurement.
+type discardCtx struct{}
+
+func (discardCtx) Emit(stream.Tuple)               {}
+func (discardCtx) EmitTo(int, stream.Tuple)        {}
+func (discardCtx) EmitPunct(punct.Embedded)        {}
+func (discardCtx) EmitPunctTo(int, punct.Embedded) {}
+func (discardCtx) SendFeedback(int, core.Feedback) {}
+func (discardCtx) ShutdownUpstream(int)            {}
+func (discardCtx) NumInputs() int                  { return 1 }
+func (discardCtx) NumOutputs() int                 { return 1 }
+func (discardCtx) Logf(string, ...any)             {}
+
+func TestFusedKernelZeroAlloc(t *testing.T) {
+	expr, err := op.NewExpr(chainSchema.Arity(),
+		op.ExprStep{Col: 0, Name: "a", Pred: punct.Le(stream.Int(3))},
+		op.ExprStep{Col: 3, Name: "v", Pred: punct.Ge(stream.Float(10))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carries := make([]op.MapAttr, chainSchema.Arity())
+	for i := 0; i < chainSchema.Arity(); i++ {
+		carries[i] = op.Carry(chainSchema.Field(i).Name)
+	}
+	fused, err := New([]exec.Operator{
+		&op.Select{OpName: "sel", Schema: chainSchema, Expr: expr, Mode: op.FeedbackExploit},
+		&op.Project{OpName: "keep", In: chainSchema, Keep: []string{"a", "b", "ts", "v"}},
+		&op.Map{OpName: "norm", In: chainSchema, Outs: carries},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := discardCtx{}
+	if err := fused.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tp := stream.NewTuple(stream.Int(1), stream.Int(2), stream.TimeMicros(3), stream.Float(55))
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := fused.ProcessTuple(0, tp, ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fused kernel allocates %.1f per tuple, want 0", allocs)
+	}
+}
+
+// captureCtx records everything a kernel emits, in order.
+type captureCtx struct {
+	items []queue.Item
+	fb    []core.Feedback
+}
+
+func (c *captureCtx) Emit(t stream.Tuple)                 { c.items = append(c.items, queue.TupleItem(t)) }
+func (c *captureCtx) EmitTo(_ int, t stream.Tuple)        { c.Emit(t) }
+func (c *captureCtx) EmitPunct(e punct.Embedded)          { c.items = append(c.items, queue.PunctItem(e)) }
+func (c *captureCtx) EmitPunctTo(_ int, e punct.Embedded) { c.EmitPunct(e) }
+func (c *captureCtx) SendFeedback(_ int, f core.Feedback) { c.fb = append(c.fb, f) }
+func (c *captureCtx) ShutdownUpstream(int)                {}
+func (c *captureCtx) NumInputs() int                      { return 1 }
+func (c *captureCtx) NumOutputs() int                     { return 1 }
+func (c *captureCtx) Logf(string, ...any)                 {}
+
+// TestFusedBatchEqualsPerTuple pins the TupleBatcher contract directly: for
+// random chains and random scripts of tuple runs, punctuation, and feedback,
+// ProcessTupleBatch must produce the same emissions, upstream feedback, and
+// per-step counters as calling ProcessTuple on each tuple in order.
+func TestFusedBatchEqualsPerTuple(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		specs := randChain(rng)
+		outSchema := specs[len(specs)-1].out
+		build := func() *Fused {
+			ops := make([]exec.Operator, len(specs))
+			for i, s := range specs {
+				ops[i] = s.build()
+			}
+			f, err := New(ops)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return f
+		}
+		single, batched := build(), build()
+		sc, bc := &captureCtx{}, &captureCtx{}
+		if err := single.Open(sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := batched.Open(bc); err != nil {
+			t.Fatal(err)
+		}
+		var seq int64
+		for ev := 0; ev < 15; ev++ {
+			run := make([]queue.Item, 1+rng.Intn(7))
+			for i := range run {
+				run[i] = queue.TupleItem(randTuple(rng, ev*10+i))
+			}
+			for _, it := range run {
+				if err := single.ProcessTuple(0, it.Tuple, sc); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			if err := batched.ProcessTupleBatch(0, run, bc); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				e := punct.NewEmbedded(randPattern(rng, chainSchema))
+				if err := single.ProcessPunct(0, e, sc); err != nil {
+					t.Fatal(err)
+				}
+				if err := batched.ProcessPunct(0, e, bc); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				seq++
+				f := core.Feedback{
+					Intent:  []core.Intent{core.Assumed, core.Desired, core.Demanded}[rng.Intn(3)],
+					Pattern: randPattern(rng, outSchema),
+					Origin:  "downstream", Seq: seq,
+				}
+				if err := single.ProcessFeedback(0, f, sc); err != nil {
+					t.Fatal(err)
+				}
+				if err := batched.ProcessFeedback(0, f, bc); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if !reflect.DeepEqual(sc.items, bc.items) {
+			t.Fatalf("seed %d: emissions diverge: per-tuple %d items, batch %d items",
+				seed, len(sc.items), len(bc.items))
+		}
+		if !reflect.DeepEqual(sc.fb, bc.fb) {
+			t.Fatalf("seed %d: upstream feedback diverges", seed)
+		}
+		if !reflect.DeepEqual(single.StepStats(), batched.StepStats()) {
+			t.Fatalf("seed %d: step stats diverge:\n per-tuple: %+v\n batch:     %+v",
+				seed, single.StepStats(), batched.StepStats())
+		}
+	}
+}

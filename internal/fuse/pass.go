@@ -1,0 +1,123 @@
+package fuse
+
+import (
+	"repro/internal/exec"
+	"repro/internal/op"
+	"repro/internal/snapshot"
+)
+
+// Fusion records one applied rewrite: the fused node's name and the
+// constituent operator names in chain order.
+type Fusion struct {
+	Name  string
+	Steps []string
+}
+
+// Rewrite runs the fusion pass over an assembled, not-yet-run graph: it
+// finds maximal chains of adjacent fusible operators and replaces each with
+// a single Fused node. Chain boundaries — where fusion must stop — are:
+//
+//   - sources and any operator that is not Select/Project/Map (Split, Merge,
+//     Aggregate, Join, remote sinks, collectors, …);
+//   - any snapshot.Stater (stateful operators checkpoint per node, so their
+//     node identity must survive compilation);
+//   - nodes that are not 1-in/1-out (fan-in and fan-out);
+//   - multi-consumer edges (only possible mid-construction; a prepared graph
+//     fans out through explicit Duplicate operators, which are not fusible).
+//
+// Chains of length 1 are left alone. Returns the applied fusions in the
+// order performed.
+func Rewrite(g *exec.Graph) ([]Fusion, error) {
+	var fusions []Fusion
+	for {
+		chain := findChain(g)
+		if chain == nil {
+			return fusions, nil
+		}
+		ops := make([]exec.Operator, len(chain))
+		names := make([]string, len(chain))
+		for i, id := range chain {
+			ops[i] = g.OperatorAt(id)
+			names[i] = ops[i].Name()
+		}
+		fused, err := New(ops)
+		if err != nil {
+			return fusions, err
+		}
+		if err := g.ReplaceChain(chain, fused); err != nil {
+			return fusions, err
+		}
+		fusions = append(fusions, Fusion{Name: fused.Name(), Steps: names})
+	}
+}
+
+// fusible reports whether the node can participate in a fused chain.
+func fusible(g *exec.Graph, id exec.NodeID) bool {
+	o := g.OperatorAt(id)
+	if o == nil {
+		return false
+	}
+	if _, stateful := o.(snapshot.Stater); stateful {
+		return false
+	}
+	switch o := o.(type) {
+	case *op.Select:
+	case *op.Project:
+		if o.Init() != nil {
+			return false // misconfigured; leave for prepare/Open to report
+		}
+	case *op.Map:
+		if o.Init() != nil {
+			return false
+		}
+	default:
+		return false
+	}
+	return len(o.InSchemas()) == 1 && g.NumOutputsAt(id) == 1
+}
+
+// findChain returns the first maximal fusible chain of length ≥ 2 in node
+// order, or nil when none remains. One chain per call: ReplaceChain
+// renumbers nodes, so the caller re-scans after each rewrite.
+func findChain(g *exec.Graph) []exec.NodeID {
+	n := g.NumNodes()
+	consumers := make(map[exec.Port][]exec.NodeID)
+	for id := 0; id < n; id++ {
+		for _, p := range g.InputsOf(exec.NodeID(id)) {
+			consumers[p] = append(consumers[p], exec.NodeID(id))
+		}
+	}
+	for id := 0; id < n; id++ {
+		head := exec.NodeID(id)
+		if !fusible(g, head) {
+			continue
+		}
+		// Only start at chain heads: skip nodes whose upstream would extend
+		// the chain backwards (they are covered by the walk from that head).
+		up := g.InputsOf(head)[0]
+		if up.Out == 0 && fusible(g, up.Node) && len(consumers[up]) == 1 {
+			continue
+		}
+		chain := []exec.NodeID{head}
+		cur := head
+		for {
+			down := consumers[exec.Port{Node: cur}]
+			if len(down) != 1 {
+				break // unconsumed (mid-construction) or multi-consumer edge
+			}
+			next := down[0]
+			if !fusible(g, next) {
+				break
+			}
+			if in := g.InputsOf(next); len(in) != 1 || in[0] != (exec.Port{Node: cur}) {
+				break
+			}
+			chain = append(chain, next)
+			cur = next
+		}
+		if len(chain) >= 2 {
+			return chain
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package op
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/punct"
+	"repro/internal/stream"
+)
+
+// ExprStep is one conjunct of a flat filter expression: a predicate applied
+// to a single column. Name is optional and only used for rendering (EXPLAIN
+// and Select.String); evaluation goes through Col alone.
+type ExprStep struct {
+	Col  int
+	Name string
+	Pred punct.Pred
+}
+
+// Expr is a compiled conjunction over tuple columns: a flat step table of
+// (column index, opcode, operand) rows, evaluated in order with no closures
+// and no per-tuple allocation. Ordering comparisons against Int/Time/Bool
+// and Float operands compile to opcodes whose comparisons run inline in
+// Eval's loop — no function call at all on the hot path; everything else
+// (In-sets, string ordering, IsNull, mixed-kind numeric comparisons) falls
+// back to the same devirtualized form punct.Pattern.Compile uses for guard
+// matching. It is the evaluation form the PaceQL WHERE clause and fused
+// kernels share, replacing the nested func(Tuple) bool trees query.go used
+// to build.
+//
+// An Expr is immutable after construction and safe for concurrent use.
+type Expr struct {
+	steps []exprStep
+}
+
+// Opcodes for the inline comparison paths. opGeneric routes through the
+// compiled predicate; the rest compare Value.I (integer-domain kinds) or
+// Value.F (floats) directly, guarded by an exact kind match.
+const (
+	opGeneric uint8 = iota
+	opIntEQ
+	opIntNE
+	opIntLT
+	opIntLE
+	opIntGT
+	opIntGE
+	opIntBetween
+	opFloatEQ
+	opFloatNE
+	opFloatLT
+	opFloatLE
+	opFloatGT
+	opFloatGE
+	opFloatBetween
+)
+
+type exprStep struct {
+	col  int
+	code uint8
+	kind stream.Kind // operand kind the inline path requires of the value
+	i    int64       // integer-domain operand (lo bound for Between)
+	iHi  int64
+	f    float64 // float operand (lo bound for Between)
+	fHi  float64
+	name string
+	pred punct.CompiledPred // exact semantics for everything the opcodes skip
+	raw  punct.Pred
+}
+
+// compileStep picks the opcode. Mixed-kind bounds and every non-ordering
+// predicate stay on the generic path, whose semantics are authoritative.
+func compileStep(s ExprStep) exprStep {
+	st := exprStep{col: s.Col, name: s.Name, pred: punct.CompilePred(s.Pred), raw: s.Pred}
+	var base uint8
+	switch k := s.Pred.Val.Kind; {
+	case k == stream.KindInt || k == stream.KindTime || k == stream.KindBool:
+		base = opIntEQ
+		st.i, st.iHi = s.Pred.Val.I, s.Pred.Hi.I
+	case k == stream.KindFloat:
+		base = opFloatEQ
+		st.f, st.fHi = s.Pred.Val.F, s.Pred.Hi.F
+	default:
+		return st
+	}
+	st.kind = s.Pred.Val.Kind
+	switch s.Pred.Op {
+	case punct.EQ:
+		st.code = base
+	case punct.NE:
+		st.code = base + 1
+	case punct.LT:
+		st.code = base + 2
+	case punct.LE:
+		st.code = base + 3
+	case punct.GT:
+		st.code = base + 4
+	case punct.GE:
+		st.code = base + 5
+	case punct.Between:
+		if s.Pred.Hi.Kind != s.Pred.Val.Kind {
+			return st // mixed-kind bounds: SQL incomparability, generic only
+		}
+		st.code = base + 6
+	}
+	return st
+}
+
+// NewExpr compiles the steps against a schema of the given arity. Unlike
+// Pattern, an Expr may bind several predicates to the same column (WHERE
+// speed > 10 AND speed < 55). A step whose column is out of [0, arity)
+// is a construction error, not a runtime panic.
+func NewExpr(arity int, steps ...ExprStep) (*Expr, error) {
+	e := &Expr{steps: make([]exprStep, 0, len(steps))}
+	for _, s := range steps {
+		if s.Col < 0 || s.Col >= arity {
+			return nil, fmt.Errorf("op: expr step %q: column %d out of range (arity %d)", s.Name, s.Col, arity)
+		}
+		e.steps = append(e.steps, compileStep(s))
+	}
+	return e, nil
+}
+
+// Eval reports whether the tuple satisfies every step. No allocation, and
+// no function call for opcode-compiled comparisons on matching kinds.
+func (e *Expr) Eval(t stream.Tuple) bool {
+	for i := range e.steps {
+		s := &e.steps[i]
+		v := &t.Values[s.col]
+		if s.code == opGeneric || v.Kind != s.kind {
+			// Generic predicate, null value, or mixed-kind comparison:
+			// the compiled predicate owns those semantics.
+			if !s.pred.Matches(*v) {
+				return false
+			}
+			continue
+		}
+		ok := false
+		switch s.code {
+		case opIntEQ:
+			ok = v.I == s.i
+		case opIntNE:
+			ok = v.I != s.i
+		case opIntLT:
+			ok = v.I < s.i
+		case opIntLE:
+			ok = v.I <= s.i
+		case opIntGT:
+			ok = v.I > s.i
+		case opIntGE:
+			ok = v.I >= s.i
+		case opIntBetween:
+			ok = v.I >= s.i && v.I <= s.iHi
+		case opFloatEQ:
+			ok = v.F == s.f
+		case opFloatNE:
+			ok = v.F != s.f
+		case opFloatLT:
+			ok = v.F < s.f
+		case opFloatLE:
+			ok = v.F <= s.f
+		case opFloatGT:
+			ok = v.F > s.f
+		case opFloatGE:
+			ok = v.F >= s.f
+		case opFloatBetween:
+			ok = v.F >= s.f && v.F <= s.fHi
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// NumSteps returns the number of conjuncts.
+func (e *Expr) NumSteps() int { return len(e.steps) }
+
+// String renders the conjunction, preferring attribute names when present.
+func (e *Expr) String() string {
+	if len(e.steps) == 0 {
+		return "true"
+	}
+	var b strings.Builder
+	for i := range e.steps {
+		s := &e.steps[i]
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		rendered := s.raw.String()
+		if s.raw.Op == punct.EQ {
+			rendered = "=" + rendered // bare value in Pred notation; make the comparison explicit
+		}
+		if s.name != "" {
+			fmt.Fprintf(&b, "%s%s", s.name, rendered)
+		} else {
+			fmt.Fprintf(&b, "[%d]%s", s.col, rendered)
+		}
+	}
+	return b.String()
+}

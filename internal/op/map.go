@@ -30,7 +30,7 @@ type Map struct {
 	identity bool // every output attr carried in input order: no copy
 	guards   *core.GuardTable
 
-	nIn, nOut, suppressed int64
+	nIn, nOut, suppressed, punctDropped int64
 }
 
 // MapAttr describes one output attribute of a Map.
@@ -75,31 +75,46 @@ func (m *Map) OutSchemas() []stream.Schema {
 }
 
 func (m *Map) mustInit() {
+	if err := m.Init(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Init resolves the output attribute list against the input schema,
+// reporting misconfiguration (unknown From, missing Fn, bad output schema)
+// as an error instead of the panic OutSchemas/Open would raise. plan.Builder
+// calls it at wiring time so the failure surfaces through Builder.Err().
+// Calling Init again is a cheap no-op once it has succeeded.
+func (m *Map) Init() error {
+	if m.out.Arity() > 0 {
+		return nil
+	}
 	fields := make([]stream.Field, len(m.Outs))
 	toInput := make([]int, len(m.Outs))
 	for i, o := range m.Outs {
 		if o.From != "" {
 			src := m.In.Index(o.From)
 			if src < 0 {
-				panic(fmt.Sprintf("op: map %q: no input attribute %q", m.Name(), o.From))
+				return fmt.Errorf("op: map %q: no input attribute %q", m.Name(), o.From)
 			}
 			fields[i] = stream.F(o.Name, m.In.Field(src).Kind)
 			toInput[i] = src
 			continue
 		}
 		if o.Fn == nil {
-			panic(fmt.Sprintf("op: map %q: attribute %q is neither carried nor computed", m.Name(), o.Name))
+			return fmt.Errorf("op: map %q: attribute %q is neither carried nor computed", m.Name(), o.Name)
 		}
 		fields[i] = stream.F(o.Name, o.Kind)
 		toInput[i] = -1
 	}
 	out, err := stream.NewSchema(fields...)
 	if err != nil {
-		panic(fmt.Sprintf("op: map %q: %v", m.Name(), err))
+		return fmt.Errorf("op: map %q: %v", m.Name(), err)
 	}
 	m.out = out
 	m.identity = identityMapping(toInput, m.In.Arity())
 	m.attrMap = core.AttrMap{InputArity: m.In.Arity(), ToInput: toInput}
+	return nil
 }
 
 // Open implements exec.Operator.
@@ -148,10 +163,12 @@ func (m *Map) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 		}
 		return -1
 	}
-	if projected, ok := relayPunct(e.Pattern, outputOf, m.out.Arity()); ok {
+	if projected, ok := RelayPunct(e.Pattern, outputOf, m.out.Arity()); ok {
 		pe := punct.NewEmbedded(projected)
 		m.guards.ObservePunct(pe)
 		ctx.EmitPunct(pe)
+	} else {
+		m.punctDropped++
 	}
 	return nil
 }
@@ -182,3 +199,7 @@ func (m *Map) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
 
 // Stats reports tuple accounting.
 func (m *Map) Stats() (in, out, suppressed int64) { return m.nIn, m.nOut, m.suppressed }
+
+// PunctDropped reports punctuation consumed here because its bound
+// attributes did not survive the attribute mapping.
+func (m *Map) PunctDropped() int64 { return m.punctDropped }

@@ -89,8 +89,9 @@ func coveredByAllOthers(tables []*core.GuardTable, skip int, p punct.Pattern) bo
 	return true
 }
 
-// relayPunct decides whether embedded punctuation with the given pattern
+// RelayPunct decides whether embedded punctuation with the given pattern
 // survives an attribute projection, and produces the projected pattern.
+// Project, Map, and fused kernels (internal/fuse) all relay by this rule.
 //
 // Rule (mirror of safe propagation, but for the downstream direction): the
 // punctuation's guarantee survives iff every bound attribute is carried by
@@ -98,7 +99,7 @@ func coveredByAllOthers(tables []*core.GuardTable, skip int, p punct.Pattern) bo
 // overclaim: input punctuation [a=5, ts≤10] does not promise the absence of
 // future tuples with a=6, ts≤9, so a projection that drops a cannot emit
 // [ts≤10].
-func relayPunct(p punct.Pattern, outputOf func(inAttr int) int, outArity int) (punct.Pattern, bool) {
+func RelayPunct(p punct.Pattern, outputOf func(inAttr int) int, outArity int) (punct.Pattern, bool) {
 	mapping := make([]int, outArity) // output attr → input attr
 	for i := range mapping {
 		mapping[i] = -1

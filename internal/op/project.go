@@ -13,7 +13,7 @@ import (
 // via the output schema names). Every output attribute carries an input
 // attribute, so assumed feedback over the output schema always has a safe
 // propagation; embedded punctuation survives downstream iff its bound
-// attributes are kept (see relayPunct).
+// attributes are kept (see RelayPunct).
 type Project struct {
 	exec.Base
 	OpName string
@@ -54,13 +54,27 @@ func (p *Project) OutSchemas() []stream.Schema {
 }
 
 func (p *Project) mustInit() {
+	if err := p.Init(); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Init resolves the Keep list against the input schema, reporting a bad
+// projection as an error instead of the panic OutSchemas/Open would raise.
+// plan.Builder calls it at wiring time so misconfiguration surfaces through
+// Builder.Err(). Calling Init again is a cheap no-op once it has succeeded.
+func (p *Project) Init() error {
+	if p.out.Arity() > 0 {
+		return nil
+	}
 	out, idxs, err := p.In.Project(p.Keep...)
 	if err != nil {
-		panic(fmt.Sprintf("op: project %q: %v", p.Name(), err))
+		return fmt.Errorf("op: project %q: %v", p.Name(), err)
 	}
 	p.out, p.idxs = out, idxs
 	p.identity = identityMapping(idxs, p.In.Arity())
 	p.attrMap = core.AttrMap{InputArity: p.In.Arity(), ToInput: append([]int(nil), idxs...)}
+	return nil
 }
 
 // identityMapping reports whether idxs carries every one of arity input
@@ -116,7 +130,7 @@ func (p *Project) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error 
 		}
 		return -1
 	}
-	if projected, ok := relayPunct(e.Pattern, outputOf, p.out.Arity()); ok {
+	if projected, ok := RelayPunct(e.Pattern, outputOf, p.out.Arity()); ok {
 		pe := punct.NewEmbedded(projected)
 		p.guards.ObservePunct(pe)
 		ctx.EmitPunct(pe)

@@ -25,6 +25,10 @@ type Select struct {
 	Schema stream.Schema
 	// Cond keeps tuples for which it returns true; nil keeps everything.
 	Cond func(stream.Tuple) bool
+	// Expr, when set, is a compiled flat filter evaluated before Cond —
+	// the closure-free form PaceQL WHERE clauses and fused kernels use.
+	// When both are set a tuple must pass both.
+	Expr *Expr
 	// Cost is the work units burned per tuple *evaluated* (guards are
 	// checked first: a suppressed tuple costs nothing, which is exactly
 	// the saving feedback buys).
@@ -71,7 +75,7 @@ func (s *Select) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	if s.Cost > 0 {
 		s.meter.Do(s.Cost)
 	}
-	if s.Cond == nil || s.Cond(t) {
+	if (s.Expr == nil || s.Expr.Eval(t)) && (s.Cond == nil || s.Cond(t)) {
 		s.out++
 		ctx.Emit(t)
 	}
@@ -121,5 +125,8 @@ func (s *Select) CostBurned() int64 { return s.meter.Total() }
 
 // String describes the operator.
 func (s *Select) String() string {
+	if s.Expr != nil {
+		return fmt.Sprintf("SELECT[%s %s mode=%s]", s.Name(), s.Expr, s.Mode)
+	}
 	return fmt.Sprintf("SELECT[%s mode=%s]", s.Name(), s.Mode)
 }

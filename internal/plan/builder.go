@@ -10,9 +10,11 @@ package plan
 import (
 	"fmt"
 	"net"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fuse"
 	"repro/internal/op"
 	"repro/internal/remote"
 	"repro/internal/snapshot"
@@ -23,8 +25,9 @@ import (
 // Builder assembles an exec.Graph incrementally. Errors accumulate and
 // surface at Run/Build, keeping call sites chainable.
 type Builder struct {
-	g    *exec.Graph
-	errs []error
+	g       *exec.Graph
+	errs    []error
+	fusions []fuse.Fusion
 	// Feedback defaults applied to operators the builder creates.
 	Mode      op.FeedbackMode
 	Propagate bool
@@ -50,6 +53,53 @@ func (b *Builder) Err() error {
 		return b.errs[0]
 	}
 	return nil
+}
+
+// Compile runs the plan-compiler passes over the assembled graph — today one
+// pass, operator fusion (internal/fuse), which collapses maximal chains of
+// adjacent stateless operators into single flat-kernel nodes. Call it after
+// the plan is fully assembled (sinks included) and before Restore*/Run: a
+// checkpoint names every node, so a compiled plan only restores checkpoints
+// taken from an identically compiled plan. Compile is chainable and a no-op
+// on a plan that already has errors.
+func (b *Builder) Compile() *Builder {
+	if len(b.errs) > 0 {
+		return b
+	}
+	fusions, err := fuse.Rewrite(b.g)
+	if err != nil {
+		b.errs = append(b.errs, err)
+	}
+	b.fusions = append(b.fusions, fusions...)
+	return b
+}
+
+// Fusions reports the fusions Compile applied, in order.
+func (b *Builder) Fusions() []fuse.Fusion { return b.fusions }
+
+// Explain renders the (possibly compiled) plan, one line per node with its
+// input wiring; fused nodes additionally render their kernel step table, so
+// fusion decisions are inspectable (cmd/paceql -explain).
+func (b *Builder) Explain() string {
+	var sb strings.Builder
+	for id := 0; id < b.g.NumNodes(); id++ {
+		nid := exec.NodeID(id)
+		if b.g.IsSource(nid) {
+			fmt.Fprintf(&sb, "%2d: source %s\n", id, b.g.NameAt(nid))
+			continue
+		}
+		ins := b.g.InputsOf(nid)
+		froms := make([]string, len(ins))
+		for i, p := range ins {
+			froms[i] = fmt.Sprintf("%s[%d]", b.g.NameAt(p.Node), p.Out)
+		}
+		o := b.g.OperatorAt(nid)
+		fmt.Fprintf(&sb, "%2d: %s <- %s\n", id, o.Name(), strings.Join(froms, ", "))
+		if ex, ok := o.(interface{ Explain() string }); ok {
+			fmt.Fprintf(&sb, "      kernel: %s\n", ex.Explain())
+		}
+	}
+	return sb.String()
 }
 
 // Run validates and executes the plan.
@@ -131,17 +181,49 @@ func (s Stream) Select(name string, cond func(stream.Tuple) bool) Stream {
 	return Stream{b: s.b, port: exec.From(id), schema: s.schema}
 }
 
-// Project appends an attribute projection.
+// SelectExpr appends a filter evaluated by a compiled flat expression
+// (op.Expr) instead of a closure — the form PaceQL WHERE clauses compile to
+// and the one fused kernels inline. Steps are resolved against the stream
+// schema at wiring time; a bad column surfaces via Builder.Err().
+func (s Stream) SelectExpr(name string, steps ...op.ExprStep) Stream {
+	if s.bad {
+		return s
+	}
+	e, err := op.NewExpr(s.schema.Arity(), steps...)
+	if err != nil {
+		return s.b.fail("plan: select %q: %v", name, err)
+	}
+	o := &op.Select{OpName: name, Schema: s.schema, Expr: e, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	id := s.b.g.Add(o, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: s.schema}
+}
+
+// Project appends an attribute projection. The Keep list is validated here,
+// at wiring time (op.Project.Init), so a bad projection surfaces through
+// Builder.Err() instead of panicking at the first OutSchemas call.
 func (s Stream) Project(name string, keep ...string) Stream {
 	if s.bad {
 		return s
 	}
-	for _, k := range keep {
-		if !s.schema.Has(k) {
-			return s.b.fail("plan: project %q: no attribute %q in %s", name, k, s.schema)
-		}
-	}
 	o := &op.Project{OpName: name, In: s.schema, Keep: keep, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	if err := o.Init(); err != nil {
+		return s.b.fail("plan: %v", err)
+	}
+	id := s.b.g.Add(o, s.port)
+	return Stream{b: s.b, port: exec.From(id), schema: o.OutSchemas()[0]}
+}
+
+// Map appends a stateless attribute transform (carried and computed output
+// attributes; see op.Map). The attribute list is validated at wiring time,
+// surfacing misconfiguration through Builder.Err().
+func (s Stream) Map(name string, outs ...op.MapAttr) Stream {
+	if s.bad {
+		return s
+	}
+	o := &op.Map{OpName: name, In: s.schema, Outs: outs, Mode: s.b.Mode, Propagate: s.b.Propagate}
+	if err := o.Init(); err != nil {
+		return s.b.fail("plan: %v", err)
+	}
 	id := s.b.g.Add(o, s.port)
 	return Stream{b: s.b, port: exec.From(id), schema: o.OutSchemas()[0]}
 }
@@ -292,6 +374,13 @@ func (s Stream) Join(name string, right Stream, leftKeys, rightKeys []string, le
 func (s Stream) Through(o exec.Operator) Stream {
 	if s.bad {
 		return s
+	}
+	// Operators with eager validation (op.Project, op.Map) report
+	// misconfiguration here instead of panicking inside OutSchemas below.
+	if init, ok := o.(interface{ Init() error }); ok {
+		if err := init.Init(); err != nil {
+			return s.b.fail("plan: %v", err)
+		}
 	}
 	if len(o.InSchemas()) != 1 || len(o.OutSchemas()) != 1 {
 		return s.b.fail("plan: through %q: need exactly one input and one output", o.Name())

@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/op"
+	"repro/internal/punct"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// carryAll builds a carry-every-attribute Map stage (identity on values).
+func carryAll(sch stream.Schema) []op.MapAttr {
+	outs := make([]op.MapAttr, sch.Arity())
+	for i := 0; i < sch.Arity(); i++ {
+		outs[i] = op.Carry(sch.Field(i).Name)
+	}
+	return outs
+}
+
+func canonicalLines(c *exec.Collector) []string {
+	lines := make([]string, 0, 64)
+	for _, tp := range c.Tuples() {
+		lines = append(lines, tp.String())
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestFusedPlanDigestIdentity is the graph-level property test: randomly
+// generated plans mixing stateless chains, embedded punctuation, Parallel(n)
+// and a windowed aggregate must produce the same canonical digest compiled
+// (Builder.Compile → fused kernels) and uncompiled, under the real
+// concurrent runtime.
+func TestFusedPlanDigestIdentity(t *testing.T) {
+	build := func(seed int64, fused bool) (*Builder, *exec.Collector) {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		if rng.Intn(3) == 0 {
+			b.Mode = op.FeedbackIgnore
+		}
+		src := &exec.SliceSource{SourceName: "src", Schema: testSchema, Items: aggWorkload(3000), BatchSize: 64}
+		s := b.Source(src)
+		stages := 1 + rng.Intn(3)
+		for i := 0; i < stages; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				cut := stream.Float(float64(25 + rng.Intn(20)))
+				s = s.SelectExpr(nameOf("f", i), op.ExprStep{
+					Col: s.Schema().Index("speed"), Name: "speed", Pred: punct.Ge(cut)})
+			case 1:
+				s = s.Map(nameOf("norm", i), carryAll(s.Schema())...)
+			default:
+				// Rotate the attribute order: exercises non-identity
+				// projection, punct re-mapping, and feedback attr maps.
+				names := make([]string, s.Schema().Arity())
+				for j := range names {
+					names[j] = s.Schema().Field((j + 1) % len(names)).Name
+				}
+				s = s.Project(nameOf("rot", i), names...)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			parts := 1 + rng.Intn(3)
+			s = s.Parallel("p", parts, []string{"segment"}, func(ss Stream) Stream {
+				ss = ss.Map("pnorm", carryAll(ss.Schema())...)
+				return ss.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
+					window.Tumbling(1_000_000), "avg_speed")
+			})
+		} else {
+			s = s.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
+				window.Tumbling(1_000_000), "avg_speed")
+		}
+		sink := s.Collect("sink")
+		if fused {
+			b.Compile()
+		}
+		return b, sink
+	}
+
+	for seed := int64(0); seed < 12; seed++ {
+		bu, su := build(seed, false)
+		if err := bu.Run(); err != nil {
+			t.Fatalf("seed %d unfused: %v", seed, err)
+		}
+		bf, sf := build(seed, true)
+		if err := bf.Run(); err != nil {
+			t.Fatalf("seed %d fused: %v", seed, err)
+		}
+		want, got := canonicalLines(su), canonicalLines(sf)
+		if len(want) == 0 {
+			t.Fatalf("seed %d produced no results", seed)
+		}
+		if strings.Join(want, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("seed %d: fused digest diverges from unfused\nunfused: %d lines\nfused:   %d lines",
+				seed, len(want), len(got))
+		}
+	}
+}
+
+func nameOf(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}
+
+// TestFusedParallelBoundaries pins the fusion boundaries on a builder-
+// assembled plan: the pre-split chain and each partition's stateless prefix
+// fuse, while Split, Merge, and the stateful Aggregate survive as nodes.
+func TestFusedParallelBoundaries(t *testing.T) {
+	b := New()
+	src := &exec.SliceSource{SourceName: "src", Schema: testSchema, Items: aggWorkload(500)}
+	s := b.Source(src).
+		SelectExpr("clean", op.ExprStep{Col: 2, Name: "speed", Pred: punct.Ge(stream.Float(0))}).
+		Map("norm", carryAll(testSchema)...)
+	s = s.Parallel("p", 2, []string{"segment"}, func(ss Stream) Stream {
+		ss = ss.SelectExpr("pf", op.ExprStep{Col: 1, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))}).
+			Map("pm", carryAll(ss.Schema())...)
+		return ss.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
+			window.Tumbling(1_000_000), "avg_speed")
+	})
+	s.Collect("sink")
+	b.Compile()
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	g := b.Graph()
+	var names []string
+	for i := 0; i < g.NumNodes(); i++ {
+		names = append(names, g.NameAt(exec.NodeID(i)))
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"fused(clean+norm)", "fused(pf+pm)", "p.split", "p.merge", "avg"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("compiled plan %v missing %q", names, want)
+		}
+	}
+	if len(b.Fusions()) != 3 { // pre-split chain + one per partition
+		t.Fatalf("fusions = %+v, want 3", b.Fusions())
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusedCheckpointRecoverIdentity proves barrier alignment is unchanged
+// by fusion: a compiled plan with a fused stateless prefix is checkpointed
+// mid-stream, killed, and restored into an identically compiled plan; the
+// result must match an uninterrupted *unfused* run — fused ≡ unfused across
+// checkpoint → kill → restore.
+func TestFusedCheckpointRecoverIdentity(t *testing.T) {
+	items := aggWorkload(6000)
+	gateAt := len(items) * 3 / 5
+
+	build := func(fused, gateOpen bool) (*Builder, *gatedItems, *exec.Collector) {
+		b := New()
+		src := &gatedItems{name: "src", schema: testSchema, items: items, gateAt: gateAt}
+		src.gate.Store(gateOpen)
+		s := b.Source(src).
+			SelectExpr("clean", op.ExprStep{Col: 1, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))}).
+			Map("norm", carryAll(testSchema)...)
+		out := s.Parallel("p", 2, []string{"segment"}, func(ss Stream) Stream {
+			return ss.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
+				window.Tumbling(1_000_000), "avg_speed")
+		})
+		sink := out.Collect("sink")
+		if fused {
+			b.Compile()
+		}
+		if err := b.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return b, src, sink
+	}
+
+	// Unfused, uninterrupted reference.
+	bRef, _, sinkRef := build(false, true)
+	if err := bRef.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalLines(sinkRef)
+	if len(want) == 0 {
+		t.Fatal("workload produced no results")
+	}
+
+	// Fused run parked at the gate: checkpoint, then kill.
+	b1, src1, _ := build(true, false)
+	runErr := make(chan error, 1)
+	go func() { runErr <- b1.Run() }()
+	for deadline := time.Now().Add(10 * time.Second); src1.pos.Load() < int64(gateAt); {
+		if time.Now().After(deadline) {
+			t.Fatalf("source stuck at %d/%d", src1.pos.Load(), gateAt)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := b1.Graph().Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Graph().Kill()
+	if err := <-runErr; !errors.Is(err, exec.ErrKilled) {
+		t.Fatalf("killed run returned %v", err)
+	}
+
+	// Restore into an identically compiled plan and finish.
+	backend := snapshot.NewMemory()
+	if err := snap.Save(backend, "mid-stream"); err != nil {
+		t.Fatal(err)
+	}
+	b2, _, sink2 := build(true, true)
+	if err := b2.Graph().Restore(backend, "mid-stream"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalLines(sink2)
+	if strings.Join(want, "\n") != strings.Join(got, "\n") {
+		t.Fatalf("fused checkpoint-recover digest diverges: %d lines vs %d", len(got), len(want))
+	}
+}
+
+// TestProjectBadKeepIsBuilderError is the satellite bugfix: a bad Keep list
+// must surface through Builder.Err() at wiring time, not panic at the first
+// OutSchemas call.
+func TestProjectBadKeepIsBuilderError(t *testing.T) {
+	b := New()
+	b.Source(testSource("s", reading(1, 10, 50))).
+		Project("narrow", "segment", "nope").
+		Collect("sink")
+	if err := b.Err(); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Err() = %v, want projection error", err)
+	}
+	if err := b.Run(); err == nil {
+		t.Fatal("Run succeeded on a bad projection")
+	}
+}
+
+// TestThroughBadOperatorIsBuilderError covers the same panic path when the
+// misconfigured operator arrives through the escape hatch.
+func TestThroughBadOperatorIsBuilderError(t *testing.T) {
+	b := New()
+	b.Source(testSource("s", reading(1, 10, 50))).
+		Through(&op.Project{OpName: "bad", In: testSchema, Keep: []string{"missing"}}).
+		Collect("sink")
+	if err := b.Err(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("Err() = %v, want projection error", err)
+	}
+}
+
+// TestMapBadAttrIsBuilderError: unknown From attributes surface as errors.
+func TestMapBadAttrIsBuilderError(t *testing.T) {
+	b := New()
+	b.Source(testSource("s", reading(1, 10, 50))).
+		Map("m", op.Carry("absent")).
+		Collect("sink")
+	if err := b.Err(); err == nil || !strings.Contains(err.Error(), "absent") {
+		t.Fatalf("Err() = %v, want map error", err)
+	}
+}
+
+// TestExplainRendersFusedKernels: the compiled plan rendering names fused
+// nodes and their step tables.
+func TestExplainRendersFusedKernels(t *testing.T) {
+	b := New()
+	b.Source(testSource("s", reading(1, 10, 50))).
+		SelectExpr("where", op.ExprStep{Col: 2, Name: "speed", Pred: punct.Ge(stream.Float(30))}).
+		Map("norm", carryAll(testSchema)...).
+		Collect("sink")
+	b.Compile()
+	out := b.Explain()
+	for _, want := range []string{"fused(where+norm)", "kernel:", "speed>=30"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+}

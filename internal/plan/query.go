@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/op"
 	"repro/internal/punct"
 	"repro/internal/stream"
 	"repro/internal/window"
@@ -232,11 +233,7 @@ func (p *parser) parseSelectList() (items []selItem, star bool, err error) {
 }
 
 func (p *parser) parseWhere(s Stream) (Stream, error) {
-	type cond struct {
-		idx int
-		pr  punct.Pred
-	}
-	var conds []cond
+	var steps []op.ExprStep
 	for {
 		attr := p.next()
 		idx := s.Schema().Index(attr)
@@ -266,20 +263,15 @@ func (p *parser) parseWhere(s Stream) (Stream, error) {
 		default:
 			return Stream{}, fmt.Errorf("plan: WHERE: unsupported operator %q", opTok)
 		}
-		conds = append(conds, cond{idx, pr})
+		steps = append(steps, op.ExprStep{Col: idx, Name: attr, Pred: pr})
 		if p.peek() != "AND" {
 			break
 		}
 		p.pos++
 	}
-	return s.Select("where", func(t stream.Tuple) bool {
-		for _, c := range conds {
-			if !c.pr.Matches(t.At(c.idx)) {
-				return false
-			}
-		}
-		return true
-	}), nil
+	// Compiled flat evaluation (op.Expr) instead of a closure tree: the
+	// same step table a fused kernel inlines.
+	return s.SelectExpr("where", steps...), nil
 }
 
 func (p *parser) parseGroupBy(s Stream, items []selItem, star bool) (Stream, error) {

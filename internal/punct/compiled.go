@@ -53,27 +53,51 @@ func (p Pattern) Compile(schema stream.Schema) *Compiled {
 		if pr.IsWild() {
 			continue
 		}
-		cp := compiledPred{attr: i, pred: pr}
-		switch pr.Op {
-		case EQ, NE, LT, LE, GT, GE:
-			cp.fastKind = intDomain(pr.Val.Kind)
-		case Between:
-			// Both bounds must share one integer-domain kind: mixed-kind
-			// bounds have SQL-style incomparability semantics that only
-			// the generic path reproduces.
-			cp.fastKind = intDomain(pr.Val.Kind) && pr.Hi.Kind == pr.Val.Kind
-		case In:
-			if len(pr.Set) > setThreshold {
-				cp.set = make(map[uint64][]stream.Value, len(pr.Set))
-				for _, v := range pr.Set {
-					h := v.Hash()
-					cp.set[h] = append(cp.set[h], v)
-				}
-			}
-		}
-		c.preds = append(c.preds, cp)
+		c.preds = append(c.preds, newCompiledPred(i, pr))
 	}
 	return c
+}
+
+// newCompiledPred builds the evaluation form of one bound predicate.
+func newCompiledPred(attr int, pr Pred) compiledPred {
+	cp := compiledPred{attr: attr, pred: pr}
+	switch pr.Op {
+	case EQ, NE, LT, LE, GT, GE:
+		cp.fastKind = intDomain(pr.Val.Kind)
+	case Between:
+		// Both bounds must share one integer-domain kind: mixed-kind
+		// bounds have SQL-style incomparability semantics that only
+		// the generic path reproduces.
+		cp.fastKind = intDomain(pr.Val.Kind) && pr.Hi.Kind == pr.Val.Kind
+	case In:
+		if len(pr.Set) > setThreshold {
+			cp.set = make(map[uint64][]stream.Value, len(pr.Set))
+			for _, v := range pr.Set {
+				h := v.Hash()
+				cp.set[h] = append(cp.set[h], v)
+			}
+		}
+	}
+	return cp
+}
+
+// CompiledPred is the evaluation form of a single predicate outside any
+// Pattern: the same devirtualized integer-domain comparisons and
+// hash-indexed In-sets that Compile builds per bound attribute. op.Expr
+// embeds these as flat expression steps.
+type CompiledPred struct {
+	cp compiledPred
+}
+
+// CompilePred builds the evaluation form of pr.
+func CompilePred(pr Pred) CompiledPred {
+	return CompiledPred{cp: newCompiledPred(0, pr)}
+}
+
+// Matches reports whether v satisfies the predicate. Equivalent to
+// Pred.Matches; performs no allocation.
+func (c *CompiledPred) Matches(v stream.Value) bool {
+	return c.cp.matches(v)
 }
 
 // intDomain reports whether the kind orders by the Value.I field alone.

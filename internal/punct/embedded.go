@@ -69,18 +69,39 @@ func (s *Scheme) Observe(e Embedded) {
 	if e.Pattern.Arity() != s.arity {
 		return
 	}
-	bound := e.Pattern.Bound()
-	if len(bound) != 1 {
+	// Inline single-bound-attribute scan: this runs per punctuation per
+	// guard table, so it must not allocate (Pattern.Bound builds a slice).
+	i := -1
+	for a := 0; a < s.arity; a++ {
+		if e.Pattern.Pred(a).IsWild() {
+			continue
+		}
+		if i >= 0 {
+			return // multi-attribute: recorded nowhere, ignored for delimitation
+		}
+		i = a
+	}
+	if i < 0 {
 		return
 	}
-	i := bound[0]
 	s.seen[i]++
 	pr := e.Pattern.Pred(i)
 	switch pr.Op {
 	case LE, LT:
-		if s.watermark[i] == nil || widens(*s.watermark[i], pr) {
+		w := s.watermark[i]
+		switch {
+		case w == nil:
 			p := pr
 			s.watermark[i] = &p
+		case w.Op == pr.Op:
+			// Same-shape prefix bounds widen iff the new bound is strictly
+			// larger: one value comparison instead of two Implies walks
+			// (this path runs per punctuation per guard table).
+			if c, ok := pr.Val.Compare(w.Val); ok && c > 0 {
+				*w = pr // overwrite in place: no per-punct allocation
+			}
+		case widens(*w, pr):
+			*w = pr
 		}
 	case EQ:
 		s.closed[i] = append(s.closed[i], pr.Val)

@@ -118,6 +118,29 @@ func (c *Conn) PutTuple(t stream.Tuple) {
 	}
 }
 
+// PutTuples appends a run of tuples, filling the current page chunk by
+// chunk: the capacity check and flush decision run once per page of room
+// instead of once per tuple. Equivalent to calling PutTuple on each tuple
+// in order.
+func (c *Conn) PutTuples(ts []stream.Tuple) {
+	c.tuples.Add(int64(len(ts)))
+	for len(ts) > 0 {
+		room := c.opts.PageSize - c.cur.Len()
+		if room <= 0 {
+			c.Flush()
+			continue
+		}
+		if room > len(ts) {
+			room = len(ts)
+		}
+		c.cur.AppendTuples(ts[:room])
+		ts = ts[room:]
+	}
+	if c.cur.Full(c.opts.PageSize) {
+		c.Flush()
+	}
+}
+
 // PutPunct appends embedded punctuation. Punctuation flushes the page
 // (unless FlushOnPunct is disabled) so that progress information is never
 // stuck behind a partially-filled page.

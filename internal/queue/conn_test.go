@@ -177,3 +177,101 @@ func TestPageHelpers(t *testing.T) {
 		t.Error("reset")
 	}
 }
+
+// drainPages reads all pages until EOS, copying each page's items so the
+// comparison survives any later page recycling.
+func drainPages(c *Conn) [][]Item {
+	var pages [][]Item
+	for {
+		p, ok := c.Recv()
+		if !ok {
+			return pages
+		}
+		pages = append(pages, append([]Item(nil), p.Items...))
+	}
+}
+
+// TestPutTuplesEquivalence pins the chunked-append contract: PutTuples must
+// produce the identical page stream — same items, same page boundaries — as
+// calling PutTuple on each tuple in order, across page sizes and run shapes
+// (shorter than a page, exactly a page, spanning several, landing on a
+// partially-filled page after a punctuation flush).
+func TestPutTuplesEquivalence(t *testing.T) {
+	for _, ps := range []int{1, 2, 3, 4, 64} {
+		for _, runs := range [][]int{{1}, {5}, {64}, {65}, {200}, {3, 1, 7}, {64, 64}, {100, 29, 2}} {
+			mkBatches := func() [][]stream.Tuple {
+				v := int64(0)
+				out := make([][]stream.Tuple, len(runs))
+				for r, n := range runs {
+					out[r] = make([]stream.Tuple, n)
+					for i := range out[r] {
+						out[r][i] = tupleOf(v)
+						v++
+					}
+				}
+				return out
+			}
+			single := New(Options{PageSize: ps, FlushOnPunct: true})
+			go func() {
+				for r, batch := range mkBatches() {
+					for _, tp := range batch {
+						single.PutTuple(tp)
+					}
+					if r%2 == 0 { // leave a partially-filled page behind sometimes
+						single.PutPunct(punctLE(int64(r)))
+					}
+				}
+				single.CloseSend()
+			}()
+			want := drainPages(single)
+
+			batched := New(Options{PageSize: ps, FlushOnPunct: true})
+			go func() {
+				for r, batch := range mkBatches() {
+					batched.PutTuples(batch)
+					if r%2 == 0 {
+						batched.PutPunct(punctLE(int64(r)))
+					}
+				}
+				batched.CloseSend()
+			}()
+			got := drainPages(batched)
+
+			if !pagesEqual(want, got) {
+				t.Fatalf("page=%d runs=%v: page streams diverge: %d vs %d pages",
+					ps, runs, len(want), len(got))
+			}
+			if single.Stats().Tuples != batched.Stats().Tuples {
+				t.Fatalf("page=%d runs=%v: tuple counters diverge", ps, runs)
+			}
+		}
+	}
+}
+
+func pagesEqual(a, b [][]Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			x, y := a[i][j], b[i][j]
+			if x.Kind != y.Kind {
+				return false
+			}
+			switch x.Kind {
+			case ItemTuple:
+				if x.Tuple.At(0).AsInt() != y.Tuple.At(0).AsInt() {
+					return false
+				}
+			case ItemPunct:
+				if x.Punct.String() != y.Punct.String() {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -103,6 +103,25 @@ func (p *Page) AppendTuple(t stream.Tuple) {
 	slot.Punct = nil
 }
 
+// AppendTuples adds a run of tuple items, sizing the slice once and writing
+// slots directly — no per-tuple capacity check when room allows.
+func (p *Page) AppendTuples(ts []stream.Tuple) {
+	n := len(p.Items)
+	if n+len(ts) <= cap(p.Items) {
+		p.Items = p.Items[:n+len(ts)]
+		for i := range ts {
+			slot := &p.Items[n+i]
+			slot.Kind = ItemTuple
+			slot.Tuple = ts[i]
+			slot.Punct = nil
+		}
+		return
+	}
+	for _, t := range ts {
+		p.AppendTuple(t)
+	}
+}
+
 // AppendPunct adds a punctuation item.
 func (p *Page) AppendPunct(e *punct.Embedded) {
 	n := len(p.Items)
