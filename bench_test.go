@@ -28,6 +28,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/work"
 )
@@ -360,8 +361,9 @@ func BenchmarkJoinProbe(b *testing.B) {
 
 // runFusedPipeline builds the stateless hot path source → select → project
 // → map → sink, optionally compiled (Builder.Compile fuses the three
-// stateless stages into one flat kernel), and runs it to completion.
-func runFusedPipeline(b *testing.B, items []queue.Item, fused bool) {
+// stateless stages into one flat kernel) and optionally attached to a
+// telemetry sink (nil = uninstrumented), and runs it to completion.
+func runFusedPipeline(b *testing.B, items []queue.Item, fused bool, tel *telemetry.Telemetry) {
 	b.Helper()
 	bld := plan.New()
 	src := &exec.SliceSource{SourceName: "src", Schema: gen.TrafficSchema, Items: items, BatchSize: 256}
@@ -381,6 +383,9 @@ func runFusedPipeline(b *testing.B, items []queue.Item, fused bool) {
 	if fused {
 		bld.Compile()
 	}
+	if tel != nil {
+		bld.EnableTelemetry(tel)
+	}
 	if err := bld.Run(); err != nil {
 		b.Fatal(err)
 	}
@@ -398,6 +403,22 @@ func BenchmarkFusedPipeline(b *testing.B) {
 	// re-projected by every stateless op; fused it crosses two and is
 	// relayed by one kernel pass.
 	const n = 100_000
+	items := pipelineItems(n)
+	for _, fused := range []bool{true, false} {
+		b.Run(fmt.Sprintf("fused=%v", fused), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runFusedPipeline(b, items, fused, nil)
+			}
+			b.ReportMetric(n, "tuples/op")
+		})
+	}
+}
+
+// pipelineItems builds the shared punctuated benchmark stream: n tuples
+// with a progress punctuation on ts every 50.
+func pipelineItems(n int) []queue.Item {
 	items := make([]queue.Item, 0, n+n/50)
 	for i := 0; i < n; i++ {
 		items = append(items, queue.TupleItem(stream.NewTuple(
@@ -408,12 +429,31 @@ func BenchmarkFusedPipeline(b *testing.B) {
 				punct.OnAttr(4, 2, punct.Le(stream.TimeMicros(int64(i)*1000))))))
 		}
 	}
-	for _, fused := range []bool{true, false} {
-		b.Run(fmt.Sprintf("fused=%v", fused), func(b *testing.B) {
+	return items
+}
+
+// BenchmarkInstrumentedPipeline is the telemetry acceptance benchmark: the
+// compiled hot-path pipeline with a metrics registry attached
+// (telemetry=true) against the bare twin. The counters batch at page
+// granularity (exec/runner.go flushPageStats), so the instrumented variant
+// must stay within 5% of uninstrumented; cmd/benchall records both into
+// BENCH_pipeline.json and the delta is the regression gate.
+func BenchmarkInstrumentedPipeline(b *testing.B) {
+	const n = 100_000
+	items := pipelineItems(n)
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("telemetry=%v", on), func(b *testing.B) {
+			// One long-lived sink outside the timed loop, as deployed: the
+			// measured delta is the steady-state counter cost, not the
+			// one-time ring allocation of telemetry.New.
+			var tel *telemetry.Telemetry
+			if on {
+				tel = telemetry.New()
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				runFusedPipeline(b, items, fused)
+				runFusedPipeline(b, items, true, tel)
 			}
 			b.ReportMetric(n, "tuples/op")
 		})

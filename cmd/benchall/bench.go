@@ -16,6 +16,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/work"
 )
 
@@ -77,13 +78,30 @@ func writeBenchJSON(path, label string, fuse bool) error {
 	fusedNs := map[bool]float64{}
 	for _, fused := range variants {
 		name := fmt.Sprintf("BenchmarkFusedPipeline/fused=%v", fused)
-		ns := measureFusedPipeline(fused, n)
+		ns := measureFusedPipeline(fused, false, n)
 		fusedNs[fused] = ns
 		results[name] = benchResult{NsPerOp: ns, TuplesPerOp: n}
 		fmt.Printf("%-42s %12.0f ns/op\n", name, ns)
 	}
 	if fusedNs[true] > 0 {
 		fmt.Printf("%-42s %12.2fx (≥ 2x wanted)\n", "fusion speedup over unfused twin", fusedNs[false]/fusedNs[true])
+	}
+
+	// Telemetry overhead: the compiled pipeline with a live metrics registry
+	// attached against the bare twin (ISSUE 8's acceptance bar: within 5%;
+	// counters batch at page granularity, so the delta should sit in the
+	// noise floor).
+	telNs := map[bool]float64{}
+	for _, on := range []bool{true, false} {
+		name := fmt.Sprintf("BenchmarkInstrumentedPipeline/telemetry=%v", on)
+		ns := measureFusedPipeline(true, on, n)
+		telNs[on] = ns
+		results[name] = benchResult{NsPerOp: ns, TuplesPerOp: n}
+		fmt.Printf("%-42s %12.0f ns/op\n", name, ns)
+	}
+	if telNs[false] > 0 {
+		fmt.Printf("%-42s %+12.2f%% (within 5%% wanted)\n", "telemetry overhead over bare twin",
+			100*(telNs[true]-telNs[false])/telNs[false])
 	}
 
 	// Partitioned-aggregate scaling: pipeline with Aggregate parallelized
@@ -198,9 +216,10 @@ func measurePipeline(pageSize, n int) float64 {
 
 // measureFusedPipeline times the stateless hot path source → select →
 // project → map → sink over n tuples (progress punctuation every 50, as in
-// BenchmarkFusedPipeline), optionally compiled with Builder.Compile, and
+// BenchmarkFusedPipeline), optionally compiled with Builder.Compile and
+// optionally attached to one long-lived telemetry sink (as deployed), and
 // returns the best-of-3 wall time in nanoseconds.
-func measureFusedPipeline(fused bool, n int) float64 {
+func measureFusedPipeline(fused, instrumented bool, n int) float64 {
 	schema := gen.TrafficSchema
 	items := make([]queue.Item, 0, n+n/50)
 	for i := 0; i < n; i++ {
@@ -218,6 +237,10 @@ func measureFusedPipeline(fused bool, n int) float64 {
 		keep[i] = schema.Field(i).Name
 		outs[i] = op.Carry(keep[i])
 	}
+	var tel *telemetry.Telemetry
+	if instrumented {
+		tel = telemetry.New()
+	}
 	best := float64(0)
 	for rep := 0; rep < 3; rep++ {
 		bld := plan.New()
@@ -231,6 +254,9 @@ func measureFusedPipeline(fused bool, n int) float64 {
 		out.Into(sink)
 		if fused {
 			bld.Compile()
+		}
+		if tel != nil {
+			bld.EnableTelemetry(tel)
 		}
 		start := time.Now()
 		if err := bld.Run(); err != nil {

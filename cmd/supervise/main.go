@@ -40,6 +40,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -54,6 +55,7 @@ import (
 	"repro/internal/remote"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/work"
 )
@@ -83,6 +85,7 @@ type options struct {
 	seed         uint64
 	fuzzSeeds    int
 	fuzzTime     time.Duration
+	telemetry    string
 }
 
 // chaosPlan derives this run's fault schedule (nil when chaos is off). The
@@ -120,6 +123,7 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "fuzz: base seed; schedules seed..seed+fuzz-seeds-1 run per mode")
 	flag.IntVar(&o.fuzzSeeds, "fuzz-seeds", 4, "fuzz: seeds per mode")
 	flag.DurationVar(&o.fuzzTime, "fuzz-time", 0, "fuzz: stop starting new seeds after this long (0 = no cap)")
+	flag.StringVar(&o.telemetry, "telemetry-addr", "", "serve /metrics, /statusz, /epochz, /tracez and pprof on this address (single child and dist coordinator; empty = off)")
 	flag.Parse()
 	if o.dir == "" && !o.fuzz {
 		fmt.Fprintln(os.Stderr, "supervise: -dir is required")
@@ -144,6 +148,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "supervise:", err)
 		os.Exit(1)
 	}
+}
+
+// logEvent writes one structured log line: a stable message prefix (CI and
+// the integration tests grep these) followed by key=value fields. Values
+// containing whitespace are quoted. The RESULTS digest line bypasses this —
+// its format is the cross-run equality witness and stays byte-identical
+// (digestLine).
+func logEvent(msg string, kvs ...any) {
+	var sb strings.Builder
+	sb.WriteString(msg)
+	for i := 0; i+1 < len(kvs); i += 2 {
+		v := fmt.Sprint(kvs[i+1])
+		if strings.ContainsAny(v, " \t") {
+			v = strconv.Quote(v)
+		}
+		fmt.Fprintf(&sb, " %v=%s", kvs[i], v)
+	}
+	fmt.Println(sb.String())
+}
+
+// serveTelemetry attaches a telemetry sink to the plan and starts the
+// introspection server when -telemetry-addr is set; the returned closer is
+// a no-op otherwise. The control-plane tracer is switched on: supervised
+// runs are demos and debugging sessions, where /tracez earning its keep
+// beats the (bounded, off-hot-path) recording cost.
+func serveTelemetry(o options, role string, b *plan.Builder) (func(), error) {
+	if o.telemetry == "" {
+		return func() {}, nil
+	}
+	t := telemetry.New()
+	t.Tracer.SetEnabled(true)
+	b.EnableTelemetry(t)
+	srv, err := telemetry.Serve(o.telemetry, t)
+	if err != nil {
+		return nil, err
+	}
+	logEvent("TELEMETRY serving", "addr", srv.Addr(), "role", role, "seed", o.chaosSeed, "incarnation", o.chaosInc)
+	return func() { srv.Close() }, nil
 }
 
 // backoff is the supervisor's restart pacing: exponential on consecutive
@@ -171,7 +213,7 @@ func (b *backoff) wait(ran time.Duration) {
 	if ran >= healthyRun {
 		b.cur = b.base
 	}
-	fmt.Printf("SUPERVISOR backing off %v before restart\n", b.cur)
+	logEvent("SUPERVISOR backing off before restart", "delay", b.cur)
 	time.Sleep(b.cur)
 	if b.cur *= 2; b.cur > 5*time.Second {
 		b.cur = 5 * time.Second
@@ -199,11 +241,16 @@ func (o options) childArgs(role string) []string {
 			"-read-timeout", o.readTimeout.String(),
 		)
 	}
+	// Incarnation always rides along (it labels the structured logs even
+	// without chaos); the schedule seed only when chaos is on.
+	args = append(args, "-chaos-incarnation", fmt.Sprint(o.chaosInc))
 	if o.chaosSeed != 0 {
-		args = append(args,
-			"-chaos-seed", fmt.Sprint(o.chaosSeed),
-			"-chaos-incarnation", fmt.Sprint(o.chaosInc),
-		)
+		args = append(args, "-chaos-seed", fmt.Sprint(o.chaosSeed))
+	}
+	// The follower never gets the telemetry address: both halves of the dist
+	// pair share one flag set and two listeners on one address would collide.
+	if o.telemetry != "" && role != "follow" {
+		args = append(args, "-telemetry-addr", o.telemetry)
 	}
 	return args
 }
@@ -228,12 +275,14 @@ func runSupervisor(o options) error {
 		start := time.Now()
 		err := cmd.Run()
 		if err == nil {
-			fmt.Printf("SUPERVISOR completed restarts=%d\n", restarts)
+			logEvent(fmt.Sprintf("SUPERVISOR completed restarts=%d", restarts),
+				"role", "supervisor", "seed", o.chaosSeed)
 			return nil
 		}
 		ran := time.Since(start)
-		fmt.Printf("SUPERVISOR child exited after %v (%v); restarting from latest checkpoint\n",
-			ran.Round(time.Millisecond), err)
+		logEvent("SUPERVISOR child exited; restarting from latest checkpoint",
+			"role", "supervisor", "seed", o.chaosSeed, "incarnation", restarts,
+			"ran", ran.Round(time.Millisecond), "err", err)
 		restarts++
 		if restarts > o.maxRestarts {
 			return fmt.Errorf("gave up after %d restarts", o.maxRestarts)
@@ -294,12 +343,14 @@ func runSupervisorDist(o options) error {
 		}
 		err2 := <-done
 		if err1 == nil && err2 == nil {
-			fmt.Printf("SUPERVISOR completed restarts=%d\n", restarts)
+			logEvent(fmt.Sprintf("SUPERVISOR completed restarts=%d", restarts),
+				"role", "supervisor", "seed", o.chaosSeed)
 			return nil
 		}
 		ran := time.Since(start)
-		fmt.Printf("SUPERVISOR pair exited after %v (%v / %v); restarting both from latest committed manifest\n",
-			ran.Round(time.Millisecond), err1, err2)
+		logEvent("SUPERVISOR pair exited; restarting both from latest committed manifest",
+			"role", "supervisor", "seed", o.chaosSeed, "incarnation", restarts,
+			"ran", ran.Round(time.Millisecond), "err1", err1, "err2", err2)
 		restarts++
 		if restarts > o.maxRestarts {
 			return fmt.Errorf("gave up after %d restarts", o.maxRestarts)
@@ -347,7 +398,8 @@ func armKills(p *chaos.Plan, part string, inc int, progress func() (int64, bool)
 				time.Sleep(5 * time.Millisecond)
 				if v, ok := progress(); ok && v >= f.Epoch {
 					time.Sleep(f.Delay)
-					fmt.Printf("CHAOS firing %s at progress %d (kill -9)\n", f, v)
+					logEvent("CHAOS firing kill -9", "fault", f, "progress", v,
+						"role", part, "incarnation", inc)
 					syscall.Kill(os.Getpid(), syscall.SIGKILL)
 				}
 			}
@@ -359,7 +411,7 @@ func armKills(p *chaos.Plan, part string, inc int, progress func() (int64, bool)
 // corrupt and were skipped in favor of an older intact cut.
 func logSkips(who string, skipped []snapshot.Fallback) {
 	for _, sk := range skipped {
-		fmt.Printf("%s restore degraded: skipped corrupt epoch %d: %v\n", who, sk.Epoch, sk.Err)
+		logEvent(who+" restore degraded: skipped corrupt epoch", "epoch", sk.Epoch, "err", sk.Err)
 	}
 }
 
@@ -376,6 +428,11 @@ func runChild(o options) error {
 	defer async.Close()
 
 	b, sink := buildPlan(o)
+	stopTel, err := serveTelemetry(o, "child", b)
+	if err != nil {
+		return err
+	}
+	defer stopTel()
 	restored, skipped, err := b.RestoreLatestIntact(chain)
 	if err != nil {
 		return err
@@ -383,9 +440,10 @@ func runChild(o options) error {
 	logSkips("CHILD", skipped)
 	if restored {
 		ep, _, _ := chain.LatestEpoch()
-		fmt.Printf("CHILD restored from epoch %d\n", ep)
+		logEvent(fmt.Sprintf("CHILD restored from epoch %d", ep),
+			"role", "child", "seed", o.chaosSeed, "incarnation", o.chaosInc, "epoch", ep)
 	} else {
-		fmt.Println("CHILD cold start")
+		logEvent("CHILD cold start", "role", "child", "seed", o.chaosSeed, "incarnation", o.chaosInc)
 	}
 
 	chainProgress := func() (int64, bool) {
@@ -454,6 +512,11 @@ func runChildCoord(o options) error {
 	defer ctrl.Close()
 
 	b, _ := buildCoordPlan(o, data)
+	stopTel, err := serveTelemetry(o, "coord", b)
+	if err != nil {
+		return err
+	}
+	defer stopTel()
 
 	dc, err := b.DistCoordinate("coord", chain, log)
 	if err != nil {
@@ -466,15 +529,16 @@ func runChildCoord(o options) error {
 	}
 	logSkips("COORD", dc.Degraded())
 	if restored {
-		fmt.Printf("COORD restored from committed epoch %d\n", dc.CommittedEpoch())
+		logEvent(fmt.Sprintf("COORD restored from committed epoch %d", dc.CommittedEpoch()),
+			"role", "coord", "seed", o.chaosSeed, "incarnation", o.chaosInc, "epoch", dc.CommittedEpoch())
 	} else {
-		fmt.Println("COORD cold start")
+		logEvent("COORD cold start", "role", "coord", "seed", o.chaosSeed, "incarnation", o.chaosInc)
 	}
 	part, err := dc.AddFollower(ctrl)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("COORD follower %q joined\n", part)
+	logEvent("COORD follower joined", "part", part, "role", "coord")
 
 	commitProgress := func() (int64, bool) {
 		m, ok, err := log.Latest()
@@ -495,12 +559,13 @@ func runChildCoord(o options) error {
 	if chkErr != nil {
 		// Abandoned epochs are expected around a follower crash; after a
 		// clean joint completion they indicate a real coordination fault.
-		fmt.Printf("COORD checkpoint maintenance: %v\n", chkErr)
+		logEvent("COORD checkpoint maintenance", "role", "coord", "err", chkErr)
 	}
 	if err := async.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("COORD done committed=%d\n", dc.CommittedEpoch())
+	logEvent("COORD done", "role", "coord", "seed", o.chaosSeed,
+		"incarnation", o.chaosInc, "committed", dc.CommittedEpoch())
 	return nil
 }
 
@@ -539,9 +604,10 @@ func runChildFollow(o options) error {
 		return err
 	}
 	if restored {
-		fmt.Printf("FOLLOW restored from committed epoch %d\n", df.CommittedEpoch())
+		logEvent(fmt.Sprintf("FOLLOW restored from committed epoch %d", df.CommittedEpoch()),
+			"role", "follow", "seed", o.chaosSeed, "incarnation", o.chaosInc, "epoch", df.CommittedEpoch())
 	} else {
-		fmt.Println("FOLLOW cold start")
+		logEvent("FOLLOW cold start", "role", "follow", "seed", o.chaosSeed, "incarnation", o.chaosInc)
 	}
 	armKills(cp, "follow", o.chaosInc, func() (int64, bool) {
 		ep, ok, err := chain.LatestEpoch()
@@ -612,7 +678,7 @@ func crashWhen(progress func() (int64, bool), n int) {
 	for {
 		time.Sleep(5 * time.Millisecond)
 		if v, ok := progress(); ok && v >= int64(n) {
-			fmt.Printf("CHILD self-destructing at epoch %d (kill -9)\n", v)
+			logEvent("CHILD self-destructing (kill -9)", "epoch", v)
 			syscall.Kill(os.Getpid(), syscall.SIGKILL)
 		}
 	}

@@ -306,6 +306,7 @@ func (g *Graph) trigger(forceEpoch int64, mode snapshot.CaptureMode, chain *snap
 		c.cuts[n.id] = cut
 	}
 	g.chkWG.Add(1)
+	g.recordEpoch("trigger", c.epoch, "", 0, nil)
 	if len(c.pending) == 0 {
 		g.lastCapEpoch = c.epoch
 		close(c.captured)
@@ -348,6 +349,7 @@ func (g *Graph) cancelCheckpoint(c *inflight, cause error) {
 		Epoch: c.epoch, Base: c.base, Done: false, BarrierHold: c.hold,
 		Err: fmt.Errorf("exec: checkpoint %d cancelled: %w", c.epoch, cause),
 	})
+	g.recordEpoch("abandon", c.epoch, "", c.hold, cause)
 	close(c.done)
 	g.chkWG.Done()
 }
@@ -365,6 +367,8 @@ func (g *Graph) supersedeLocked(newer int64) {
 		Epoch: c.epoch, Base: c.base, Done: false, BarrierHold: c.hold,
 		Err: fmt.Errorf("exec: checkpoint %d superseded by remote epoch %d before completing", c.epoch, newer),
 	})
+	g.recordEpoch("abandon", c.epoch, "", c.hold,
+		fmt.Errorf("superseded by remote epoch %d", newer))
 	close(c.done)
 	g.chkWG.Done()
 }
@@ -388,11 +392,15 @@ func (g *Graph) ackNode(id NodeID, epoch int64, cut nodeCut, err error, hold tim
 		c.hold = hold
 	}
 	c.cuts[id] = cut
+	g.recordEpoch("capture", epoch, g.nodes[id].name(), hold, err)
 	if len(c.pending) == 0 {
 		g.activeChk = nil
 		g.pendingChk.Store(nil)
 		g.lastCapEpoch = c.epoch
 		close(c.captured)
+		// Every node has cut: the barrier phase is over. hold is now the
+		// longest single-node capture — the checkpoint's pipeline stall.
+		g.recordEpoch("barrier-hold", epoch, "", c.hold, nil)
 		go g.finishCheckpoint(c)
 	}
 }
@@ -447,8 +455,10 @@ func (g *Graph) finishCheckpoint(c *inflight) {
 		}
 	}
 	encodeDur := time.Since(start)
+	g.recordEpoch("encode", c.epoch, "", encodeDur, err)
 	persisted := false
 	if err == nil && c.chain != nil {
+		persistStart := time.Now()
 		werr := func() error {
 			if _, perr := c.chain.Put(snap); perr != nil {
 				return perr
@@ -466,6 +476,7 @@ func (g *Graph) finishCheckpoint(c *inflight) {
 		} else {
 			persisted = true
 		}
+		g.recordEpoch("persist", c.epoch, "", time.Since(persistStart), werr)
 	}
 	g.chkMu.Lock()
 	if err == nil && c.abandoned {
@@ -485,6 +496,11 @@ func (g *Graph) finishCheckpoint(c *inflight) {
 		Epoch: c.epoch, Base: c.base, Done: true, Persisted: persisted,
 		Err: err, BarrierHold: c.hold, Encode: encodeDur, Bytes: bytes,
 	})
+	if err == nil {
+		g.recordEpoch("commit", c.epoch, "", 0, nil)
+	} else {
+		g.recordEpoch("fail", c.epoch, "", 0, err)
+	}
 	g.chkMu.Unlock()
 	c.result <- chkResult{snap: snap, err: err}
 }

@@ -266,8 +266,15 @@ func (dc *DistCoordinator) CheckpointOnce(mode snapshot.CaptureMode) (int64, err
 }
 
 // finishEpoch runs the ack/commit half for a locally finished epoch; stop
-// (may be nil) aborts the wait early on shutdown.
-func (dc *DistCoordinator) finishEpoch(epoch int64, stop <-chan struct{}) error {
+// (may be nil) aborts the wait early on shutdown. Each follower ack, the
+// manifest commit, and any abandonment are recorded into the graph's epoch
+// timeline on top of the local capture/persist events.
+func (dc *DistCoordinator) finishEpoch(epoch int64, stop <-chan struct{}) (err error) {
+	defer func() {
+		if err != nil {
+			dc.g.recordEpoch("abandon", epoch, dc.part, 0, err)
+		}
+	}()
 	st, ok := dc.g.CheckpointStatus(epoch)
 	switch {
 	case !ok:
@@ -302,6 +309,7 @@ func (dc *DistCoordinator) finishEpoch(epoch int64, stop <-chan struct{}) error 
 			}
 			delete(pending, a.part)
 			parts = append(parts, snapshot.DistPart{Part: a.part, Epoch: epoch, Chain: a.msg.Chain})
+			dc.g.recordEpoch("ack", epoch, a.part, 0, nil)
 		case <-timer.C:
 			missing := make([]string, 0, len(pending))
 			for part := range pending {
@@ -318,6 +326,7 @@ func (dc *DistCoordinator) finishEpoch(epoch int64, stop <-chan struct{}) error 
 	dc.mu.Lock()
 	dc.committed = epoch
 	dc.mu.Unlock()
+	dc.g.recordEpoch("commit", epoch, dc.part, 0, nil)
 	for _, p := range peers {
 		// Best-effort: a follower that misses the commit notice only delays
 		// its local retention; the durable manifest is the commit.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/queue"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // NodeID identifies a node added to a Graph.
@@ -34,6 +35,10 @@ type node struct {
 	// Wired during prepare():
 	inConns  []*queue.Conn // consumer side
 	outConns []*queue.Conn // producer side
+
+	// nm holds the node's hot-path telemetry counters; nil unless a
+	// telemetry sink is attached (telemetry.go).
+	nm *telemetry.NodeMetrics
 }
 
 func (n *node) name() string {
@@ -78,6 +83,9 @@ type Graph struct {
 	// labels annotates edges (e.g. "part=2/4" on partition edges); set any
 	// time before Run via LabelEdge.
 	labels map[edgeKey]string
+
+	// tel is the optional telemetry sink (telemetry.go); set before Run.
+	tel *telemetry.Telemetry
 
 	// Checkpoint coordination (checkpoint.go). chkMu guards the rare
 	// lifecycle events — checkpoint creation, node acks, node exits; the
@@ -248,7 +256,22 @@ type EdgeInfo struct {
 	Input    int
 	Label    string
 	Stats    queue.Stats
+	// Suppressed and PunctDropped report what the consumer did with the
+	// edge's traffic — tuples its guard tables suppressed and punctuation
+	// it could not relay — matching what fuse.Fused exposes per
+	// constituent. Populated only for consumers whose counters are
+	// scrape-safe atomics (Select/Project/Map and fused kernels).
+	Suppressed   int64
+	PunctDropped int64
+	// Depth is the number of pages currently buffered in the edge queue, a
+	// point-in-time backpressure gauge.
+	Depth int
 }
+
+// suppressionReporter / punctDropReporter are the consumer-side accounting
+// surfaces Edges discovers by assertion.
+type suppressionReporter interface{ SuppressedTuples() int64 }
+type punctDropReporter interface{ PunctDropped() int64 }
 
 // Edges returns every wired edge with its traffic counters, in node order.
 // Valid after Run (nil before prepare; counters all-zero before Run ends).
@@ -260,10 +283,18 @@ func (g *Graph) Edges() []EdgeInfo {
 				continue
 			}
 			k := edgeKey{n.id, o}
-			e := EdgeInfo{Producer: n.name(), Out: o, Label: g.labels[k], Stats: c.Stats()}
+			e := EdgeInfo{Producer: n.name(), Out: o, Label: g.labels[k], Stats: c.Stats(), Depth: c.Depth()}
 			if ref, ok := g.consumers[k]; ok {
 				e.Consumer = ref.node.name()
 				e.Input = ref.input
+				if ref.node.op != nil {
+					if s, ok := ref.node.op.(suppressionReporter); ok {
+						e.Suppressed = s.SuppressedTuples()
+					}
+					if p, ok := ref.node.op.(punctDropReporter); ok {
+						e.PunctDropped = p.PunctDropped()
+					}
+				}
 			} else {
 				e.Consumer = "?"
 			}
@@ -284,8 +315,8 @@ func (g *Graph) Report(w io.Writer) {
 			label = "  " + e.Label
 		}
 		st := e.Stats
-		fmt.Fprintf(w, "%s[%d] -> %-16s tuples=%-8d puncts=%-6d pages=%-6d punct-flushes=%-6d controls=%d%s\n",
-			e.Producer, e.Out, consumer, st.Tuples, st.Puncts, st.Pages, st.PunctFlushes, st.Controls, label)
+		fmt.Fprintf(w, "%s[%d] -> %-16s tuples=%-8d puncts=%-6d pages=%-6d punct-flushes=%-6d controls=%d suppressed=%d%s\n",
+			e.Producer, e.Out, consumer, st.Tuples, st.Puncts, st.Pages, st.PunctFlushes, st.Controls, e.Suppressed, label)
 	}
 }
 

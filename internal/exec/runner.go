@@ -9,6 +9,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 
 	"repro/internal/punct"
 )
@@ -21,6 +22,7 @@ func (g *Graph) Run() error {
 	if err := g.prepare(); err != nil {
 		return err
 	}
+	g.registerTelemetry()
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -128,6 +130,15 @@ type nodeRunner struct {
 
 	onFeedback func(int, core.Feedback) error
 
+	// Telemetry (telemetry.go): nm is the node's counter set (nil without a
+	// sink), trace the control-plane tracer (nil-safe). The pg* fields are
+	// the per-page tallies — plain ints bumped on the hot path and flushed
+	// into nm's atomics once per page, so instrumentation adds no per-tuple
+	// atomics and no allocations.
+	nm                                      *telemetry.NodeMetrics
+	trace                                   *telemetry.Tracer
+	pgTuples, pgPuncts, pgBatches, pgChecks int64
+
 	// Checkpoint state (see checkpoint.go): openInputs/inEOS track input
 	// liveness for barrier alignment; align is the in-progress alignment;
 	// lastCutEpoch is the newest epoch a source has cut.
@@ -154,6 +165,8 @@ func (r *nodeRunner) run() error {
 		r.ctrlEvery = DefaultControlInterval
 	}
 	r.batcher, _ = n.op.(TupleBatcher)
+	r.nm = n.nm
+	r.trace = r.graph.tracer()
 	r.shutdownOuts = newBitset(len(n.outConns))
 	r.ctrlCh = make(chan ctrlEvent, 4*len(n.outConns)+1)
 	// One buffered slot per input keeps single-input steady state from
@@ -396,16 +409,46 @@ func (r *nodeRunner) runOperator() error {
 			return err
 		}
 	}
+	// Deferred-item replay (alignment abandon) can tally outside a page.
+	r.flushPageStats()
 	return op.Close(r)
 }
 
 func (r *nodeRunner) processPage(ev inEvent) error {
+	err := r.pageLoop(ev)
+	r.flushPageStats()
+	return err
+}
+
+// flushPageStats moves the page-local telemetry tallies into the node's
+// atomic counters — a handful of uncontended adds per page, the same
+// batching cadence the K-item control recheck already established.
+func (r *nodeRunner) flushPageStats() {
+	if nm := r.nm; nm != nil {
+		if r.pgTuples != 0 {
+			nm.TuplesIn.Add(r.pgTuples)
+		}
+		if r.pgPuncts != 0 {
+			nm.PunctsIn.Add(r.pgPuncts)
+		}
+		if r.pgBatches != 0 {
+			nm.Batches.Add(r.pgBatches)
+		}
+		if r.pgChecks != 0 {
+			nm.Rechecks.Add(r.pgChecks)
+		}
+	}
+	r.pgTuples, r.pgPuncts, r.pgBatches, r.pgChecks = 0, 0, 0, 0
+}
+
+func (r *nodeRunner) pageLoop(ev inEvent) error {
 	items := ev.page.Items
 	for i := 0; i < len(items); i++ {
 		// Re-check control every K items so feedback overtakes
 		// pending tuples within a bounded window without paying
 		// a channel poll per tuple.
 		if i%r.ctrlEvery == 0 {
+			r.pgChecks++
 			if err := r.drainControl(r.onFeedback); err != nil {
 				return err
 			}
@@ -425,6 +468,11 @@ func (r *nodeRunner) processPage(ev inEvent) error {
 			}
 			if err := r.batcher.ProcessTupleBatch(ev.input, items[i:j], r); err != nil {
 				return err
+			}
+			r.pgTuples += int64(j - i)
+			r.pgBatches++
+			if r.nm != nil {
+				r.nm.BatchSize.Observe(int64(j - i))
 			}
 			i = j - 1
 			continue
@@ -457,8 +505,13 @@ func (r *nodeRunner) processItem(input int, it *queue.Item) error {
 	op := r.node.op
 	switch it.Kind {
 	case queue.ItemTuple:
+		r.pgTuples++
 		return op.ProcessTuple(input, it.Tuple, r)
 	case queue.ItemPunct:
+		r.pgPuncts++
+		if r.trace.Enabled() {
+			r.trace.Record("punct", r.node.name(), 0, it.Punct.Pattern.String())
+		}
 		return op.ProcessPunct(input, *it.Punct, r)
 	case queue.ItemEOS:
 		if err := op.ProcessEOS(input, r); err != nil {
@@ -511,6 +564,12 @@ func (r *nodeRunner) abandonAlignment() error {
 // aligning epoch was cancelled (newer arrival) or this barrier is a
 // cancelled epoch's leftover still draining (older arrival — dropped).
 func (r *nodeRunner) onBarrier(input int, epoch int64) error {
+	if r.nm != nil {
+		r.nm.BarriersIn.Add(1)
+	}
+	if r.trace.Enabled() {
+		r.trace.Record("barrier", r.node.name(), epoch, fmt.Sprintf("input %d", input))
+	}
 	if r.align != nil && r.align.epoch != epoch {
 		if epoch < r.align.epoch {
 			return nil
@@ -588,6 +647,12 @@ func (r *nodeRunner) drainControl(onFeedback func(int, core.Feedback) error) err
 func (r *nodeRunner) handleControl(ce ctrlEvent, onFeedback func(int, core.Feedback) error) error {
 	switch ce.msg.Kind {
 	case queue.CtrlFeedback:
+		if r.nm != nil {
+			r.nm.FeedbackIn.Add(1)
+		}
+		if r.trace.Enabled() {
+			r.trace.Record("feedback", r.node.name(), ce.msg.Feedback.Seq, ce.msg.Feedback.String())
+		}
 		return onFeedback(ce.output, ce.msg.Feedback)
 	case queue.CtrlShutdown:
 		r.shutdownOuts.set(ce.output)
@@ -633,6 +698,9 @@ func (r *nodeRunner) EmitPunctTo(port int, e punct.Embedded) {
 // SendFeedback implements Context: feedback goes to the producer feeding
 // the given input port, against the data direction.
 func (r *nodeRunner) SendFeedback(input int, f core.Feedback) {
+	if r.nm != nil {
+		r.nm.FeedbackOut.Add(1)
+	}
 	r.node.inConns[input].SendFeedback(f)
 }
 

@@ -13,10 +13,10 @@ import (
 	"repro/internal/archive"
 	"repro/internal/exec"
 	"repro/internal/gen"
-	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/queue"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/work"
 )
 
@@ -74,7 +74,7 @@ type ImputationResult struct {
 	DroppedAtPace int64 // dirty tuples dropped late at PACE
 	LateAtSink    int64 // dirty tuples that arrived but lagged > tolerance
 	FeedbackSent  int64
-	Series        *metrics.Series
+	Series        *telemetry.Series
 }
 
 // UselessFraction is the experiment's headline metric: the fraction of
@@ -145,13 +145,13 @@ func RunImputation(cfg ImputationConfig) (ImputationResult, error) {
 		FeedbackSlack: cfg.ToleranceMicros / 4,
 	}
 
-	series := metrics.NewSeries()
+	series := telemetry.NewSeries()
 	sink := exec.NewCollector("speedmap-sink", gen.TrafficSchema)
 	sink.Discard = true
 	sink.OnTuple = func(t stream.Tuple) {
-		class := metrics.Clean
+		class := telemetry.Clean
 		if t.Seq%2 == 1 { // odd seq = dirty path (gen alternates)
-			class = metrics.Imputed
+			class = telemetry.Imputed
 		}
 		series.Observe(t.Seq, class, t.At(2).I)
 	}
@@ -171,7 +171,7 @@ func RunImputation(cfg ImputationConfig) (ImputationResult, error) {
 	pc := g.Add(pace, exec.From(cl), exec.From(im))
 	g.Add(sink, exec.From(pc))
 
-	timer := metrics.StartTimer()
+	timer := telemetry.StartTimer()
 	if err := g.Run(); err != nil {
 		return res, fmt.Errorf("imputation run: %w", err)
 	}
@@ -183,7 +183,7 @@ func RunImputation(cfg ImputationConfig) (ImputationResult, error) {
 	res.SkippedAtImp = skipped
 	paceStats := pace.InputStats()
 	res.DroppedAtPace = paceStats[1].Dropped
-	res.LateAtSink = int64(series.LateCount(metrics.Imputed, cfg.ToleranceMicros))
+	res.LateAtSink = int64(series.LateCount(telemetry.Imputed, cfg.ToleranceMicros))
 	res.ImputedOK = res.ImputedTotal - res.SkippedAtImp - res.DroppedAtPace - res.LateAtSink
 	res.FeedbackSent = pace.FeedbackSent()
 	res.Series = series
@@ -220,6 +220,6 @@ func (r ImputationResult) Report(w io.Writer) {
 	fmt.Fprintf(w, "  useless fraction        %.0f%%  (paper: 97%% without, 29%% with feedback)\n",
 		100*r.UselessFraction())
 	fmt.Fprintf(w, "  feedback punctuations   %d\n", r.FeedbackSent)
-	fmt.Fprintf(w, "  clean output pattern    |%s|\n", r.Series.Sparkline(metrics.Clean, 40))
-	fmt.Fprintf(w, "  imputed output pattern  |%s|\n", r.Series.Sparkline(metrics.Imputed, 40))
+	fmt.Fprintf(w, "  clean output pattern    |%s|\n", r.Series.Sparkline(telemetry.Clean, 40))
+	fmt.Fprintf(w, "  imputed output pattern  |%s|\n", r.Series.Sparkline(telemetry.Imputed, 40))
 }

@@ -9,10 +9,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gen"
-	"repro/internal/metrics"
 	"repro/internal/op"
 	"repro/internal/punct"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/work"
 )
@@ -253,7 +253,7 @@ func RunSpeedmap(cfg SpeedmapConfig) (SpeedmapResult, error) {
 	a := g.Add(avg, exec.From(q))
 	g.Add(view, exec.From(a))
 
-	timer := metrics.StartTimer()
+	timer := telemetry.StartTimer()
 	if err := g.Run(); err != nil {
 		return res, fmt.Errorf("speedmap run %v: %w", cfg.Scheme, err)
 	}

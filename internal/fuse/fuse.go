@@ -22,6 +22,7 @@ package fuse
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/punct"
 	"repro/internal/queue"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/work"
 )
 
@@ -81,7 +83,10 @@ type step struct {
 	responses []core.Response
 	meter     *work.Meter
 
-	nIn, nOut, suppressed, punctDropped int64
+	// Counters are atomics so /metrics can scrape per-constituent work
+	// while the plan runs; the batch path still adds once per batch per
+	// step, preserving the batched-counters contract (DESIGN.md §2.3).
+	nIn, nOut, suppressed, punctDropped atomic.Int64
 }
 
 // Fused runs a chain of stateless operators as one exec node.
@@ -94,6 +99,9 @@ type Fused struct {
 	// batches (operators are single-goroutine) so the steady state is
 	// allocation-free. Transient within one call — never checkpointed.
 	scratch []stream.Tuple
+
+	// Kernel-level feedback accounting (feedback is off the tuple path).
+	fbReceived, fbExploited, fbForwarded atomic.Int64
 }
 
 // New builds a fused kernel from a chain of operators (upstream→downstream).
@@ -121,8 +129,9 @@ func New(ops []exec.Operator) (*Fused, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fuse: project %q: %v", o.Name(), err)
 			}
-			f.steps = append(f.steps, newMappingStep(kProject, o.Name(), o.Mode, o.Propagate,
-				o.In, outS, idxs, nil))
+			f.steps = append(f.steps, step{})
+			initMappingStep(&f.steps[len(f.steps)-1], kProject, o.Name(), o.Mode, o.Propagate,
+				o.In, outS, idxs, nil)
 		case *op.Map:
 			if err := o.Init(); err != nil {
 				return nil, fmt.Errorf("fuse: %v", err)
@@ -137,8 +146,9 @@ func New(ops []exec.Operator) (*Fused, error) {
 					fns[i] = a.Fn
 				}
 			}
-			f.steps = append(f.steps, newMappingStep(kMap, o.Name(), o.Mode, o.Propagate,
-				o.In, o.OutSchemas()[0], toInput, fns))
+			f.steps = append(f.steps, step{})
+			initMappingStep(&f.steps[len(f.steps)-1], kMap, o.Name(), o.Mode, o.Propagate,
+				o.In, o.OutSchemas()[0], toInput, fns)
 		default:
 			return nil, fmt.Errorf("fuse: %q (%T) is not a fusible operator", o.Name(), o)
 		}
@@ -149,13 +159,13 @@ func New(ops []exec.Operator) (*Fused, error) {
 	return f, nil
 }
 
-func newMappingStep(kind stepKind, name string, mode op.FeedbackMode, propagate bool,
-	in, out stream.Schema, toInput []int, fns []func(stream.Tuple) stream.Value) step {
-	st := step{
-		kind: kind, name: name, mode: mode, propagate: propagate,
-		out: out, toInput: toInput, fns: fns,
-		attrMap: core.AttrMap{InputArity: in.Arity(), ToInput: append([]int(nil), toInput...)},
-	}
+// initMappingStep fills st in place (step holds atomics, so it must not be
+// returned or copied by value).
+func initMappingStep(st *step, kind stepKind, name string, mode op.FeedbackMode, propagate bool,
+	in, out stream.Schema, toInput []int, fns []func(stream.Tuple) stream.Value) {
+	st.kind, st.name, st.mode, st.propagate = kind, name, mode, propagate
+	st.out, st.toInput, st.fns = out, toInput, fns
+	st.attrMap = core.AttrMap{InputArity: in.Arity(), ToInput: append([]int(nil), toInput...)}
 	st.identity = len(toInput) == in.Arity()
 	for i, src := range toInput {
 		if src != i {
@@ -173,7 +183,6 @@ func newMappingStep(kind stepKind, name string, mode op.FeedbackMode, propagate 
 			st.inv[src] = o
 		}
 	}
-	return st
 }
 
 // Name implements exec.Operator.
@@ -205,11 +214,11 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	cur := t
 	for i := range f.steps {
 		st := &f.steps[i]
-		st.nIn++
+		st.nIn.Add(1)
 		switch st.kind {
 		case kSelect:
 			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
-				st.suppressed++
+				st.suppressed.Add(1)
 				return nil
 			}
 			if st.cost > 0 {
@@ -226,7 +235,7 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 				cur = cur.Project(st.toInput)
 			}
 			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
-				st.suppressed++
+				st.suppressed.Add(1)
 				return nil
 			}
 		case kMap:
@@ -242,11 +251,11 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 				cur = stream.Tuple{Values: vals, Seq: cur.Seq}
 			}
 			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
-				st.suppressed++
+				st.suppressed.Add(1)
 				return nil
 			}
 		}
-		st.nOut++
+		st.nOut.Add(1)
 	}
 	ctx.Emit(cur)
 	return nil
@@ -265,12 +274,12 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 	}
 	for si := range f.steps {
 		st := &f.steps[si]
-		st.nIn += int64(len(buf))
+		st.nIn.Add(int64(len(buf)))
 		guarded := st.mode != op.FeedbackIgnore && st.guards.Active() > 0
 		if st.kind != kSelect && st.identity && !guarded {
 			// Identity projection/rename with no active guards: every tuple
 			// passes through unchanged, so only the counters move.
-			st.nOut += int64(len(buf))
+			st.nOut.Add(int64(len(buf)))
 			continue
 		}
 		out := buf[:0] // in-place filter: writes trail reads
@@ -278,7 +287,7 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 		case kSelect:
 			for _, t := range buf {
 				if guarded && st.guards.Suppress(t) {
-					st.suppressed++
+					st.suppressed.Add(1)
 					continue
 				}
 				if st.cost > 0 {
@@ -298,7 +307,7 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 					t = t.Project(st.toInput)
 				}
 				if guarded && st.guards.Suppress(t) {
-					st.suppressed++
+					st.suppressed.Add(1)
 					continue
 				}
 				out = append(out, t)
@@ -317,13 +326,13 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 					t = stream.Tuple{Values: vals, Seq: t.Seq}
 				}
 				if guarded && st.guards.Suppress(t) {
-					st.suppressed++
+					st.suppressed.Add(1)
 					continue
 				}
 				out = append(out, t)
 			}
 		}
-		st.nOut += int64(len(out))
+		st.nOut.Add(int64(len(out)))
 		buf = out
 	}
 	if be, ok := ctx.(exec.BatchEmitter); ok {
@@ -360,7 +369,7 @@ func (f *Fused) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 			return st.inv[in]
 		}, st.out.Arity())
 		if !ok {
-			st.punctDropped++
+			st.punctDropped.Add(1)
 			return nil
 		}
 		cur = punct.NewEmbedded(projected)
@@ -378,6 +387,7 @@ func (f *Fused) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 // Project/Map. The pattern is re-expressed hop by hop; it leaves the fused
 // node upstream iff every constituent propagates.
 func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error {
+	f.fbReceived.Add(1)
 	cur := fb
 	for i := len(f.steps) - 1; i >= 0; i-- {
 		st := &f.steps[i]
@@ -389,6 +399,7 @@ func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error
 			case core.Assumed:
 				if st.mode != op.FeedbackIgnore {
 					st.guards.Install(cur)
+					f.fbExploited.Add(1)
 					resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
 				} else {
 					resp.Actions = append(resp.Actions, core.ActNone)
@@ -406,6 +417,7 @@ func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error
 		case kProject, kMap:
 			if cur.Intent == core.Assumed && st.mode != op.FeedbackIgnore {
 				st.guards.Install(cur)
+				f.fbExploited.Add(1)
 				resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
 			}
 			if st.propagate {
@@ -429,6 +441,7 @@ func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error
 		}
 	}
 	ctx.SendFeedback(0, cur)
+	f.fbForwarded.Add(1)
 	return nil
 }
 
@@ -456,8 +469,8 @@ func (f *Fused) StepStats() []StepStat {
 		st := &f.steps[i]
 		s := StepStat{
 			Name: st.name, Kind: st.kind.String(),
-			In: st.nIn, Out: st.nOut, Suppressed: st.suppressed,
-			PunctDropped: st.punctDropped,
+			In: st.nIn.Load(), Out: st.nOut.Load(), Suppressed: st.suppressed.Load(),
+			PunctDropped: st.punctDropped.Load(),
 		}
 		if st.meter != nil {
 			s.CostBurned = st.meter.Total()
@@ -465,6 +478,49 @@ func (f *Fused) StepStats() []StepStat {
 		out[i] = s
 	}
 	return out
+}
+
+// SuppressedTuples reports guard suppressions across all constituents,
+// scrape-safe; exec.Graph surfaces it per edge (EdgeInfo.Suppressed).
+func (f *Fused) SuppressedTuples() int64 {
+	var total int64
+	for i := range f.steps {
+		total += f.steps[i].suppressed.Load()
+	}
+	return total
+}
+
+// PunctDropped reports punctuation consumed inside the kernel because its
+// bound attributes did not survive some constituent's mapping.
+func (f *Fused) PunctDropped() int64 {
+	var total int64
+	for i := range f.steps {
+		total += f.steps[i].punctDropped.Load()
+	}
+	return total
+}
+
+// TelemetryVars implements telemetry.VarExporter: the standard pace_op_*
+// tuple counters per constituent (labelled step/kind, preserving the
+// per-logical-operator observability the unfused chain had) plus the
+// kernel-level feedback counters.
+func (f *Fused) TelemetryVars() []telemetry.Var {
+	vars := []telemetry.Var{
+		{Name: "pace_op_feedback_received_total", Help: "Feedback messages delivered to the fused kernel.", Kind: telemetry.Counter, Value: f.fbReceived.Load},
+		{Name: "pace_op_feedback_exploited_total", Help: "Guard installs performed across constituents in response to feedback.", Kind: telemetry.Counter, Value: f.fbExploited.Load},
+		{Name: "pace_op_feedback_forwarded_total", Help: "Feedback messages relayed upstream of the fused kernel.", Kind: telemetry.Counter, Value: f.fbForwarded.Load},
+	}
+	for i := range f.steps {
+		st := &f.steps[i]
+		labels := map[string]string{"step": st.name, "kind": st.kind.String()}
+		vars = append(vars,
+			telemetry.Var{Name: "pace_op_tuples_in_total", Help: "Tuples delivered to the constituent.", Kind: telemetry.Counter, Labels: labels, Value: st.nIn.Load},
+			telemetry.Var{Name: "pace_op_tuples_out_total", Help: "Tuples the constituent passed on.", Kind: telemetry.Counter, Labels: labels, Value: st.nOut.Load},
+			telemetry.Var{Name: "pace_op_suppressed_tuples_total", Help: "Tuples suppressed by the constituent's guard table.", Kind: telemetry.Counter, Labels: labels, Value: st.suppressed.Load},
+			telemetry.Var{Name: "pace_op_punct_dropped_total", Help: "Punctuations consumed at the constituent.", Kind: telemetry.Counter, Labels: labels, Value: st.punctDropped.Load},
+		)
+	}
+	return vars
 }
 
 // StepResponses returns the feedback-response log of constituent i, the

@@ -11,6 +11,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 	"repro/internal/work"
 )
@@ -98,6 +99,13 @@ type Aggregate struct {
 
 	inTuples, outTuples, folded, inSuppressed, outSuppressed, purged int64
 	partialsEmitted                                                  int64
+
+	// Feedback accounting only; the tuple counters above stay plain
+	// because state.go serializes them into snapshots (the snapshot runs
+	// on the node's own goroutine, so plain fields are race-free there,
+	// but /metrics scrapes from another goroutine and may only touch
+	// atomics). fb is never snapshotted and resets on restore.
+	fb fbCounters
 }
 
 type aggGroup struct {
@@ -416,6 +424,7 @@ func (a *Aggregate) ProcessEOS(input int, ctx exec.Context) error {
 
 // ProcessFeedback implements exec.Operator per Table 1.
 func (a *Aggregate) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	a.fb.received.Add(1)
 	resp := core.Response{Feedback: f}
 	defer func() {
 		if len(resp.Actions) == 0 {
@@ -431,6 +440,7 @@ func (a *Aggregate) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) er
 			if prop := core.SafePropagation(f.Pattern, a.attrMap); prop.OK {
 				relayed := f.Relayed(prop.Pattern)
 				ctx.SendFeedback(0, relayed)
+				a.fb.forwarded.Add(1)
 				resp.Actions = append(resp.Actions, core.ActPropagate)
 				resp.Propagated = []*core.Feedback{&relayed}
 			}
@@ -466,6 +476,7 @@ func (a *Aggregate) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) er
 
 	// Output guard is correct for every shape and both modes.
 	a.guardsOut.Install(f)
+	a.fb.exploited.Add(1)
 	resp.Actions = append(resp.Actions, core.ActGuardOutput)
 	if a.Mode == FeedbackGuardOutput {
 		return nil
@@ -558,6 +569,7 @@ func (a *Aggregate) propagate(f core.Feedback, plan core.ResponsePlan, resp *cor
 	if len(plan.Propagate) > 0 && plan.Propagate[0] != nil {
 		relayed := f.Relayed(*plan.Propagate[0])
 		ctx.SendFeedback(0, relayed)
+		a.fb.forwarded.Add(1)
 		resp.Actions = append(resp.Actions, core.ActPropagate)
 		resp.Propagated = []*core.Feedback{&relayed}
 		return
@@ -568,6 +580,7 @@ func (a *Aggregate) propagate(f core.Feedback, plan core.ResponsePlan, resp *cor
 	if pat, ok := a.translateWindowBound(f.Pattern); ok {
 		relayed := f.Relayed(pat)
 		ctx.SendFeedback(0, relayed)
+		a.fb.forwarded.Add(1)
 		resp.Actions = append(resp.Actions, core.ActPropagate)
 		resp.Propagated = []*core.Feedback{&relayed}
 	}
@@ -646,6 +659,11 @@ func (a *Aggregate) Stats() AggregateStats {
 		WorkUnits:     a.meter.Total(),
 	}
 }
+
+// TelemetryVars implements telemetry.VarExporter. Only the feedback
+// counters are exported: the tuple counters are serialized snapshot state
+// and may not be read off the node goroutine (see the field comment).
+func (a *Aggregate) TelemetryVars() []telemetry.Var { return a.fb.vars() }
 
 // AggregateStats is the operator's accounting snapshot.
 type AggregateStats struct {

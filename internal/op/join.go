@@ -8,6 +8,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
@@ -94,6 +95,12 @@ type Join struct {
 
 	emitted, outerEmitted, suppressedIn, suppressedOut, purgedByFeedback int64
 	thriftySent, impatientSent                                           int64
+
+	// Feedback accounting only; the counters above stay plain because
+	// state.go serializes them into snapshots on the node goroutine, while
+	// /metrics scrapes from another goroutine and may only touch atomics.
+	// fb is never snapshotted and resets on restore.
+	fb fbCounters
 }
 
 type joinEntry struct {
@@ -580,6 +587,7 @@ func (j *Join) ProcessEOS(input int, ctx exec.Context) error {
 
 // ProcessFeedback implements exec.Operator per Table 2.
 func (j *Join) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	j.fb.received.Add(1)
 	resp := core.Response{Feedback: f}
 	defer func() {
 		if len(resp.Actions) == 0 {
@@ -604,6 +612,7 @@ func (j *Join) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
 	resp.Note = plan.Explanation
 
 	j.guardsOut.Install(f)
+	j.fb.exploited.Add(1)
 	resp.Actions = append(resp.Actions, core.ActGuardOutput)
 	if j.Mode == FeedbackGuardOutput {
 		return nil
@@ -626,6 +635,7 @@ func (j *Join) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
 			}
 			relayed := f.Relayed(*pp)
 			ctx.SendFeedback(side, relayed)
+			j.fb.forwarded.Add(1)
 			resp.Propagated[side] = &relayed
 		}
 		if resp.Propagated[0] != nil || resp.Propagated[1] != nil {
@@ -643,6 +653,7 @@ func (j *Join) relayToCarriers(f core.Feedback, resp *core.Response, ctx exec.Co
 		if prop := core.SafePropagation(f.Pattern, m); prop.OK {
 			relayed := f.Relayed(prop.Pattern)
 			ctx.SendFeedback(side, relayed)
+			j.fb.forwarded.Add(1)
 			resp.Propagated[side] = &relayed
 		}
 	}
@@ -709,6 +720,11 @@ func (j *Join) guardInputs(shape core.JoinShape, f core.Feedback) {
 		install(j.guardsR, j.rightMap)
 	}
 }
+
+// TelemetryVars implements telemetry.VarExporter. Only the feedback
+// counters are exported: the tuple counters are serialized snapshot state
+// and may not be read off the node goroutine (see the field comment).
+func (j *Join) TelemetryVars() []telemetry.Var { return j.fb.vars() }
 
 // JoinStats is the operator's accounting snapshot.
 type JoinStats struct {

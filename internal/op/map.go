@@ -2,11 +2,13 @@ package op
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Map is the general 1-in/1-out stateless transform: each output attribute
@@ -30,7 +32,9 @@ type Map struct {
 	identity bool // every output attr carried in input order: no copy
 	guards   *core.GuardTable
 
-	nIn, nOut, suppressed, punctDropped int64
+	// Counters are atomics so /metrics can scrape them while the plan runs.
+	nIn, nOut, suppressed, punctDropped atomic.Int64
+	fb                                  fbCounters
 }
 
 // MapAttr describes one output attribute of a Map.
@@ -128,7 +132,7 @@ func (m *Map) Open(exec.Context) error {
 
 // ProcessTuple implements exec.Operator.
 func (m *Map) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
-	m.nIn++
+	m.nIn.Add(1)
 	// Carry-all maps (pure renames) share the input's Values: safe
 	// because tuples are immutable after emit (DESIGN.md §2.1).
 	out := t
@@ -144,10 +148,10 @@ func (m *Map) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 		out = stream.Tuple{Values: vals, Seq: t.Seq}
 	}
 	if m.Mode != FeedbackIgnore && m.guards.Suppress(out) {
-		m.suppressed++
+		m.suppressed.Add(1)
 		return nil
 	}
-	m.nOut++
+	m.nOut.Add(1)
 	ctx.Emit(out)
 	return nil
 }
@@ -168,22 +172,25 @@ func (m *Map) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 		m.guards.ObservePunct(pe)
 		ctx.EmitPunct(pe)
 	} else {
-		m.punctDropped++
+		m.punctDropped.Add(1)
 	}
 	return nil
 }
 
 // ProcessFeedback implements exec.Operator.
 func (m *Map) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	m.fb.received.Add(1)
 	resp := core.Response{Feedback: f}
 	if f.Intent == core.Assumed && m.Mode != FeedbackIgnore {
 		m.guards.Install(f)
+		m.fb.exploited.Add(1)
 		resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
 	}
 	if m.Propagate {
 		if prop := core.SafePropagation(f.Pattern, m.attrMap); prop.OK {
 			relayed := f.Relayed(prop.Pattern)
 			ctx.SendFeedback(0, relayed)
+			m.fb.forwarded.Add(1)
 			resp.Actions = append(resp.Actions, core.ActPropagate)
 			resp.Propagated = []*core.Feedback{&relayed}
 		} else {
@@ -198,8 +205,22 @@ func (m *Map) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
 }
 
 // Stats reports tuple accounting.
-func (m *Map) Stats() (in, out, suppressed int64) { return m.nIn, m.nOut, m.suppressed }
+func (m *Map) Stats() (in, out, suppressed int64) {
+	return m.nIn.Load(), m.nOut.Load(), m.suppressed.Load()
+}
 
 // PunctDropped reports punctuation consumed here because its bound
 // attributes did not survive the attribute mapping.
-func (m *Map) PunctDropped() int64 { return m.punctDropped }
+func (m *Map) PunctDropped() int64 { return m.punctDropped.Load() }
+
+// SuppressedTuples reports guard suppressions, scrape-safe.
+func (m *Map) SuppressedTuples() int64 { return m.suppressed.Load() }
+
+// TelemetryVars implements telemetry.VarExporter.
+func (m *Map) TelemetryVars() []telemetry.Var {
+	vars := append(tupleVars(&m.nIn, &m.nOut, &m.suppressed), m.fb.vars()...)
+	return append(vars, telemetry.Var{
+		Name: "pace_op_punct_dropped_total", Help: "Punctuations consumed because bound attributes were dropped.",
+		Kind: telemetry.Counter, Value: m.punctDropped.Load,
+	})
+}

@@ -2,11 +2,13 @@ package op
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Project narrows a stream to a subset of attributes (optionally renamed
@@ -31,7 +33,9 @@ type Project struct {
 	guards   *core.GuardTable
 	attrMap  core.AttrMap
 
-	nIn, nOut, suppressed, punctDropped int64
+	// Counters are atomics so /metrics can scrape them while the plan runs.
+	nIn, nOut, suppressed, punctDropped atomic.Int64
+	fb                                  fbCounters
 }
 
 // Name implements exec.Operator.
@@ -103,7 +107,7 @@ func (p *Project) Open(exec.Context) error {
 
 // ProcessTuple implements exec.Operator.
 func (p *Project) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
-	p.nIn++
+	p.nIn.Add(1)
 	projected := t
 	if !p.identity {
 		projected = t.Project(p.idxs)
@@ -111,10 +115,10 @@ func (p *Project) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	// Identity projections share the input's Values: safe because tuples
 	// are immutable after emit (DESIGN.md §2.1).
 	if p.Mode != FeedbackIgnore && p.guards.Suppress(projected) {
-		p.suppressed++
+		p.suppressed.Add(1)
 		return nil
 	}
-	p.nOut++
+	p.nOut.Add(1)
 	ctx.Emit(projected)
 	return nil
 }
@@ -135,7 +139,7 @@ func (p *Project) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error 
 		p.guards.ObservePunct(pe)
 		ctx.EmitPunct(pe)
 	} else {
-		p.punctDropped++
+		p.punctDropped.Add(1)
 	}
 	return nil
 }
@@ -143,15 +147,18 @@ func (p *Project) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error 
 // ProcessFeedback implements exec.Operator: guard the (projected) output
 // and propagate the pattern in input-schema terms.
 func (p *Project) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	p.fb.received.Add(1)
 	resp := core.Response{Feedback: f}
 	if f.Intent == core.Assumed && p.Mode != FeedbackIgnore {
 		p.guards.Install(f)
+		p.fb.exploited.Add(1)
 		resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
 	}
 	if p.Propagate {
 		if prop := core.SafePropagation(f.Pattern, p.attrMap); prop.OK {
 			relayed := f.Relayed(prop.Pattern)
 			ctx.SendFeedback(0, relayed)
+			p.fb.forwarded.Add(1)
 			resp.Actions = append(resp.Actions, core.ActPropagate)
 			resp.Propagated = []*core.Feedback{&relayed}
 		} else {
@@ -167,5 +174,21 @@ func (p *Project) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) erro
 
 // Stats reports tuple accounting.
 func (p *Project) Stats() (in, out, suppressed, punctDropped int64) {
-	return p.nIn, p.nOut, p.suppressed, p.punctDropped
+	return p.nIn.Load(), p.nOut.Load(), p.suppressed.Load(), p.punctDropped.Load()
+}
+
+// SuppressedTuples reports guard suppressions, scrape-safe.
+func (p *Project) SuppressedTuples() int64 { return p.suppressed.Load() }
+
+// PunctDropped reports punctuation consumed here because its bound
+// attributes did not survive the projection.
+func (p *Project) PunctDropped() int64 { return p.punctDropped.Load() }
+
+// TelemetryVars implements telemetry.VarExporter.
+func (p *Project) TelemetryVars() []telemetry.Var {
+	vars := append(tupleVars(&p.nIn, &p.nOut, &p.suppressed), p.fb.vars()...)
+	return append(vars, telemetry.Var{
+		Name: "pace_op_punct_dropped_total", Help: "Punctuations consumed because bound attributes were dropped.",
+		Kind: telemetry.Counter, Value: p.punctDropped.Load,
+	})
 }

@@ -2,11 +2,13 @@ package op
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/work"
 )
 
@@ -42,7 +44,10 @@ type Select struct {
 	guards *core.GuardTable
 	meter  work.Meter
 
-	in, out, suppressed int64
+	// Counters are atomics so /metrics can scrape them while the plan
+	// runs; uncontended adds cost a few ns, within the hot path's noise.
+	in, out, suppressed atomic.Int64
+	fb                  fbCounters
 }
 
 // Name implements exec.Operator.
@@ -67,16 +72,16 @@ func (s *Select) Open(exec.Context) error {
 
 // ProcessTuple implements exec.Operator.
 func (s *Select) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
-	s.in++
+	s.in.Add(1)
 	if s.Mode != FeedbackIgnore && s.guards.Suppress(t) {
-		s.suppressed++
+		s.suppressed.Add(1)
 		return nil
 	}
 	if s.Cost > 0 {
 		s.meter.Do(s.Cost)
 	}
 	if (s.Expr == nil || s.Expr.Eval(t)) && (s.Cond == nil || s.Cond(t)) {
-		s.out++
+		s.out.Add(1)
 		ctx.Emit(t)
 	}
 	return nil
@@ -93,11 +98,13 @@ func (s *Select) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 
 // ProcessFeedback implements exec.Operator per the SELECT characterization.
 func (s *Select) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error {
+	s.fb.received.Add(1)
 	resp := core.Response{Feedback: f}
 	switch f.Intent {
 	case core.Assumed:
 		if s.Mode != FeedbackIgnore {
 			s.guards.Install(f)
+			s.fb.exploited.Add(1)
 			resp.Actions = append(resp.Actions, core.ActGuardInput, core.ActGuardOutput)
 		} else {
 			resp.Actions = append(resp.Actions, core.ActNone)
@@ -110,6 +117,7 @@ func (s *Select) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error
 		// Identity schema: propagation is always safe.
 		relayed := f.Relayed(f.Pattern)
 		ctx.SendFeedback(0, relayed)
+		s.fb.forwarded.Add(1)
 		resp.Actions = append(resp.Actions, core.ActPropagate)
 		resp.Propagated = []*core.Feedback{&relayed}
 	}
@@ -118,7 +126,18 @@ func (s *Select) ProcessFeedback(_ int, f core.Feedback, ctx exec.Context) error
 }
 
 // Stats reports tuple accounting.
-func (s *Select) Stats() (in, out, suppressed int64) { return s.in, s.out, s.suppressed }
+func (s *Select) Stats() (in, out, suppressed int64) {
+	return s.in.Load(), s.out.Load(), s.suppressed.Load()
+}
+
+// SuppressedTuples reports guard suppressions, scrape-safe; exec.Graph
+// surfaces it per edge (EdgeInfo.Suppressed).
+func (s *Select) SuppressedTuples() int64 { return s.suppressed.Load() }
+
+// TelemetryVars implements telemetry.VarExporter.
+func (s *Select) TelemetryVars() []telemetry.Var {
+	return append(tupleVars(&s.in, &s.out, &s.suppressed), s.fb.vars()...)
+}
 
 // CostBurned reports total evaluation work done.
 func (s *Select) CostBurned() int64 { return s.meter.Total() }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/remote"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/window"
 )
 
@@ -76,6 +77,25 @@ func (b *Builder) Compile() *Builder {
 
 // Fusions reports the fusions Compile applied, in order.
 func (b *Builder) Fusions() []fuse.Fusion { return b.fusions }
+
+// EnableTelemetry attaches a telemetry sink to the underlying graph and
+// publishes this plan as the sink's /statusz payload — the Explain
+// rendering plus live per-edge traffic snapshots pulled at scrape time.
+// Call after the plan is assembled (and compiled, if it will be) and
+// before Run; chainable. Per-node metrics register inside Run.
+func (b *Builder) EnableTelemetry(t *telemetry.Telemetry) *Builder {
+	if t == nil {
+		return b
+	}
+	b.g.SetTelemetry(t)
+	t.SetStatus(func() any {
+		return map[string]any{
+			"plan":  b.Explain(),
+			"edges": t.Registry.EdgeSnapshots(),
+		}
+	})
+	return b
+}
 
 // Explain renders the (possibly compiled) plan, one line per node with its
 // input wiring; fused nodes additionally render their kernel step table, so

@@ -1,8 +1,19 @@
 package punct
 
 import (
+	"sync/atomic"
+
 	"repro/internal/stream"
 )
+
+// compiledCount counts pattern compilations process-wide; exec registers it
+// as a global telemetry var. Compilation is off the tuple path (patterns
+// compile at guard install / pattern observe time), so one atomic add is
+// free at the granularity that matters.
+var compiledCount atomic.Int64
+
+// CompiledCount reports how many patterns have been compiled.
+func CompiledCount() int64 { return compiledCount.Load() }
 
 // Compiled is the evaluation form of a Pattern: a flat table of the bound
 // (non-wildcard) predicates only, with set predicates backed by hash maps
@@ -39,6 +50,7 @@ const setThreshold = 4
 // schema of different arity matches nothing, mirroring Matches); passing
 // the zero Schema compiles against the pattern's own arity.
 func (p Pattern) Compile(schema stream.Schema) *Compiled {
+	compiledCount.Add(1)
 	arity := len(p.preds)
 	if schema.Arity() > 0 {
 		arity = schema.Arity()

@@ -260,6 +260,11 @@ func (c *Conn) SendFeedback(f core.Feedback) {
 // connection exactly once).
 func (c *Conn) Abort() { close(c.stop) }
 
+// Depth reports the number of pages currently buffered in the data
+// channel — the backpressure gauge telemetry scrapes. Safe from any
+// goroutine (len on a channel is atomic).
+func (c *Conn) Depth() int { return len(c.data) }
+
 // Stats returns a snapshot of traffic counters.
 func (c *Conn) Stats() Stats {
 	return Stats{

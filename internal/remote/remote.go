@@ -30,7 +30,33 @@ import (
 	"repro/internal/punct"
 	"repro/internal/snapshot"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
+
+// countingWriter/countingReader sit between the gob codec's bufio layer and
+// the connection, so the byte counters see exactly what crosses the wire
+// (one atomic add per flushed buffer / filled read, not per frame).
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
 
 // Remote edges participate in distributed cuts: the sink forwards barriers
 // in-band over the wire, the source hands them to the local coordination
@@ -104,7 +130,11 @@ type Sink struct {
 	started bool
 	wg      sync.WaitGroup
 
-	sent, feedbackIn int64
+	// Counters are atomics so /metrics can scrape them while the plan
+	// runs; bytes counters tick per flushed buffer, not per frame.
+	sent, feedbackIn     atomic.Int64
+	framesOut            atomic.Int64
+	bytesOut, feedbackBy atomic.Int64
 }
 
 // NewSink frames the local stream onto conn.
@@ -129,10 +159,10 @@ func (s *Sink) OutSchemas() []stream.Schema { return nil }
 // Open implements exec.Operator: it starts the feedback reader. The
 // runtime guarantees Context.SendFeedback is safe from other goroutines.
 func (s *Sink) Open(ctx exec.Context) error {
-	s.w = bufio.NewWriter(s.Conn)
+	s.w = bufio.NewWriter(&countingWriter{w: s.Conn, n: &s.bytesOut})
 	s.enc = gob.NewEncoder(s.w)
 	s.started = true
-	dec := gob.NewDecoder(s.Conn)
+	dec := gob.NewDecoder(&countingReader{r: s.Conn, n: &s.feedbackBy})
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -153,7 +183,7 @@ func (s *Sink) Open(ctx exec.Context) error {
 				s.readErr.Store(fmt.Errorf("remote: decode feedback pattern: %w", err))
 				return
 			}
-			atomic.AddInt64(&s.feedbackIn, 1)
+			s.feedbackIn.Add(1)
 			ctx.SendFeedback(0, core.Feedback{
 				Intent:  core.Intent(f.Intent),
 				Pattern: pat,
@@ -187,7 +217,8 @@ func (s *Sink) ProcessTuple(_ int, t stream.Tuple, _ exec.Context) error {
 	if err := s.enc.Encode(frame{Kind: frameTuple, Tuple: t}); err != nil {
 		return fmt.Errorf("remote: encode tuple: %w", err)
 	}
-	s.sent++
+	s.sent.Add(1)
+	s.framesOut.Add(1)
 	s.pending++
 	if s.pending >= s.flushEvery() {
 		s.pending = 0
@@ -205,6 +236,7 @@ func (s *Sink) ProcessPunct(_ int, e punct.Embedded, _ exec.Context) error {
 	if err := s.enc.Encode(frame{Kind: framePunct, Pattern: marshalPattern(e.Pattern)}); err != nil {
 		return fmt.Errorf("remote: encode punct: %w", err)
 	}
+	s.framesOut.Add(1)
 	s.pending = 0
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("remote: flush to peer: %w", err)
@@ -222,6 +254,7 @@ func (s *Sink) ForwardBarrier(epoch int64, mode snapshot.CaptureMode, _ exec.Con
 	if err := s.enc.Encode(frame{Kind: frameBarrier, Seq: epoch, Intent: uint8(mode)}); err != nil {
 		return fmt.Errorf("remote: encode barrier epoch %d: %w", epoch, err)
 	}
+	s.framesOut.Add(1)
 	s.pending = 0
 	if err := s.w.Flush(); err != nil {
 		return fmt.Errorf("remote: flush barrier epoch %d: %w", epoch, err)
@@ -249,6 +282,8 @@ func (s *Sink) Close(exec.Context) error {
 		s.armDeadline()
 		if err := s.enc.Encode(frame{Kind: frameEOS}); err != nil {
 			firstErr = err
+		} else {
+			s.framesOut.Add(1)
 		}
 		if err := s.w.Flush(); err != nil && firstErr == nil {
 			firstErr = err
@@ -284,7 +319,18 @@ func (s *Sink) Close(exec.Context) error {
 
 // Stats reports (tuples sent, feedback received from remote).
 func (s *Sink) Stats() (sent, feedbackIn int64) {
-	return s.sent, atomic.LoadInt64(&s.feedbackIn)
+	return s.sent.Load(), s.feedbackIn.Load()
+}
+
+// TelemetryVars implements telemetry.VarExporter.
+func (s *Sink) TelemetryVars() []telemetry.Var {
+	return []telemetry.Var{
+		{Name: "pace_remote_tuples_sent_total", Help: "Tuples framed onto the connection.", Kind: telemetry.Counter, Value: s.sent.Load},
+		{Name: "pace_remote_frames_sent_total", Help: "Frames (tuple, punct, barrier, EOS) written to the wire.", Kind: telemetry.Counter, Value: s.framesOut.Load},
+		{Name: "pace_remote_bytes_sent_total", Help: "Bytes written to the connection.", Kind: telemetry.Counter, Value: s.bytesOut.Load},
+		{Name: "pace_remote_bytes_received_total", Help: "Feedback-path bytes read from the connection.", Kind: telemetry.Counter, Value: s.feedbackBy.Load},
+		{Name: "pace_remote_feedback_received_total", Help: "Feedback frames received from the remote consumer.", Kind: telemetry.Counter, Value: s.feedbackIn.Load},
+	}
 }
 
 // Source is an exec.Source replaying the frames a remote Sink sends;
@@ -315,7 +361,15 @@ type Source struct {
 	// abandons the epoch when its ack never arrives.
 	barrierHook func(epoch int64, mode snapshot.CaptureMode) error
 
-	received, feedbackOut int64
+	// Counters are atomics so /metrics can scrape them while the plan
+	// runs. deadlineHits counts ReadTimeout expiries (wedged producer);
+	// this package has no reconnect logic — a timed-out edge surfaces as a
+	// node error and the supervisor restarts the subplan — so there is no
+	// reconnect counter to export.
+	received, feedbackOut atomic.Int64
+	framesIn              atomic.Int64
+	bytesIn, feedbackBy   atomic.Int64
+	deadlineHits          atomic.Int64
 }
 
 // SetBarrierHook implements exec.BarrierReceiver. It must be called before
@@ -342,8 +396,8 @@ func (s *Source) OutSchemas() []stream.Schema { return []stream.Schema{s.Schema}
 
 // Open implements exec.Source.
 func (s *Source) Open(exec.Context) error {
-	s.dec = gob.NewDecoder(s.Conn)
-	s.w = bufio.NewWriter(s.Conn)
+	s.dec = gob.NewDecoder(&countingReader{r: s.Conn, n: &s.bytesIn})
+	s.w = bufio.NewWriter(&countingWriter{w: s.Conn, n: &s.feedbackBy})
 	s.enc = gob.NewEncoder(s.w)
 	return nil
 }
@@ -360,6 +414,7 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 	if err := s.dec.Decode(&f); err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
+			s.deadlineHits.Add(1)
 			return false, fmt.Errorf("remote: no frame from upstream within %v (wedged producer?): %w", s.ReadTimeout, err)
 		}
 		if err == io.EOF {
@@ -373,9 +428,10 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 		}
 		return false, fmt.Errorf("remote: decode: %w", err)
 	}
+	s.framesIn.Add(1)
 	switch f.Kind {
 	case frameTuple:
-		s.received++
+		s.received.Add(1)
 		ctx.Emit(f.Tuple)
 	case framePunct:
 		pat, err := unmarshalPattern(f.Pattern)
@@ -414,7 +470,7 @@ func (s *Source) Next(ctx exec.Context) (bool, error) {
 // ProcessFeedback implements exec.Source: feedback crosses the wire
 // against the stream direction.
 func (s *Source) ProcessFeedback(_ int, f core.Feedback, _ exec.Context) error {
-	s.feedbackOut++
+	s.feedbackOut.Add(1)
 	err := s.enc.Encode(frame{
 		Kind:    frameFeedback,
 		Pattern: marshalPattern(f.Pattern),
@@ -436,7 +492,19 @@ func (s *Source) Close(exec.Context) error {
 
 // Stats reports (tuples received, feedback sent to remote).
 func (s *Source) Stats() (received, feedbackOut int64) {
-	return s.received, s.feedbackOut
+	return s.received.Load(), s.feedbackOut.Load()
+}
+
+// TelemetryVars implements telemetry.VarExporter.
+func (s *Source) TelemetryVars() []telemetry.Var {
+	return []telemetry.Var{
+		{Name: "pace_remote_tuples_received_total", Help: "Tuples replayed from the remote producer.", Kind: telemetry.Counter, Value: s.received.Load},
+		{Name: "pace_remote_frames_received_total", Help: "Frames (tuple, punct, barrier, EOS) read from the wire.", Kind: telemetry.Counter, Value: s.framesIn.Load},
+		{Name: "pace_remote_bytes_received_total", Help: "Bytes read from the connection.", Kind: telemetry.Counter, Value: s.bytesIn.Load},
+		{Name: "pace_remote_bytes_sent_total", Help: "Feedback-path bytes written to the connection.", Kind: telemetry.Counter, Value: s.feedbackBy.Load},
+		{Name: "pace_remote_feedback_sent_total", Help: "Feedback frames sent to the remote producer.", Kind: telemetry.Counter, Value: s.feedbackOut.Load},
+		{Name: "pace_remote_deadline_hits_total", Help: "Read deadline expiries (wedged or crashed producer).", Kind: telemetry.Counter, Value: s.deadlineHits.Load},
+	}
 }
 
 // Listen accepts exactly one upstream connection on addr ("host:0" picks a

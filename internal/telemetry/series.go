@@ -1,8 +1,9 @@
-// Package metrics implements the measurements the paper's experiments
-// report: per-tuple output-time series (the scatter plots of Figures 5 and
-// 6), timeliness accounting against a divergence tolerance, and run timing
-// for Figure 7.
-package metrics
+// Series and its helpers implement the measurements the paper's
+// experiments report: per-tuple output-time series (the scatter plots of
+// Figures 5 and 6), timeliness accounting against a divergence tolerance,
+// and run timing for Figure 7. Formerly the standalone internal/metrics
+// package, folded here so the engine has one metrics home.
+package telemetry
 
 import (
 	"fmt"

@@ -1,0 +1,70 @@
+// Package telemetry is the engine-wide observability substrate: a
+// zero-alloc-steady-state metrics registry every runtime layer registers
+// into, a bounded-ring trace facility for punctuation/feedback/barrier
+// events, a ring-buffer timeline of checkpoint-epoch lifecycle events, and
+// an opt-in HTTP introspection server exposing all three (plus pprof)
+// without any external dependency.
+//
+// The package is a leaf: it imports only the standard library, so exec,
+// op, fuse, remote, punct, and plan can all depend on it without cycles.
+// Integration follows two contracts (DESIGN.md §11):
+//
+//   - hot-path counters are per-node unsharded atomics, tallied into plain
+//     locals inside the runner's page loop and flushed with a handful of
+//     atomic adds per page — the same K-item batching bound (§2.3) the
+//     control recheck already pays, and zero allocations either way;
+//   - everything the scraper reads concurrently with a running plan is an
+//     atomic or copied under a registry lock; Var closures must only read
+//     atomics.
+package telemetry
+
+import "sync"
+
+// Telemetry bundles the three facilities a running plan exports: the
+// metrics registry, the event tracer, and the epoch timeline. A nil
+// *Telemetry is a valid "disabled" value everywhere — Tracer and Timeline
+// methods are nil-receiver safe, and the runtime guards the rest.
+type Telemetry struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Timeline *Timeline
+
+	statusMu sync.Mutex
+	status   func() any
+}
+
+// New creates an enabled telemetry bundle with default ring capacities
+// (4096 trace events, 1024 epoch events).
+func New() *Telemetry {
+	return &Telemetry{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(4096),
+		Timeline: NewTimeline(1024),
+	}
+}
+
+// SetStatus installs the closure /statusz serves: plan topology, Explain
+// output, and live edge stats. plan.Builder.EnableTelemetry wires it; any
+// JSON-marshalable value works.
+func (t *Telemetry) SetStatus(fn func() any) {
+	if t == nil {
+		return
+	}
+	t.statusMu.Lock()
+	t.status = fn
+	t.statusMu.Unlock()
+}
+
+// Status evaluates the installed status closure (nil if none).
+func (t *Telemetry) Status() any {
+	if t == nil {
+		return nil
+	}
+	t.statusMu.Lock()
+	fn := t.status
+	t.statusMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}

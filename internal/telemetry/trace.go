@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one recorded punctuation/feedback/barrier event with
+// node and epoch attribution.
+type TraceEvent struct {
+	At    time.Time `json:"at"`
+	Kind  string    `json:"kind"` // "punct", "feedback", "barrier"
+	Node  string    `json:"node"`
+	Epoch int64     `json:"epoch,omitempty"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// Tracer records the paper's control-plane events — punctuation arrivals,
+// feedback messages, checkpoint barriers — into a bounded ring. It is off
+// by default; callers gate every formatting/allocation behind Enabled(),
+// so a disabled tracer costs one atomic load on the (already rare) event
+// paths and nothing on the tuple path. A nil *Tracer is always disabled.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	ring    []TraceEvent
+	next    int
+	filled  bool
+}
+
+// NewTracer creates a disabled tracer with the given ring capacity.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{ring: make([]TraceEvent, capacity)}
+}
+
+// Enabled reports whether events should be recorded; nil-receiver safe so
+// call sites need no guard.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled turns recording on or off.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Record appends one event (dropping the oldest when full). Callers should
+// check Enabled() first to skip argument construction; Record re-checks so
+// a race with SetEnabled is harmless.
+func (t *Tracer) Record(kind, node string, epoch int64, note string) {
+	if !t.Enabled() {
+		return
+	}
+	ev := TraceEvent{At: time.Now(), Kind: kind, Node: node, Epoch: epoch, Note: note}
+	t.mu.Lock()
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return append([]TraceEvent(nil), t.ring[:t.next]...)
+	}
+	out := make([]TraceEvent, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
