@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/stream"
+)
+
+var explainSchema = stream.MustSchema(
+	stream.F("segment", stream.KindInt),
+	stream.F("ts", stream.KindTime),
+	stream.F("speed", stream.KindFloat),
+)
+
+// explainFor compiles a query exactly as `paceql -explain` does — parse,
+// attach the stdout sink, Compile — and returns the rendered plan.
+func explainFor(t *testing.T, query string) string {
+	t.Helper()
+	cat := plan.Catalog{"traffic": exec.NewSliceSource("traffic", explainSchema)}
+	b, result, err := plan.Parse(query, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := exec.NewCollector("stdout", result.Schema())
+	sink.Discard = true
+	result.Into(sink)
+	b.Compile()
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Explain()
+}
+
+// TestExplainStandaloneKernel pins the stage-1 rendering: a stateless chain
+// feeding a plain sink stays a standalone fused node whose kernel line is
+// the flat step table.
+func TestExplainStandaloneKernel(t *testing.T) {
+	got := explainFor(t, "SELECT speed, segment FROM traffic WHERE speed >= 50")
+	want := ` 0: source traffic
+ 1: fused(where+project) <- traffic[0]
+      kernel: select where [speed>=50] | project project -> (speed:float, segment:int)
+ 2: stdout <- fused(where+project)[0]
+`
+	if got != want {
+		t.Fatalf("stage-1 explain mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainPrefixKernel pins the stage-2 rendering: the same stateless
+// prefix feeding a GROUP BY aggregate is absorbed into the aggregate's
+// input port, and the kernel line names the prefix per input and the
+// stateful consumer it hands survivors to — visibly distinct from a
+// standalone kernel.
+func TestExplainPrefixKernel(t *testing.T) {
+	got := explainFor(t, "SELECT segment, AVG(speed) FROM traffic WHERE speed >= 50 GROUP BY segment WINDOW 1 MINUTE ON ts")
+	want := ` 0: source traffic
+ 1: fused(where=>aggregate) <- traffic[0]
+      kernel: prefix in0{select where [speed>=50]} => aggregate
+ 2: stdout <- fused(where=>aggregate)[0]
+`
+	if got != want {
+		t.Fatalf("stage-2 explain mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

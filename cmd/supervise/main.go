@@ -705,7 +705,11 @@ func trafficSource(o options) *gen.TrafficSource {
 // a keep-everything filter (ts is never null and never negative) plus a
 // carry-all rename. It is a semantic no-op whose purpose is giving the plan
 // compiler a fusible stateless prefix on the hot path; with -fuse the two
-// stages collapse into one fused(clean+norm) kernel.
+// stages collapse into one fused(clean+norm) kernel, which stage 2 then
+// absorbs into the exchange Split's input port wherever the chain feeds a
+// Parallel stage (buildPlan, buildFollowPlan). In buildCoordPlan the chain
+// feeds the remote sink, so the kernel stays standalone — both compiled
+// forms are exercised by every fuzz run.
 func preStage(s plan.Stream) plan.Stream {
 	s = s.SelectExpr("clean", op.ExprStep{Col: 2, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))})
 	outs := make([]op.MapAttr, gen.TrafficSchema.Arity())
@@ -717,10 +721,16 @@ func preStage(s plan.Stream) plan.Stream {
 
 // aggStage is the per-partition aggregate sub-plan shared by the
 // single-process plan and the distributed follower (and by the fuzz
-// verifier, which must rebuild byte-identical plans to restore into).
+// verifier, which must rebuild byte-identical plans to restore into). The
+// leading keep-all filter is another semantic no-op: a lone stateless
+// operator inside each partition, which -fuse absorbs into that partition's
+// aggregate as a prefix kernel (fused(pclean=>agg)) — so every chaos run
+// drives the stage-2 batched-fold path through kills, restores, and
+// feedback.
 func aggStage() func(plan.Stream) plan.Stream {
 	const minute = int64(60_000_000)
 	return func(ss plan.Stream) plan.Stream {
+		ss = ss.SelectExpr("pclean", op.ExprStep{Col: 2, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))})
 		return ss.Through(&op.Aggregate{OpName: "agg", In: gen.TrafficSchema, Kind: core.AggAvg,
 			TsAttr: 2, ValAttr: 3, GroupBy: []int{0}, Window: window.Tumbling(minute),
 			ValueName: "avg_speed", Mode: op.FeedbackExploit, Propagate: true})

@@ -93,6 +93,17 @@ type TupleBatcher interface {
 	ProcessTupleBatch(input int, items []queue.Item, ctx Context) error
 }
 
+// TupleBatchApplier is an optional Operator fast path one level below
+// TupleBatcher: the caller has already unwrapped a run of queue items into
+// bare tuples (e.g. a fused prefix kernel filtering survivors in its scratch
+// buffer) and hands the run straight to the stateful consumer. The call must
+// be exactly equivalent to invoking ProcessTuple on each tuple in order —
+// same emissions, same state, same stats. The slice is only valid for the
+// duration of the call and must not be retained or mutated.
+type TupleBatchApplier interface {
+	ApplyTupleBatch(input int, ts []stream.Tuple, ctx Context) error
+}
+
 // BatchEmitter is an optional Context fast path: a runtime context that
 // accepts a run of tuples for output port 0 in one call, paying the page
 // capacity check per chunk instead of per tuple. Exactly equivalent to
@@ -100,6 +111,13 @@ type TupleBatcher interface {
 // after the call; implementations must not retain it either.
 type BatchEmitter interface {
 	EmitBatch(ts []stream.Tuple)
+}
+
+// BatchEmitterTo extends BatchEmitter to an arbitrary output port, for
+// multi-output operators (Split) that partition a run into per-port
+// sub-batches. Exactly equivalent to calling EmitTo on each tuple in order.
+type BatchEmitterTo interface {
+	EmitBatchTo(port int, ts []stream.Tuple)
 }
 
 // Source is a self-driving operator with no inputs. The runtime repeatedly

@@ -174,3 +174,156 @@ func (g *Graph) ReplaceChain(chain []NodeID, with Operator) error {
 	}
 	return nil
 }
+
+// AbsorbChains folds upstream operator chains into a consumer node: for each
+// entry input→chain, the chain (node ids upstream→downstream, each 1-in/1-out,
+// linked through output 0, consumed by nothing outside the chain, with the
+// tail feeding exactly the consumer's given input) is deleted and the
+// consumer's input rewires to the chain head's upstream port; the consumer's
+// operator is replaced by with (e.g. a prefix-kernel wrapper around the
+// original). The consumer keeps its node id, output wiring, barrier marks and
+// labels — stage-2 fusion leans on this to keep the stateful node's
+// checkpoint identity stable. with must present the chain heads' input
+// schemas on absorbed ports, the original input schemas elsewhere, and the
+// original output schemas. Like ReplaceChain, only legal on an assembled,
+// not-yet-prepared graph with no staged restore.
+func (g *Graph) AbsorbChains(into NodeID, chains map[int][]NodeID, with Operator) error {
+	if g.prepared {
+		return fmt.Errorf("exec: rewrite after graph already run")
+	}
+	if g.err != nil {
+		return g.err
+	}
+	if g.staged != nil {
+		return fmt.Errorf("exec: rewrite after Restore (compile the plan before staging a checkpoint)")
+	}
+	if int(into) < 0 || int(into) >= len(g.nodes) || g.nodes[into].op == nil {
+		return fmt.Errorf("exec: absorb target %d is not an operator node", into)
+	}
+	if len(chains) == 0 {
+		return fmt.Errorf("exec: absorb with no chains")
+	}
+	target := g.nodes[into]
+	// chainOf: chain node → the one consumer edge it may legally feed.
+	type expect struct {
+		consumer NodeID
+		input    int
+	}
+	expected := make(map[NodeID]expect)
+	for input, chain := range chains {
+		if input < 0 || input >= len(target.inputs) {
+			return fmt.Errorf("exec: absorb input %d out of range for %q", input, target.name())
+		}
+		if len(chain) == 0 {
+			return fmt.Errorf("exec: absorb input %d: empty chain", input)
+		}
+		for i, id := range chain {
+			if int(id) < 0 || int(id) >= len(g.nodes) {
+				return fmt.Errorf("exec: absorb chain names unknown node %d", id)
+			}
+			n := g.nodes[id]
+			if n.op == nil {
+				return fmt.Errorf("exec: absorb chain includes source %q", n.name())
+			}
+			if id == into {
+				return fmt.Errorf("exec: absorb chain includes the target %q", n.name())
+			}
+			if len(n.inputs) != 1 || n.numOutputs() != 1 {
+				return fmt.Errorf("exec: absorb chain node %q is not 1-in/1-out", n.name())
+			}
+			if _, dup := expected[id]; dup {
+				return fmt.Errorf("exec: absorb chain repeats node %q", n.name())
+			}
+			if i > 0 && n.inputs[0] != (Port{Node: chain[i-1], Out: 0}) {
+				return fmt.Errorf("exec: absorb chain broken: %q does not consume %q",
+					n.name(), g.nodes[chain[i-1]].name())
+			}
+			if i+1 < len(chain) {
+				expected[id] = expect{consumer: chain[i+1], input: 0}
+			} else {
+				expected[id] = expect{consumer: into, input: input}
+			}
+		}
+		tail := chain[len(chain)-1]
+		if target.inputs[input] != (Port{Node: tail, Out: 0}) {
+			return fmt.Errorf("exec: absorb input %d of %q is not fed by chain tail %q",
+				input, target.name(), g.nodes[tail].name())
+		}
+	}
+	// Every consumption of a chain node must be the one link the chain
+	// declares — no external consumers, no second tap by the target itself.
+	for _, n := range g.nodes {
+		for i, p := range n.inputs {
+			want, isChain := expected[p.Node]
+			if !isChain {
+				continue
+			}
+			if n.id != want.consumer || i != want.input {
+				return fmt.Errorf("exec: absorb chain node %q also consumed by %q input %d",
+					g.nodes[p.Node].name(), n.name(), i)
+			}
+		}
+	}
+	if len(with.InSchemas()) != len(target.inputs) || len(with.OutSchemas()) != len(target.op.OutSchemas()) {
+		return fmt.Errorf("exec: absorb replacement %q arity mismatch with %q", with.Name(), target.name())
+	}
+	for i := range target.inputs {
+		wantIn := target.op.InSchemas()[i]
+		if chain, ok := chains[i]; ok {
+			wantIn = g.nodes[chain[0]].op.InSchemas()[0]
+		}
+		if !with.InSchemas()[i].Equal(wantIn) {
+			return fmt.Errorf("exec: absorb replacement %q input %d schema %s != %s",
+				with.Name(), i, with.InSchemas()[i], wantIn)
+		}
+	}
+	for i, s := range target.op.OutSchemas() {
+		if !with.OutSchemas()[i].Equal(s) {
+			return fmt.Errorf("exec: absorb replacement %q output %d schema %s != %s",
+				with.Name(), i, with.OutSchemas()[i], s)
+		}
+	}
+
+	target.op = with
+	for input, chain := range chains {
+		target.inputs[input] = g.nodes[chain[0]].inputs[0]
+	}
+
+	remap := make([]NodeID, len(g.nodes)) // old id → new id (-1 = removed)
+	kept := g.nodes[:0]
+	for _, n := range g.nodes {
+		if _, gone := expected[n.id]; gone {
+			remap[n.id] = -1
+			continue
+		}
+		remap[n.id] = NodeID(len(kept))
+		kept = append(kept, n)
+	}
+	g.nodes = kept
+	for _, n := range g.nodes {
+		for i, p := range n.inputs {
+			n.inputs[i] = Port{Node: remap[p.Node], Out: p.Out}
+		}
+		n.id = remap[n.id]
+	}
+	if g.labels != nil {
+		relabeled := make(map[edgeKey]string, len(g.labels))
+		for k, v := range g.labels {
+			if remap[k.node] < 0 {
+				continue // label on an absorbed edge: gone with the fusion
+			}
+			relabeled[edgeKey{remap[k.node], k.out}] = v
+		}
+		g.labels = relabeled
+	}
+	if g.wireBarrier != nil {
+		remarked := make(map[NodeID]bool, len(g.wireBarrier))
+		for id, v := range g.wireBarrier {
+			if remap[id] >= 0 {
+				remarked[remap[id]] = v
+			}
+		}
+		g.wireBarrier = remarked
+	}
+	return nil
+}

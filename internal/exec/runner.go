@@ -687,6 +687,12 @@ func (r *nodeRunner) EmitBatch(ts []stream.Tuple) {
 	r.node.outConns[0].PutTuples(ts)
 }
 
+// EmitBatchTo implements BatchEmitterTo: a per-port sub-batch (e.g. one
+// Split partition's share of a run) goes out in one call.
+func (r *nodeRunner) EmitBatchTo(port int, ts []stream.Tuple) {
+	r.node.outConns[port].PutTuples(ts)
+}
+
 // EmitPunct implements Context.
 func (r *nodeRunner) EmitPunct(e punct.Embedded) { r.EmitPunctTo(0, e) }
 

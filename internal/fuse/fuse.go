@@ -211,6 +211,16 @@ func (f *Fused) Open(exec.Context) error {
 // by local variable, not by page handoff, and only the survivor of the whole
 // chain is emitted.
 func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
+	if out, ok := f.runTuple(t); ok {
+		ctx.Emit(out)
+	}
+	return nil
+}
+
+// runTuple pushes one tuple through the step table and reports whether it
+// survived the whole chain — the kernel core shared by ProcessTuple and the
+// prefix path (Prefixed), which emit survivors differently.
+func (f *Fused) runTuple(t stream.Tuple) (stream.Tuple, bool) {
 	cur := t
 	for i := range f.steps {
 		st := &f.steps[i]
@@ -219,16 +229,16 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 		case kSelect:
 			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
 				st.suppressed.Add(1)
-				return nil
+				return stream.Tuple{}, false
 			}
 			if st.cost > 0 {
 				st.meter.Do(st.cost)
 			}
 			if st.expr != nil && !st.expr.Eval(cur) {
-				return nil
+				return stream.Tuple{}, false
 			}
 			if st.cond != nil && !st.cond(cur) {
-				return nil
+				return stream.Tuple{}, false
 			}
 		case kProject:
 			if !st.identity {
@@ -236,7 +246,7 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 			}
 			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
 				st.suppressed.Add(1)
-				return nil
+				return stream.Tuple{}, false
 			}
 		case kMap:
 			if !st.identity {
@@ -252,13 +262,12 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 			}
 			if st.mode != op.FeedbackIgnore && st.guards.Suppress(cur) {
 				st.suppressed.Add(1)
-				return nil
+				return stream.Tuple{}, false
 			}
 		}
 		st.nOut.Add(1)
 	}
-	ctx.Emit(cur)
-	return nil
+	return cur, true
 }
 
 // ProcessTupleBatch implements exec.TupleBatcher: a run of consecutive
@@ -268,10 +277,37 @@ func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 // emitted in order. Exactly equivalent to calling ProcessTuple per item;
 // the runtime mixes both paths freely.
 func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) error {
+	buf := f.runBatchItems(items)
+	if be, ok := ctx.(exec.BatchEmitter); ok {
+		be.EmitBatch(buf)
+	} else {
+		for i := range buf {
+			ctx.Emit(buf[i])
+		}
+	}
+	f.scratch = buf[:0]
+	return nil
+}
+
+// runBatchItems loads a queue run into the reused scratch buffer and runs
+// the step table over it, returning the survivors. The returned slice is
+// backed by f.scratch and is valid until the next run*/Process* call — the
+// caller must hand it off (emit or batch-apply) before then, not retain it.
+func (f *Fused) runBatchItems(items []queue.Item) []stream.Tuple {
 	buf := f.scratch[:0]
 	for i := range items {
 		buf = append(buf, items[i].Tuple)
 	}
+	buf = f.runSteps(buf)
+	f.scratch = buf
+	return buf
+}
+
+// runSteps filters/transforms buf in place through the step table, one tight
+// loop per step with batched counters and the guard probe hoisted per batch
+// (feedback only arrives between batches, so the table cannot change
+// mid-run). Returns the surviving prefix of buf.
+func (f *Fused) runSteps(buf []stream.Tuple) []stream.Tuple {
 	for si := range f.steps {
 		st := &f.steps[si]
 		st.nIn.Add(int64(len(buf)))
@@ -335,15 +371,7 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 		st.nOut.Add(int64(len(out)))
 		buf = out
 	}
-	if be, ok := ctx.(exec.BatchEmitter); ok {
-		be.EmitBatch(buf)
-	} else {
-		for i := range buf {
-			ctx.Emit(buf[i])
-		}
-	}
-	f.scratch = buf[:0]
-	return nil
+	return buf
 }
 
 // ProcessPunct implements exec.Operator: the chain relays punctuation iff
@@ -352,6 +380,16 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 // attribute mapping (op.RelayPunct) or consumes it — and a consumed
 // punctuation stops the walk exactly where the unfused chain would have.
 func (f *Fused) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
+	if out, ok := f.relayPunct(e); ok {
+		ctx.EmitPunct(out)
+	}
+	return nil
+}
+
+// relayPunct walks the punctuation through the step table in chain order,
+// returning the re-expressed pattern and whether it survived every
+// constituent's mapping (false = consumed inside the kernel).
+func (f *Fused) relayPunct(e punct.Embedded) (punct.Embedded, bool) {
 	cur := e
 	for i := range f.steps {
 		st := &f.steps[i]
@@ -370,13 +408,12 @@ func (f *Fused) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 		}, st.out.Arity())
 		if !ok {
 			st.punctDropped.Add(1)
-			return nil
+			return punct.Embedded{}, false
 		}
 		cur = punct.NewEmbedded(projected)
 		st.guards.ObservePunct(cur)
 	}
-	ctx.EmitPunct(cur)
-	return nil
+	return cur, true
 }
 
 // ProcessFeedback implements exec.Operator: feedback arrives at the chain's
@@ -387,6 +424,17 @@ func (f *Fused) ProcessPunct(_ int, e punct.Embedded, ctx exec.Context) error {
 // Project/Map. The pattern is re-expressed hop by hop; it leaves the fused
 // node upstream iff every constituent propagates.
 func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error {
+	if out, ok := f.applyFeedback(fb); ok {
+		ctx.SendFeedback(0, out)
+	}
+	return nil
+}
+
+// applyFeedback installs the feedback into each constituent's guard table in
+// reverse chain order and reports whether (and as what pattern) it leaves the
+// kernel's upstream end — the core shared by ProcessFeedback and the prefix
+// path, which forward upstream differently.
+func (f *Fused) applyFeedback(fb core.Feedback) (core.Feedback, bool) {
 	f.fbReceived.Add(1)
 	cur := fb
 	for i := len(f.steps) - 1; i >= 0; i-- {
@@ -437,12 +485,11 @@ func (f *Fused) ProcessFeedback(_ int, fb core.Feedback, ctx exec.Context) error
 		}
 		st.responses = append(st.responses, resp)
 		if !proceed {
-			return nil
+			return core.Feedback{}, false
 		}
 	}
-	ctx.SendFeedback(0, cur)
 	f.fbForwarded.Add(1)
-	return nil
+	return cur, true
 }
 
 // NumSteps returns the number of fused constituents.

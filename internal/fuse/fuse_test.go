@@ -350,16 +350,59 @@ func TestRewriteFusesAroundStatefulOperator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fusions) != 2 {
-		t.Fatalf("fusions = %+v, want 2", fusions)
+	// Stage 1 builds the two standalone kernels; stage 2 then absorbs the
+	// upstream kernel into the aggregate as a prefix. The downstream kernel
+	// feeds a sink (not an absorb target) and stays standalone.
+	if len(fusions) != 3 {
+		t.Fatalf("fusions = %+v, want 3", fusions)
 	}
-	want := []string{"src", "fused(sel1+proj)", "agg", "fused(sel2+map2)", "sink"}
+	if c := fusions[2].Consumer; c != "agg" {
+		t.Fatalf("stage-2 fusion consumer = %q, want \"agg\"", c)
+	}
+	if !reflect.DeepEqual(fusions[2].Steps, []string{"sel1", "proj"}) {
+		t.Fatalf("stage-2 fusion steps = %v", fusions[2].Steps)
+	}
+	want := []string{"src", "fused(sel1+proj=>agg)", "fused(sel2+map2)", "sink"}
 	if got := nodeNames(g); !reflect.DeepEqual(got, want) {
 		t.Fatalf("nodes after rewrite = %v, want %v", got, want)
+	}
+	// The aggregate's node keeps its stateful identity: the prefixed node
+	// still captures and restores exactly the aggregate's state.
+	pf, ok := g.OperatorAt(exec.NodeID(1)).(*Prefixed)
+	if !ok {
+		t.Fatalf("node 1 is %T, want *Prefixed", g.OperatorAt(exec.NodeID(1)))
+	}
+	if pf.Inner() != agg {
+		t.Fatalf("prefixed inner = %v, want the original aggregate", pf.Inner())
 	}
 	// The compiled plan must still be runnable end to end.
 	if err := g.Run(); err != nil {
 		t.Fatalf("compiled plan run: %v", err)
+	}
+}
+
+// TestRewriteAbsorbsLoneStepIntoStateful pins that stage 2 also absorbs a
+// single stateless operator (which stage 1 leaves alone) into its stateful
+// consumer, as a one-step prefix kernel.
+func TestRewriteAbsorbsLoneStepIntoStateful(t *testing.T) {
+	g := exec.NewGraph()
+	src := g.AddSource(exec.NewSliceSource("src", chainSchema))
+	sel := g.Add(&op.Select{OpName: "sel", Schema: chainSchema}, exec.From(src))
+	agg := &op.Aggregate{OpName: "agg", In: chainSchema, Kind: core.AggCount,
+		TsAttr: 2, ValAttr: -1, GroupBy: []int{0}, Window: window.Tumbling(1_000_000), ValueName: "n"}
+	aid := g.Add(agg, exec.From(sel))
+	g.Add(exec.NewCollector("sink", agg.OutSchemas()[0]), exec.From(aid))
+
+	fusions, err := Rewrite(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fusions) != 1 || fusions[0].Consumer != "agg" || len(fusions[0].Steps) != 1 {
+		t.Fatalf("fusions = %+v, want one single-step absorb into agg", fusions)
+	}
+	want := []string{"src", "fused(sel=>agg)", "sink"}
+	if got := nodeNames(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("nodes after rewrite = %v, want %v", got, want)
 	}
 }
 

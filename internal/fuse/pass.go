@@ -7,10 +7,13 @@ import (
 )
 
 // Fusion records one applied rewrite: the fused node's name and the
-// constituent operator names in chain order.
+// constituent operator names in chain order. Stage-2 rewrites (prefix
+// kernels absorbed into a stateful consumer) additionally name the consumer;
+// stage-1 standalone kernels leave it empty.
 type Fusion struct {
-	Name  string
-	Steps []string
+	Name     string
+	Steps    []string
+	Consumer string
 }
 
 // Rewrite runs the fusion pass over an assembled, not-yet-run graph: it
@@ -25,14 +28,19 @@ type Fusion struct {
 //   - multi-consumer edges (only possible mid-construction; a prepared graph
 //     fans out through explicit Duplicate operators, which are not fusible).
 //
-// Chains of length 1 are left alone. Returns the applied fusions in the
-// order performed.
+// Chains of length 1 are left alone by stage 1; stage 2 (below) then absorbs
+// any stateless prefix — a stage-1 kernel or a lone Select/Project/Map —
+// feeding a stateful consumer (Aggregate, Join, Impute, Pace) or an exchange
+// Split into that consumer's input port as a prefix kernel (Prefixed), so
+// the prefix evaluates inside the consumer's page loop and survivors take
+// the batched stateful apply path. Returns the applied fusions in the order
+// performed.
 func Rewrite(g *exec.Graph) ([]Fusion, error) {
 	var fusions []Fusion
 	for {
 		chain := findChain(g)
 		if chain == nil {
-			return fusions, nil
+			break
 		}
 		ops := make([]exec.Operator, len(chain))
 		names := make([]string, len(chain))
@@ -49,6 +57,99 @@ func Rewrite(g *exec.Graph) ([]Fusion, error) {
 		}
 		fusions = append(fusions, Fusion{Name: fused.Name(), Steps: names})
 	}
+	for {
+		fusion, absorbed, err := absorbOne(g)
+		if err != nil {
+			return fusions, err
+		}
+		if !absorbed {
+			break
+		}
+		fusions = append(fusions, fusion)
+	}
+	return fusions, nil
+}
+
+// absorbTarget reports whether the operator is a stateful consumer (or
+// exchange Split) whose input ports may gain prefix kernels. Merge stays
+// out: it is the plan's punctuation-alignment point and consumes per-input
+// watermarks the kernel must not get between. A Prefixed is itself a
+// snapshot.Stater, so absorbed consumers are never re-targeted.
+func absorbTarget(o exec.Operator) bool {
+	switch o.(type) {
+	case *op.Aggregate, *op.Join, *op.Impute, *op.Pace, *op.Split:
+		return true
+	}
+	return false
+}
+
+// absorbOne performs the first available stage-2 absorb and reports it. One
+// rewrite per call: AbsorbChains renumbers nodes, so the caller re-scans.
+// After stage 1 the stateless prefix on any edge is at most one node — a
+// Fused kernel (chain length ≥ 2 collapsed) or a lone Select/Project/Map —
+// so each chain handed to exec.AbsorbChains has exactly one node.
+func absorbOne(g *exec.Graph) (Fusion, bool, error) {
+	n := g.NumNodes()
+	consumers := make(map[exec.Port]int)
+	for id := 0; id < n; id++ {
+		for _, p := range g.InputsOf(exec.NodeID(id)) {
+			consumers[p]++
+		}
+	}
+	for id := 0; id < n; id++ {
+		target := exec.NodeID(id)
+		inner := g.OperatorAt(target)
+		if inner == nil || !absorbTarget(inner) {
+			continue
+		}
+		ins := g.InputsOf(target)
+		chains := make(map[int][]exec.NodeID)
+		kernels := make([]*Fused, len(ins))
+		var steps []string
+		for i, up := range ins {
+			if up.Out != 0 || g.IsSource(up.Node) || g.NumOutputsAt(up.Node) != 1 {
+				continue
+			}
+			if consumers[exec.Port{Node: up.Node}] != 1 {
+				continue // multi-consumer edge: the prefix output is shared
+			}
+			upop := g.OperatorAt(up.Node)
+			if len(upop.InSchemas()) != 1 {
+				continue
+			}
+			var kernel *Fused
+			switch upop := upop.(type) {
+			case *Fused:
+				kernel = upop
+			default:
+				if !fusible(g, up.Node) {
+					continue
+				}
+				k, err := New([]exec.Operator{upop})
+				if err != nil {
+					return Fusion{}, false, err
+				}
+				kernel = k
+			}
+			chains[i] = []exec.NodeID{up.Node}
+			kernels[i] = kernel
+			for s := range kernel.steps {
+				steps = append(steps, kernel.steps[s].name)
+			}
+		}
+		if len(chains) == 0 {
+			continue
+		}
+		prefixed, err := NewPrefixed(inner, kernels)
+		if err != nil {
+			return Fusion{}, false, err
+		}
+		if err := g.AbsorbChains(target, chains, prefixed); err != nil {
+			return Fusion{}, false, err
+		}
+		return Fusion{Name: prefixed.Name(), Steps: steps, Consumer: inner.Name()}, true, nil
+	}
+	return Fusion{}, false, nil
 }
 
 // fusible reports whether the node can participate in a fused chain.

@@ -1,0 +1,372 @@
+// Stage 2 of the plan compiler: Prefixed attaches stateless prefix kernels
+// to a stateful consumer's input ports. The kernel (a Fused step table) runs
+// inside the consumer's page loop — guard probe, compiled predicate,
+// attribute mapping, in-place survivor filtering in the kernel's reused
+// scratch buffer — and the survivors go straight into the consumer's batched
+// apply path (exec.TupleBatchApplier) when it has one, or its per-tuple path
+// otherwise. The wrapped node keeps the stateful operator's entire control
+// surface: barrier alignment is untouched (the runtime still sees one node),
+// snapshot capture/restore delegates to the inner operator (the prefix is
+// stateless, so capture↔restore shape is unchanged), and punctuation and
+// feedback traverse the kernel steps exactly as they would have hopped node
+// to node unfused (DESIGN.md §10.6).
+package fuse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/punct"
+	"repro/internal/queue"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+	"repro/internal/telemetry"
+)
+
+// Prefixed wraps a stateful consumer with per-input prefix kernels.
+type Prefixed struct {
+	inner   exec.Operator
+	kernels []*Fused // indexed by input port; nil = no prefix on that port
+	ins     []stream.Schema
+	name    string
+
+	// Context wrap cache: the runtime passes the same ctx for a node's whole
+	// life, so the wrapper is built once, not boxed per callback.
+	cachedBase exec.Context
+	cachedWrap exec.Context
+}
+
+// NewPrefixed wraps inner with kernels (one slot per input port, nil slots
+// allowed). The inner operator must be a snapshot.TwoPhase — every absorb
+// target (Aggregate, Join, Impute, Pace, Split) is — so checkpoint identity
+// is preserved by delegation; each kernel's output schema must match the
+// inner input it feeds.
+func NewPrefixed(inner exec.Operator, kernels []*Fused) (*Prefixed, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("fuse: prefix around nil operator")
+	}
+	if _, ok := inner.(snapshot.TwoPhase); !ok {
+		return nil, fmt.Errorf("fuse: prefix target %q is not a snapshot.TwoPhase stateful operator", inner.Name())
+	}
+	ins := inner.InSchemas()
+	if len(kernels) != len(ins) {
+		return nil, fmt.Errorf("fuse: prefix target %q has %d inputs, got %d kernel slots",
+			inner.Name(), len(ins), len(kernels))
+	}
+	p := &Prefixed{inner: inner, kernels: kernels, ins: append([]stream.Schema(nil), ins...)}
+	var parts []string
+	any := false
+	for i, k := range kernels {
+		if k == nil {
+			continue
+		}
+		any = true
+		if !k.OutSchemas()[0].Equal(ins[i]) {
+			return nil, fmt.Errorf("fuse: prefix kernel on input %d emits %s, %q expects %s",
+				i, k.OutSchemas()[0], inner.Name(), ins[i])
+		}
+		p.ins[i] = k.InSchemas()[0]
+		names := make([]string, len(k.steps))
+		for s := range k.steps {
+			names[s] = k.steps[s].name
+		}
+		part := strings.Join(names, "+")
+		if len(ins) > 1 {
+			part = strconv.Itoa(i) + ":" + part
+		}
+		parts = append(parts, part)
+	}
+	if !any {
+		return nil, fmt.Errorf("fuse: prefix around %q with no kernels", inner.Name())
+	}
+	p.name = "fused(" + strings.Join(parts, ",") + "=>" + inner.Name() + ")"
+	return p, nil
+}
+
+// Inner returns the wrapped stateful operator.
+func (p *Prefixed) Inner() exec.Operator { return p.inner }
+
+// Kernel returns the prefix kernel on the given input port (nil when the
+// port has none).
+func (p *Prefixed) Kernel(input int) *Fused {
+	if input < 0 || input >= len(p.kernels) {
+		return nil
+	}
+	return p.kernels[input]
+}
+
+// Name implements exec.Operator.
+func (p *Prefixed) Name() string { return p.name }
+
+// InSchemas implements exec.Operator: the kernel input schema on prefixed
+// ports, the inner operator's schema elsewhere.
+func (p *Prefixed) InSchemas() []stream.Schema { return p.ins }
+
+// OutSchemas implements exec.Operator.
+func (p *Prefixed) OutSchemas() []stream.Schema { return p.inner.OutSchemas() }
+
+func (p *Prefixed) wrap(ctx exec.Context) exec.Context {
+	if ctx == p.cachedBase {
+		return p.cachedWrap
+	}
+	w := &prefixedCtx{Context: ctx, p: p}
+	p.cachedBase, p.cachedWrap = ctx, w
+	return w
+}
+
+// Open implements exec.Operator: kernels build their guard tables, then the
+// inner operator opens against the wrapped context.
+func (p *Prefixed) Open(ctx exec.Context) error {
+	for _, k := range p.kernels {
+		if k == nil {
+			continue
+		}
+		if err := k.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return p.inner.Open(p.wrap(ctx))
+}
+
+// ProcessTuple implements exec.Operator: the kernel filters/maps, the inner
+// operator folds the survivor. Used by the runtime's per-item path (barrier
+// alignment, singleton runs).
+func (p *Prefixed) ProcessTuple(input int, t stream.Tuple, ctx exec.Context) error {
+	w := p.wrap(ctx)
+	if k := p.Kernel(input); k != nil {
+		out, ok := k.runTuple(t)
+		if !ok {
+			return nil
+		}
+		t = out
+	}
+	return p.inner.ProcessTuple(input, t, w)
+}
+
+// ProcessTupleBatch implements exec.TupleBatcher: the kernel runs its step
+// table over the whole run with in-place survivor filtering, then hands the
+// survivors to the inner operator's batched apply path in one call (falling
+// back to per-tuple when the inner operator has none).
+func (p *Prefixed) ProcessTupleBatch(input int, items []queue.Item, ctx exec.Context) error {
+	w := p.wrap(ctx)
+	k := p.Kernel(input)
+	if k == nil {
+		if tb, ok := p.inner.(exec.TupleBatcher); ok {
+			return tb.ProcessTupleBatch(input, items, w)
+		}
+		for i := range items {
+			if err := p.inner.ProcessTuple(input, items[i].Tuple, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buf := k.runBatchItems(items)
+	if len(buf) == 0 {
+		return nil
+	}
+	if ba, ok := p.inner.(exec.TupleBatchApplier); ok {
+		return ba.ApplyTupleBatch(input, buf, w)
+	}
+	for i := range buf {
+		if err := p.inner.ProcessTuple(input, buf[i], w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessPunct implements exec.Operator: punctuation traverses the kernel
+// steps in chain order (observed by each step's guard table, re-expressed by
+// each mapping) before reaching the inner operator — a pattern consumed
+// inside the kernel stops exactly where the unfused chain would have stopped
+// it.
+func (p *Prefixed) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) error {
+	w := p.wrap(ctx)
+	if k := p.Kernel(input); k != nil {
+		out, ok := k.relayPunct(e)
+		if !ok {
+			return nil
+		}
+		e = out
+	}
+	return p.inner.ProcessPunct(input, e, w)
+}
+
+// ProcessFeedback implements exec.Operator: feedback lands on the inner
+// operator first (it is the downstream end of the absorbed chain); if the
+// inner operator propagates upstream, the wrapped context routes it through
+// that input's kernel steps in reverse order (see prefixedCtx.SendFeedback).
+func (p *Prefixed) ProcessFeedback(output int, fb core.Feedback, ctx exec.Context) error {
+	return p.inner.ProcessFeedback(output, fb, p.wrap(ctx))
+}
+
+// ProcessEOS implements exec.Operator.
+func (p *Prefixed) ProcessEOS(input int, ctx exec.Context) error {
+	return p.inner.ProcessEOS(input, p.wrap(ctx))
+}
+
+// Close implements exec.Operator.
+func (p *Prefixed) Close(ctx exec.Context) error {
+	return p.inner.Close(p.wrap(ctx))
+}
+
+// SaveState implements snapshot.Stater by delegation: the prefix is
+// stateless (guard tables rebuild from feedback, like every guarded
+// operator), so the node's checkpoint payload is exactly the inner
+// operator's.
+func (p *Prefixed) SaveState(e *snapshot.Encoder) error {
+	return p.inner.(snapshot.Stater).SaveState(e)
+}
+
+// LoadState implements snapshot.Stater by delegation.
+func (p *Prefixed) LoadState(d *snapshot.Decoder) error {
+	return p.inner.(snapshot.Stater).LoadState(d)
+}
+
+// CaptureState implements snapshot.TwoPhase by delegation.
+func (p *Prefixed) CaptureState(mode snapshot.CaptureMode) (snapshot.Capture, error) {
+	return p.inner.(snapshot.TwoPhase).CaptureState(mode)
+}
+
+// ApplyDelta implements snapshot.DeltaStater by delegation. Inner operators
+// that never produce delta captures (Impute, Pace, Split) never receive
+// ApplyDelta — restore only calls it for epochs holding delta blobs.
+func (p *Prefixed) ApplyDelta(d *snapshot.Decoder) error {
+	ds, ok := p.inner.(snapshot.DeltaStater)
+	if !ok {
+		return fmt.Errorf("fuse: %q: delta blob for non-incremental operator %q", p.name, p.inner.Name())
+	}
+	return ds.ApplyDelta(d)
+}
+
+// SuppressedTuples reports guard suppressions across all kernels plus the
+// inner operator's own, scrape-safe.
+func (p *Prefixed) SuppressedTuples() int64 {
+	var total int64
+	for _, k := range p.kernels {
+		if k != nil {
+			total += k.SuppressedTuples()
+		}
+	}
+	if sr, ok := p.inner.(interface{ SuppressedTuples() int64 }); ok {
+		total += sr.SuppressedTuples()
+	}
+	return total
+}
+
+// PunctDropped reports punctuation consumed inside the prefix kernels.
+func (p *Prefixed) PunctDropped() int64 {
+	var total int64
+	for _, k := range p.kernels {
+		if k != nil {
+			total += k.PunctDropped()
+		}
+	}
+	if pr, ok := p.inner.(interface{ PunctDropped() int64 }); ok {
+		total += pr.PunctDropped()
+	}
+	return total
+}
+
+// CostBurned reports evaluation work done across the prefix kernels.
+func (p *Prefixed) CostBurned() int64 {
+	var total int64
+	for _, k := range p.kernels {
+		if k != nil {
+			total += k.CostBurned()
+		}
+	}
+	return total
+}
+
+// TelemetryVars implements telemetry.VarExporter: every kernel's
+// per-constituent vars (labelled with the input port they guard, so two
+// kernels on one node stay distinguishable) plus the inner operator's own
+// vars — fusion costs no visibility.
+func (p *Prefixed) TelemetryVars() []telemetry.Var {
+	var vars []telemetry.Var
+	for i, k := range p.kernels {
+		if k == nil {
+			continue
+		}
+		for _, v := range k.TelemetryVars() {
+			labels := map[string]string{"input": strconv.Itoa(i)}
+			for lk, lv := range v.Labels {
+				labels[lk] = lv
+			}
+			v.Labels = labels
+			vars = append(vars, v)
+		}
+	}
+	if ve, ok := p.inner.(telemetry.VarExporter); ok {
+		vars = append(vars, ve.TelemetryVars()...)
+	}
+	return vars
+}
+
+// Explain renders the prefix kernels and the consumer they feed — visually
+// distinct from a stage-1 standalone kernel (cmd/paceql -explain).
+func (p *Prefixed) Explain() string {
+	var parts []string
+	for i, k := range p.kernels {
+		if k == nil {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("in%d{%s}", i, k.Explain()))
+	}
+	return "prefix " + strings.Join(parts, " ") + " => " + p.inner.Name()
+}
+
+// String describes the operator.
+func (p *Prefixed) String() string {
+	return fmt.Sprintf("PREFIXED[%s]", p.Explain())
+}
+
+// prefixedCtx is the context the inner operator sees: identical to the
+// runtime's except that upstream feedback traverses the input's kernel steps
+// (reverse chain order, guard installs, pattern re-expression) before leaving
+// the node, and batch emission capabilities are forwarded explicitly — Go
+// interface embedding does not promote optional interfaces.
+type prefixedCtx struct {
+	exec.Context
+	p *Prefixed
+}
+
+// SendFeedback routes inner-originated and relayed feedback through the
+// input's prefix kernel, exactly as it would hop through the unfused chain.
+func (c *prefixedCtx) SendFeedback(input int, fb core.Feedback) {
+	if k := c.p.Kernel(input); k != nil {
+		out, ok := k.applyFeedback(fb)
+		if !ok {
+			return
+		}
+		fb = out
+	}
+	c.Context.SendFeedback(input, fb)
+}
+
+// EmitBatch implements exec.BatchEmitter with per-tuple fallback.
+func (c *prefixedCtx) EmitBatch(ts []stream.Tuple) {
+	if be, ok := c.Context.(exec.BatchEmitter); ok {
+		be.EmitBatch(ts)
+		return
+	}
+	for i := range ts {
+		c.Context.Emit(ts[i])
+	}
+}
+
+// EmitBatchTo implements exec.BatchEmitterTo with per-tuple fallback.
+func (c *prefixedCtx) EmitBatchTo(port int, ts []stream.Tuple) {
+	if be, ok := c.Context.(exec.BatchEmitterTo); ok {
+		be.EmitBatchTo(port, ts)
+		return
+	}
+	for i := range ts {
+		c.Context.EmitTo(port, ts[i])
+	}
+}

@@ -1,6 +1,7 @@
 package op
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/queue"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/window"
@@ -90,6 +92,11 @@ type Aggregate struct {
 	// with string(keyScratch) so the key string is materialized only when
 	// a new entry is inserted.
 	keyScratch []byte
+	// lastKey backs the batch path's consecutive-key cache (ApplyTupleBatch);
+	// batchScratch backs ProcessTupleBatch's item unwrapping. Both reused,
+	// transient, never checkpointed.
+	lastKey      []byte
+	batchScratch []stream.Tuple
 
 	// Changelog for incremental snapshots (state.go): keys mutated or
 	// deleted since the previous capture. nil until the first capture
@@ -311,6 +318,85 @@ func (a *Aggregate) ProcessTuple(input int, t stream.Tuple, _ exec.Context) erro
 		a.noteDirty(a.keyScratch)
 	}
 	return nil
+}
+
+// ApplyTupleBatch implements exec.TupleBatchApplier: a run of tuples —
+// typically the survivors of a fused prefix kernel — folds into state as one
+// tight loop. Exactly equivalent to calling ProcessTuple on each tuple in
+// order, with the per-batch invariants exploited: the guard probe is hoisted
+// (feedback only arrives between batches, so the prefix guard table cannot
+// change mid-run), and consecutive tuples hitting the same (window, group)
+// key skip the hash probe and coalesce to one changelog dirty note (legal
+// because nothing purges state mid-batch and dirty notes are idempotent —
+// DESIGN.md §10.6).
+func (a *Aggregate) ApplyTupleBatch(input int, ts []stream.Tuple, _ exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: aggregate %q: tuple on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+	}
+	a.inTuples += int64(len(ts))
+	exploit := a.Mode == FeedbackExploit && a.guardsPrefix.Active() > 0
+	var lastG *aggGroup
+	lastKey := a.lastKey[:0]
+	for i := range ts {
+		t := ts[i]
+		lo, hi := a.Window.WindowsOf(t.At(a.TsAttr).I)
+		groupVals := a.groupScratch[:0]
+		for _, g := range a.GroupBy {
+			groupVals = append(groupVals, t.At(g))
+		}
+		a.groupScratch = groupVals
+		for wid := lo; wid <= hi; wid++ {
+			if exploit && a.guardsPrefix.Suppress(a.prefixTuple(wid, groupVals)) {
+				a.inSuppressed++
+				continue
+			}
+			if a.Cost > 0 {
+				a.meter.Do(a.Cost)
+			}
+			a.folded++
+			a.keyScratch = a.appendStateKey(a.keyScratch[:0], wid, t)
+			g := lastG
+			if g == nil || !bytes.Equal(a.keyScratch, lastKey) {
+				g = a.state[string(a.keyScratch)]
+				if g == nil {
+					owned := append([]stream.Value(nil), groupVals...)
+					g = &aggGroup{wid: wid, groupVals: owned, min: math.Inf(1), max: math.Inf(-1)}
+					a.state[string(a.keyScratch)] = g
+				}
+				a.noteDirty(a.keyScratch)
+				lastG = g
+				lastKey = append(lastKey[:0], a.keyScratch...)
+			}
+			g.count++
+			if a.ValAttr >= 0 {
+				v := t.At(a.ValAttr)
+				if !v.IsNull() {
+					f := v.AsFloat()
+					g.sum += f
+					if f < g.min {
+						g.min = f
+					}
+					if f > g.max {
+						g.max = f
+					}
+				}
+			}
+		}
+	}
+	a.lastKey = lastKey
+	return nil
+}
+
+// ProcessTupleBatch implements exec.TupleBatcher by unwrapping the run into
+// a reused scratch buffer and folding it through ApplyTupleBatch, so unfused
+// plans take the batched fold too.
+func (a *Aggregate) ProcessTupleBatch(input int, items []queue.Item, ctx exec.Context) error {
+	buf := a.batchScratch[:0]
+	for i := range items {
+		buf = append(buf, items[i].Tuple)
+	}
+	a.batchScratch = buf
+	return a.ApplyTupleBatch(input, buf, ctx)
 }
 
 func (a *Aggregate) value(g *aggGroup) float64 {

@@ -1,0 +1,133 @@
+package op
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/punct"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Zero-allocation pins for the stateful fold and batch-apply paths
+// (DESIGN.md §10.6). As in telemetry_alloc_test.go, everything runs against
+// discardCtx so only the operator's own allocations are measured.
+
+const allocTestMinute = int64(60_000_000)
+
+func foldAggregate() *Aggregate {
+	return &Aggregate{
+		In: trafficSchema, Kind: core.AggAvg,
+		TsAttr: 2, ValAttr: 3, GroupBy: []int{0},
+		Window: window.Tumbling(allocTestMinute),
+	}
+}
+
+// foldRing returns tuples confined to one tumbling window across nine
+// groups, so a warm-up pass creates every state entry the measured loop
+// will touch.
+func foldRing(n int) []stream.Tuple {
+	ring := make([]stream.Tuple, n)
+	for i := range ring {
+		ring[i] = traffic(int64(i%9), 0, int64(i)*1000, 55)
+	}
+	return ring
+}
+
+// TestAggregateFoldZeroAlloc pins the per-tuple fold at 0 allocs/op once
+// the touched (window, group) entries exist — the path
+// BenchmarkAggregateFold measures.
+func TestAggregateFoldZeroAlloc(t *testing.T) {
+	a := foldAggregate()
+	if err := a.Open(discardCtx{}); err != nil {
+		t.Fatal(err)
+	}
+	ring := foldRing(64)
+	for _, tu := range ring {
+		if err := a.ProcessTuple(0, tu, discardCtx{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if n := testing.AllocsPerRun(500, func() {
+		_ = a.ProcessTuple(0, ring[i%len(ring)], discardCtx{})
+		i++
+	}); n != 0 {
+		t.Fatalf("aggregate fold allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestAggregateBatchFoldZeroAlloc pins the batched fold (the fused-prefix
+// survivor path) at 0 allocs per run of tuples.
+func TestAggregateBatchFoldZeroAlloc(t *testing.T) {
+	a := foldAggregate()
+	if err := a.Open(discardCtx{}); err != nil {
+		t.Fatal(err)
+	}
+	ring := foldRing(64)
+	if err := a.ApplyTupleBatch(0, ring, discardCtx{}); err != nil {
+		t.Fatal(err) // warm: state entries, key scratch, lastKey buffer
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = a.ApplyTupleBatch(0, ring, discardCtx{})
+	}); n != 0 {
+		t.Fatalf("aggregate batch fold allocates %.1f per batch, want 0", n)
+	}
+}
+
+// batchEmitCtx is discardCtx plus the batched emit hook, so the split test
+// covers the EmitBatchTo path a live runner provides.
+type batchEmitCtx struct{ discardCtx }
+
+func (batchEmitCtx) EmitBatchTo(int, []stream.Tuple) {}
+
+// TestSplitBatchApplyZeroAlloc pins Split's partition-hash batch path at 0
+// allocs per run, under both the batched and the per-tuple emit fallback.
+func TestSplitBatchApplyZeroAlloc(t *testing.T) {
+	s := &Split{Schema: trafficSchema, N: 4, Key: []int{0}, Mode: FeedbackExploit}
+	if err := s.Open(discardCtx{}); err != nil {
+		t.Fatal(err)
+	}
+	ring := foldRing(64)
+	if err := s.ApplyTupleBatch(0, ring, discardCtx{}); err != nil {
+		t.Fatal(err) // warm: sub-batch scratch sized and grown
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = s.ApplyTupleBatch(0, ring, batchEmitCtx{})
+	}); n != 0 {
+		t.Fatalf("split batch apply (batched emit) allocates %.1f per batch, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = s.ApplyTupleBatch(0, ring, discardCtx{})
+	}); n != 0 {
+		t.Fatalf("split batch apply (EmitTo fallback) allocates %.1f per batch, want 0", n)
+	}
+}
+
+// TestJoinBatchGuardZeroAlloc pins the Join batch wrapper and its hoisted
+// guard probe at 0 allocs: a fully suppressed run must touch neither table.
+// (A run that stores or emits allocates per retained tuple by design; the
+// pin isolates the batching machinery itself.)
+func TestJoinBatchGuardZeroAlloc(t *testing.T) {
+	j := &Join{
+		Left: trafficSchema, Right: trafficSchema,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+		LeftTs: 2, RightTs: 2, Mode: FeedbackExploit,
+	}
+	if err := j.Open(discardCtx{}); err != nil {
+		t.Fatal(err)
+	}
+	ring := make([]stream.Tuple, 64)
+	for i := range ring {
+		ring[i] = traffic(3, 0, int64(i)*1000, 55)
+	}
+	j.guardsL.Install(core.NewAssumed(punct.OnAttr(4, 0, punct.Eq(stream.Int(3)))))
+	if n := testing.AllocsPerRun(200, func() {
+		_ = j.ApplyTupleBatch(0, ring, discardCtx{})
+	}); n != 0 {
+		t.Fatalf("join batch apply (suppressed run) allocates %.1f per batch, want 0", n)
+	}
+	if got := j.Stats().SuppressedIn; got == 0 {
+		t.Fatal("guard did not engage; the pin measured the wrong path")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/queue"
 	"repro/internal/stream"
 )
 
@@ -66,6 +67,12 @@ type Split struct {
 	propagated   map[string]bool // intent+pattern strings already relayed upstream
 	rr           int             // round-robin cursor
 	keyScratch   []stream.Value  // backs routing probes for key-pinned feedback
+
+	// subScratch backs the batch path's per-port sub-batches; batchScratch
+	// backs ProcessTupleBatch's item unwrapping. Reused across batches,
+	// transient, never checkpointed.
+	subScratch   [][]stream.Tuple
+	batchScratch []stream.Tuple
 
 	in, suppressed int64
 	outPer         []int64
@@ -161,6 +168,67 @@ func (s *Split) ProcessPunct(input int, e punct.Embedded, ctx exec.Context) erro
 		ctx.EmitPunctTo(i, e)
 	}
 	return nil
+}
+
+// ApplyTupleBatch implements exec.TupleBatchApplier: the run is routed into
+// per-port sub-batches (per-tuple routing identical to ProcessTuple — the
+// round-robin cursor advances per tuple, destination guards probe per tuple)
+// and each non-empty sub-batch is emitted with one EmitBatchTo call. Order
+// within each output port is preserved; cross-port interleaving differs from
+// the sequential path, which no consumer can observe — each port feeds its
+// own edge, and punctuation is processed only between batch runs, so the
+// tuples-before-punct order per port is intact.
+func (s *Split) ApplyTupleBatch(input int, ts []stream.Tuple, ctx exec.Context) error {
+	if input != 0 {
+		return fmt.Errorf("op: split %q: tuple on unexpected input %d", s.Name(), input)
+	}
+	n := s.n()
+	if len(s.subScratch) != n {
+		s.subScratch = make([][]stream.Tuple, n)
+	}
+	sub := s.subScratch
+	for d := range sub {
+		sub[d] = sub[d][:0]
+	}
+	s.in += int64(len(ts))
+	guard := s.Mode != FeedbackIgnore
+	for i := range ts {
+		t := ts[i]
+		d := s.route(t)
+		if guard && s.perOut[d].Active() > 0 && s.perOut[d].Suppress(t) {
+			s.suppressed++
+			continue
+		}
+		sub[d] = append(sub[d], t)
+	}
+	be, batched := ctx.(exec.BatchEmitterTo)
+	for d := 0; d < n; d++ {
+		run := sub[d]
+		if len(run) == 0 {
+			continue
+		}
+		s.outPer[d] += int64(len(run))
+		if batched {
+			be.EmitBatchTo(d, run)
+		} else {
+			for i := range run {
+				ctx.EmitTo(d, run[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ProcessTupleBatch implements exec.TupleBatcher by unwrapping the run into
+// a reused scratch slice and taking the batch-apply path, so unfused plans
+// partition whole pages per call too.
+func (s *Split) ProcessTupleBatch(input int, items []queue.Item, ctx exec.Context) error {
+	buf := s.batchScratch[:0]
+	for i := range items {
+		buf = append(buf, items[i].Tuple)
+	}
+	s.batchScratch = buf
+	return s.ApplyTupleBatch(input, buf, ctx)
 }
 
 // routesOnlyTo reports the single partition every tuple matching p would be

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/punct"
+	"repro/internal/queue"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/window"
@@ -101,6 +102,10 @@ type Join struct {
 	// /metrics scrapes from another goroutine and may only touch atomics.
 	// fb is never snapshotted and resets on restore.
 	fb fbCounters
+
+	// batchScratch backs ProcessTupleBatch's item unwrapping; reused across
+	// batches, transient, never checkpointed.
+	batchScratch []stream.Tuple
 }
 
 type joinEntry struct {
@@ -314,6 +319,11 @@ func (j *Join) processLeft(t stream.Tuple, ctx exec.Context) error {
 		j.suppressedIn++
 		return nil
 	}
+	return j.applyLeft(t, ctx)
+}
+
+// applyLeft is processLeft past the input-guard probe: build, probe, emit.
+func (j *Join) applyLeft(t stream.Tuple, ctx exec.Context) error {
 	key := t.Key(j.LeftKeys)
 	if j.Impatient && !j.impatientKeys[key] {
 		j.impatientKeys[key] = true
@@ -359,6 +369,11 @@ func (j *Join) processRight(t stream.Tuple, ctx exec.Context) error {
 		j.suppressedIn++
 		return nil
 	}
+	return j.applyRight(t, ctx)
+}
+
+// applyRight is processRight past the input-guard probe.
+func (j *Join) applyRight(t stream.Tuple, ctx exec.Context) error {
 	key := t.Key(j.RightKeys)
 	e := &joinEntry{t: t, ts: j.tsOf(t, j.RightTs)}
 	for _, l := range j.leftTable[key] {
@@ -378,6 +393,48 @@ func (j *Join) processRight(t stream.Tuple, ctx exec.Context) error {
 	j.noteDirty(1, key)
 	j.runAdaptive(1, t, ctx)
 	return nil
+}
+
+// ApplyTupleBatch implements exec.TupleBatchApplier: a symmetric hash join
+// has per-tuple probe-and-emit obligations, so the batch path keeps the
+// tuple loop but hoists the input-guard probe — one Active() check per run
+// instead of one table walk per tuple. Guards only change between runs
+// (ProcessFeedback and ProcessPunct never interleave with a batch), so the
+// hoisted decision holds for the whole run.
+func (j *Join) ApplyTupleBatch(input int, ts []stream.Tuple, ctx exec.Context) error {
+	var guards *core.GuardTable
+	var apply func(t stream.Tuple, ctx exec.Context) error
+	switch input {
+	case 0:
+		guards, apply = j.guardsL, j.applyLeft
+	case 1:
+		guards, apply = j.guardsR, j.applyRight
+	default:
+		return fmt.Errorf("op: join %q: tuple on unexpected input %d (two-input operator; check plan wiring)", j.Name(), input)
+	}
+	guarded := j.Mode == FeedbackExploit && guards.Active() > 0
+	for i := range ts {
+		t := ts[i]
+		if guarded && guards.Suppress(t) {
+			j.suppressedIn++
+			continue
+		}
+		if err := apply(t, ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessTupleBatch implements exec.TupleBatcher by unwrapping the run into
+// a reused scratch slice and taking the batch-apply path.
+func (j *Join) ProcessTupleBatch(input int, items []queue.Item, ctx exec.Context) error {
+	buf := j.batchScratch[:0]
+	for i := range items {
+		buf = append(buf, items[i].Tuple)
+	}
+	j.batchScratch = buf
+	return j.ApplyTupleBatch(input, buf, ctx)
 }
 
 func (j *Join) tsOf(t stream.Tuple, attr int) int64 {

@@ -137,14 +137,28 @@ func TestFusedParallelBoundaries(t *testing.T) {
 	for i := 0; i < g.NumNodes(); i++ {
 		names = append(names, g.NameAt(exec.NodeID(i)))
 	}
-	joined := strings.Join(names, ",")
-	for _, want := range []string{"fused(clean+norm)", "fused(pf+pm)", "p.split", "p.merge", "avg"} {
-		if !strings.Contains(joined, want) {
-			t.Fatalf("compiled plan %v missing %q", names, want)
+	// Stage 1 fuses the pre-split chain and each partition's stateless
+	// prefix; stage 2 then absorbs those kernels into the Split and each
+	// Aggregate as prefix kernels. Merge — the punctuation-alignment point —
+	// survives untouched, and the stateful nodes keep their identity inside
+	// the prefixed wrappers.
+	want := []string{"src", "fused(clean+norm=>p.split)", "fused(pf+pm=>avg)", "fused(pf+pm=>avg)", "p.merge", "sink"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("compiled plan = %v, want %v", names, want)
+	}
+	fusions := b.Fusions()
+	if len(fusions) != 6 { // 3 stage-1 kernels + 3 stage-2 absorbs
+		t.Fatalf("fusions = %+v, want 6", fusions)
+	}
+	var absorbed []string
+	for _, f := range fusions {
+		if f.Consumer != "" {
+			absorbed = append(absorbed, f.Consumer)
 		}
 	}
-	if len(b.Fusions()) != 3 { // pre-split chain + one per partition
-		t.Fatalf("fusions = %+v, want 3", b.Fusions())
+	sort.Strings(absorbed)
+	if strings.Join(absorbed, ",") != "avg,avg,p.split" {
+		t.Fatalf("stage-2 consumers = %v, want [avg avg p.split]", absorbed)
 	}
 	if err := b.Run(); err != nil {
 		t.Fatal(err)
@@ -167,7 +181,12 @@ func TestFusedCheckpointRecoverIdentity(t *testing.T) {
 		s := b.Source(src).
 			SelectExpr("clean", op.ExprStep{Col: 1, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))}).
 			Map("norm", carryAll(testSchema)...)
+		// The per-partition stateless prefix makes each aggregate a stage-2
+		// absorb target, so the checkpoint cuts (and the restore fills) a
+		// Prefixed node wrapping the stateful aggregate.
 		out := s.Parallel("p", 2, []string{"segment"}, func(ss Stream) Stream {
+			ss = ss.SelectExpr("pclean", op.ExprStep{Col: 1, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))}).
+				Map("pnorm", carryAll(ss.Schema())...)
 			return ss.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
 				window.Tumbling(1_000_000), "avg_speed")
 		})
@@ -227,6 +246,111 @@ func TestFusedCheckpointRecoverIdentity(t *testing.T) {
 	got := canonicalLines(sink2)
 	if strings.Join(want, "\n") != strings.Join(got, "\n") {
 		t.Fatalf("fused checkpoint-recover digest diverges: %d lines vs %d", len(got), len(want))
+	}
+}
+
+// TestFusedStatefulDigestIdentity is the stage-2 graph-level property test:
+// randomly generated plans whose stateless prefixes feed stateful consumers
+// — a windowed aggregate, a Parallel(n) partition fan (Split + per-partition
+// aggregates), a symmetric hash join, a Pace union — must produce the same
+// canonical digest compiled (prefix kernels absorbed into the consumers,
+// batched stateful apply) and uncompiled, across feedback modes and embedded
+// punctuation, under the real concurrent runtime.
+func TestFusedStatefulDigestIdentity(t *testing.T) {
+	build := func(seed int64, fused bool) (*Builder, *exec.Collector) {
+		rng := rand.New(rand.NewSource(seed))
+		b := New()
+		switch rng.Intn(4) {
+		case 0:
+			b.Mode = op.FeedbackIgnore
+		case 1:
+			b.Mode = op.FeedbackGuardOutput
+		}
+		src := &exec.SliceSource{SourceName: "src", Schema: testSchema, Items: aggWorkload(2500), BatchSize: 64}
+		s := b.Source(src)
+		prefix := func(s Stream, tag string) Stream {
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					cut := stream.Float(float64(25 + rng.Intn(20)))
+					s = s.SelectExpr(tag+nameOf("f", i), op.ExprStep{
+						Col: s.Schema().Index("speed"), Name: "speed", Pred: punct.Ge(cut)})
+				case 1:
+					s = s.Map(tag+nameOf("m", i), carryAll(s.Schema())...)
+				default:
+					names := make([]string, s.Schema().Arity())
+					for j := range names {
+						names[j] = s.Schema().Field((j + 1) % len(names)).Name
+					}
+					s = s.Project(tag+nameOf("r", i), names...)
+				}
+			}
+			return s
+		}
+		switch seed % 4 {
+		case 0: // prefix absorbed into a lone aggregate
+			s = prefix(s, "a")
+			s = s.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
+				window.Tumbling(1_000_000), "avg_speed")
+		case 1: // prefix absorbed into Split, per-partition prefixes into aggregates
+			s = prefix(s, "pre")
+			parts := 1 + rng.Intn(3)
+			s = s.Parallel("p", parts, []string{"segment"}, func(ss Stream) Stream {
+				ss = ss.SelectExpr("pclean", op.ExprStep{
+					Col: ss.Schema().Index("ts"), Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))}).
+					Map("pnorm", carryAll(ss.Schema())...)
+				return ss.Aggregate("avg", core.AggAvg, "ts", "speed", []string{"segment"},
+					window.Tumbling(1_000_000), "avg_speed")
+			})
+		case 2: // prefixes absorbed into both join inputs
+			outs := s.Duplicate("dup", 2)
+			l := prefix(outs[0], "l")
+			r := outs[1].Map("rn",
+				op.CarryAs("rseg", "segment"), op.CarryAs("rts", "ts"), op.CarryAs("rspeed", "speed"))
+			s = l.Join("j", r, []string{"segment", "ts"}, []string{"rseg", "rts"}, "ts", "rts", false)
+		default: // prefixes absorbed into both Pace inputs (tolerance too wide to drop)
+			outs := s.Duplicate("dup", 2)
+			l := outs[0].Map("lm", carryAll(testSchema)...)
+			r := outs[1].SelectExpr("rf", op.ExprStep{Col: 1, Name: "ts", Pred: punct.Ge(stream.TimeMicros(0))})
+			s = l.Pace("pace", "ts", 1<<60, r)
+		}
+		sink := s.Collect("sink")
+		if fused {
+			b.Compile()
+		}
+		if err := b.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return b, sink
+	}
+
+	for seed := int64(0); seed < 12; seed++ {
+		bu, su := build(seed, false)
+		if err := bu.Run(); err != nil {
+			t.Fatalf("seed %d unfused: %v", seed, err)
+		}
+		bf, sf := build(seed, true)
+		hasAbsorb := false
+		for _, f := range bf.Fusions() {
+			if f.Consumer != "" {
+				hasAbsorb = true
+			}
+		}
+		if !hasAbsorb {
+			t.Fatalf("seed %d: compiled plan absorbed no prefix (fusions=%+v)", seed, bf.Fusions())
+		}
+		if err := bf.Run(); err != nil {
+			t.Fatalf("seed %d fused: %v", seed, err)
+		}
+		want, got := canonicalLines(su), canonicalLines(sf)
+		if len(want) == 0 {
+			t.Fatalf("seed %d produced no results", seed)
+		}
+		if strings.Join(want, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("seed %d: stage-2 fused digest diverges from unfused\nunfused: %d lines\nfused:   %d lines",
+				seed, len(want), len(got))
+		}
 	}
 }
 
