@@ -25,6 +25,8 @@ import (
 
 // speculator is the sink: partway through the stream it demands an early
 // answer for EUR/USD.
+//
+//pace:stateless example sink; its log exists only to be printed at the end of this demo run
 type speculator struct {
 	exec.Base
 	schema    repro.Schema

@@ -28,6 +28,8 @@ var schema = repro.MustSchema(
 
 // decidingSink counts arrivals per segment and, after 50 tuples, issues
 // assumed feedback for segment 2.
+//
+//pace:stateless example sink; its counters only steer this demo's feedback moment
 type decidingSink struct {
 	exec.Base
 	seen     atomic.Int64

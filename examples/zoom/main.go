@@ -31,6 +31,8 @@ const (
 
 // display is the sink; zoom events arrive on a schedule keyed to stream
 // progress (a real UI would key them to user input).
+//
+//pace:stateless example sink; its log exists only to be printed at the end of this demo run
 type display struct {
 	exec.Base
 	schema repro.Schema

@@ -68,6 +68,8 @@ func (g *GuardTable) Install(f Feedback) bool {
 // Suppress reports whether the tuple matches any active guard (and should
 // be dropped by the caller). The probe runs against the guards' compiled
 // patterns without copying or allocating.
+//
+//pace:hotpath
 func (g *GuardTable) Suppress(t stream.Tuple) bool {
 	// Empty-table fast path, kept trivial so the call inlines: with no
 	// feedback installed the hot path pays one length check, no call.
@@ -77,6 +79,7 @@ func (g *GuardTable) Suppress(t stream.Tuple) bool {
 	return g.suppressScan(t)
 }
 
+//pace:hotpath
 func (g *GuardTable) suppressScan(t stream.Tuple) bool {
 	for i := range g.guards {
 		if g.guards[i].compiled.Matches(t) {

@@ -441,6 +441,7 @@ func (r *nodeRunner) flushPageStats() {
 	r.pgTuples, r.pgPuncts, r.pgBatches, r.pgChecks = 0, 0, 0, 0
 }
 
+//pace:hotpath
 func (r *nodeRunner) pageLoop(ev inEvent) error {
 	items := ev.page.Items
 	for i := 0; i < len(items); i++ {
@@ -486,6 +487,8 @@ func (r *nodeRunner) pageLoop(ev inEvent) error {
 
 // processItem dispatches one item to the operator, diverting items from
 // barrier-frozen inputs into the alignment buffer.
+//
+//pace:hotpath
 func (r *nodeRunner) processItem(input int, it *queue.Item) error {
 	if a := r.align; a != nil && a.got[input] {
 		if !r.alignmentStale() {
@@ -529,7 +532,13 @@ func (r *nodeRunner) processItem(input int, it *queue.Item) error {
 	case queue.ItemBarrier:
 		return r.onBarrier(input, it.BarrierEpoch())
 	}
-	return fmt.Errorf("unknown item kind %d", it.Kind)
+	return errUnknownItemKind(it.Kind)
+}
+
+// errUnknownItemKind keeps the formatting allocation out of the annotated
+// processItem hot path; it is only reached on a corrupted page.
+func errUnknownItemKind(k queue.ItemKind) error {
+	return fmt.Errorf("unknown item kind %d", k)
 }
 
 // alignmentStale reports whether the in-progress alignment belongs to a
@@ -674,29 +683,41 @@ func (r *nodeRunner) handleControl(ce ctrlEvent, onFeedback func(int, core.Feedb
 // ---------------------------------------------------------------------------
 
 // Emit implements Context.
+//
+//pace:hotpath
 func (r *nodeRunner) Emit(t stream.Tuple) { r.EmitTo(0, t) }
 
 // EmitTo implements Context.
+//
+//pace:hotpath
 func (r *nodeRunner) EmitTo(port int, t stream.Tuple) {
 	r.node.outConns[port].PutTuple(t)
 }
 
 // EmitBatch implements BatchEmitter: a run of tuples goes to output port 0
 // with one page-capacity check per chunk instead of per tuple.
+//
+//pace:hotpath
 func (r *nodeRunner) EmitBatch(ts []stream.Tuple) {
 	r.node.outConns[0].PutTuples(ts)
 }
 
 // EmitBatchTo implements BatchEmitterTo: a per-port sub-batch (e.g. one
 // Split partition's share of a run) goes out in one call.
+//
+//pace:hotpath
 func (r *nodeRunner) EmitBatchTo(port int, ts []stream.Tuple) {
 	r.node.outConns[port].PutTuples(ts)
 }
 
 // EmitPunct implements Context.
+//
+//pace:hotpath
 func (r *nodeRunner) EmitPunct(e punct.Embedded) { r.EmitPunctTo(0, e) }
 
 // EmitPunctTo implements Context.
+//
+//pace:hotpath
 func (r *nodeRunner) EmitPunctTo(port int, e punct.Embedded) {
 	r.node.outConns[port].PutPunct(e)
 }

@@ -32,6 +32,8 @@ var stepSchema = stream.MustSchema(
 // steppedSource emits exactly limit items (all in one giant window), then
 // parks live — the driver raises the limit to "touch" groups between
 // checkpoints.
+//
+//pace:stateless experiment harness source; each run starts from scratch, restore is never exercised
 type steppedSource struct {
 	groups int64 // first `groups` items create distinct keys
 	limit  atomic.Int64

@@ -114,6 +114,8 @@ type SpeedmapResult struct {
 // will ignore: every *other* segment, for the upcoming switch period. The
 // feedback's temporal extent keeps guards expirable (§4.4): each period's
 // pattern is eventually covered by wstart punctuation and released.
+//
+//pace:stateless experiment harness sink; each run starts from scratch, restore is never exercised
 type viewer struct {
 	exec.Base
 	schema     stream.Schema

@@ -90,6 +90,8 @@ type step struct {
 }
 
 // Fused runs a chain of stateless operators as one exec node.
+//
+//pace:stateless fuses only stateless operators; per-step guards are exploitation-only and scratch is transient within one call
 type Fused struct {
 	exec.Base
 	in    stream.Schema
@@ -210,6 +212,8 @@ func (f *Fused) Open(exec.Context) error {
 // predicate/cost, attribute mapping — but the tuple moves to the next step
 // by local variable, not by page handoff, and only the survivor of the whole
 // chain is emitted.
+//
+//pace:hotpath
 func (f *Fused) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	if out, ok := f.runTuple(t); ok {
 		ctx.Emit(out)
@@ -276,6 +280,8 @@ func (f *Fused) runTuple(t stream.Tuple) (stream.Tuple, bool) {
 // batches, so the table cannot change mid-run) — and the survivors are
 // emitted in order. Exactly equivalent to calling ProcessTuple per item;
 // the runtime mixes both paths freely.
+//
+//pace:hotpath
 func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) error {
 	buf := f.runBatchItems(items)
 	if be, ok := ctx.(exec.BatchEmitter); ok {
@@ -293,6 +299,8 @@ func (f *Fused) ProcessTupleBatch(_ int, items []queue.Item, ctx exec.Context) e
 // the step table over it, returning the survivors. The returned slice is
 // backed by f.scratch and is valid until the next run*/Process* call — the
 // caller must hand it off (emit or batch-apply) before then, not retain it.
+//
+//pace:hotpath
 func (f *Fused) runBatchItems(items []queue.Item) []stream.Tuple {
 	buf := f.scratch[:0]
 	for i := range items {

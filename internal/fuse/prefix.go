@@ -27,6 +27,8 @@ import (
 )
 
 // Prefixed wraps a stateful consumer with per-input prefix kernels.
+//
+//pace:allow-nonote delegates all Stater/DeltaStater calls to the wrapped operator, which owns the changelog
 type Prefixed struct {
 	inner   exec.Operator
 	kernels []*Fused // indexed by input port; nil = no prefix on that port

@@ -1,0 +1,228 @@
+// Package atomicfield mechanizes the DESIGN.md §11 scrape-safety split:
+// a struct field that is accessed through sync/atomic anywhere in the
+// program must be accessed through sync/atomic everywhere. Mixing
+// atomic.LoadInt64(&c.n) on the metrics goroutine with a plain c.n++ on
+// the node goroutine is a data race the -race detector only catches when
+// a scrape happens to land mid-increment — this analyzer catches it at
+// vet time, program-wide (the field's package rarely contains the racy
+// access, hence RunProgram).
+//
+// The analyzer also guards the other half of the split: a telemetry.Var
+// whose Value is a func literal runs on the scrape goroutine, so the
+// closure must not read plain numeric fields — plain counters are
+// node-goroutine-only snapshot state, readable from a scrape only after
+// the §11 serialization handoff. Deliberate exceptions (a field guarded
+// by a mutex held on both sides, for example) carry a
+// //pace:allow-nonatomic <reason> waiver on the access line.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer enforces all-or-nothing atomic access to struct fields.
+var Analyzer = &analysis.Analyzer{
+	Name:       "atomicfield",
+	Doc:        "a field accessed via sync/atomic must be accessed atomically everywhere (DESIGN.md §11)",
+	RunProgram: run,
+}
+
+const waiver = "allow-nonatomic"
+
+// fieldKey names a struct field across packages. Objects loaded from
+// export data are distinct from their source-checked counterparts, so
+// identity is by name, not by *types.Var.
+type fieldKey struct {
+	pkg   string
+	typ   string
+	field string
+}
+
+func run(passes []*analysis.Pass) error {
+	// Pass A: find every field whose address is passed to a sync/atomic
+	// function, and remember those access sites as sanctioned.
+	atomicFields := map[fieldKey]token.Pos{} // key -> first atomic access
+	sanctioned := map[token.Pos]bool{}       // selector positions inside atomic calls
+	for _, p := range passes {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(p.TypesInfo, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					key, ok := keyOf(p.TypesInfo, sel)
+					if !ok {
+						continue
+					}
+					if _, seen := atomicFields[key]; !seen {
+						atomicFields[key] = sel.Pos()
+					}
+					sanctioned[sel.Sel.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass B: every other access to those fields must be waived.
+	for _, p := range passes {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				key, ok := keyOf(p.TypesInfo, sel)
+				if !ok {
+					return true
+				}
+				if _, isAtomic := atomicFields[key]; !isAtomic {
+					return true
+				}
+				if sanctioned[sel.Sel.Pos()] {
+					return true
+				}
+				if p.Directives().AllowedAt(sel.Pos(), waiver) {
+					return true
+				}
+				p.Reportf(sel.Pos(), "field %s.%s is accessed via sync/atomic elsewhere; this plain access races with it", key.typ, key.field)
+				return true
+			})
+		}
+	}
+
+	// Pass C: telemetry.Var Value closures run on the scrape goroutine;
+	// plain numeric fields they read are node-local snapshot state.
+	for _, p := range passes {
+		checkScrapeClosures(p)
+	}
+	return nil
+}
+
+// checkScrapeClosures flags plain-field reads inside func-literal Values
+// of telemetry.Var composite literals.
+func checkScrapeClosures(p *analysis.Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok || !isTelemetryVar(p.TypesInfo.TypeOf(cl)) {
+				return true
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Value" {
+					continue
+				}
+				fl, ok := ast.Unparen(kv.Value).(*ast.FuncLit)
+				if !ok {
+					continue // method values like c.n.Load are atomic by construction
+				}
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					obj, ok := fieldOf(p.TypesInfo, sel)
+					if !ok || !isPlainNumeric(obj.Type()) {
+						return true
+					}
+					if p.Directives().AllowedAt(sel.Pos(), waiver) {
+						return true
+					}
+					p.Reportf(sel.Pos(), "scrape closure reads plain field %s; scrape-side counters must be sync/atomic (plain counters are snapshot state, node goroutine only)", obj.Name())
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// keyOf resolves a selector to a struct-field key.
+func keyOf(info *types.Info, sel *ast.SelectorExpr) (fieldKey, bool) {
+	obj, ok := fieldOf(info, sel)
+	if !ok || obj.Pkg() == nil {
+		return fieldKey{}, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return fieldKey{}, false
+	}
+	key := fieldKey{pkg: obj.Pkg().Path(), field: obj.Name()}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		key.typ = named.Obj().Name()
+	}
+	return key, true
+}
+
+// fieldOf resolves a selector to the struct field it selects, if any.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	return v, ok
+}
+
+// isSyncAtomicCall reports whether call invokes a package-level function
+// of sync/atomic (the function-style API; typed atomics are methods and
+// are race-free by construction).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := info.Uses[id].(*types.PkgName)
+	return isPkg
+}
+
+// isTelemetryVar reports whether t is repro/internal/telemetry.Var.
+func isTelemetryVar(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Var" && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/telemetry"
+}
+
+// isPlainNumeric reports whether t is a non-atomic numeric type (the kind
+// of field the §11 split reserves for the node goroutine).
+func isPlainNumeric(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return false
+		}
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}

@@ -1,0 +1,32 @@
+// Package atomicmix is the atomicfield fixture for the function-style
+// sync/atomic API: the hits field is accessed atomically in two
+// functions, so its plain accesses elsewhere are races — except the one
+// carrying a waiver.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	drops int64
+	local int64
+}
+
+func (c *counters) scrape() int64 {
+	return atomic.LoadInt64(&c.hits) // ok: the sanctioned access style
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.drops++ // ok: drops is never touched atomically
+	c.local = 0
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want "accessed via sync/atomic elsewhere"
+	c.drops = 0
+}
+
+func (c *counters) read() int64 {
+	return c.hits //pace:allow-nonatomic read at snapshot barrier; all writers quiesced
+}

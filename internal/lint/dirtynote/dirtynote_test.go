@@ -1,0 +1,12 @@
+package dirtynote_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/dirtynote"
+	"repro/internal/lint/linttest"
+)
+
+func TestDirtyNote(t *testing.T) {
+	linttest.Run(t, dirtynote.Analyzer, "delta")
+}

@@ -1,0 +1,109 @@
+// Package delta is the dirtynote fixture: a DeltaStater with a tracked
+// map exercising noted and un-noted writes, deletes, element aliases,
+// accessor aliases, whole-map resets, and every waiver scope; plus
+// DeltaStaters with no tracked maps, waived and not.
+package delta
+
+import "repro/internal/snapshot"
+
+type entry struct{ n int64 }
+
+// book is the Aggregate/Join shape: keyed state plus a changelog.
+type book struct {
+	state map[string]*entry //pace:tracked
+	log   []string
+}
+
+func (b *book) noteDirty(k string) { b.log = append(b.log, k) }
+func (b *book) noteDead(k string)  { b.log = append(b.log, "-"+k) }
+
+func (b *book) table() map[string]*entry { return b.state }
+
+// ApplyDelta is the restore side: a function-scope waiver because the
+// changelog is rebuilt wholesale after replay.
+//
+//pace:allow-nonote restore path; changelog rebuilt wholesale after replay
+func (b *book) ApplyDelta(dec *snapshot.Decoder) error {
+	b.state["k"] = &entry{}
+	return nil
+}
+
+func (b *book) add(k string) {
+	b.state[k] = &entry{} // want "write to tracked map entry without a noteDirty"
+}
+
+func (b *book) addNoted(k string) {
+	b.state[k] = &entry{}
+	b.noteDirty(k)
+}
+
+func (b *book) drop(k string) {
+	delete(b.state, k) // want "delete from tracked map without a noteDead"
+}
+
+func (b *book) dropNoted(k string) {
+	delete(b.state, k)
+	b.noteDead(k)
+}
+
+func (b *book) bump(k string) {
+	g := b.state[k]
+	g.n++ // want "write through tracked-map element"
+}
+
+func (b *book) bumpNoted(k string) {
+	g := b.state[k]
+	g.n++
+	b.noteDirty(k)
+}
+
+func (b *book) sweep() {
+	for k, g := range b.state {
+		g.n = 0 // want "write through tracked-map element"
+		_ = k
+	}
+}
+
+func (b *book) reset() {
+	b.state = make(map[string]*entry) // ok: whole-map reset, not an entry mutation
+}
+
+func (b *book) aliased(k string) {
+	m := b.table()
+	m[k] = &entry{} // want "write to tracked map entry without a noteDirty"
+}
+
+func (b *book) aliasedNoted(k string) {
+	m := b.table()
+	m[k] = &entry{}
+	b.noteDirty(k)
+}
+
+func (b *book) lineWaived(k string) {
+	b.state[k] = &entry{} //pace:allow-nonote replay scaffolding; snapshotted key rewritten below
+}
+
+// tape is a DeltaStater whose state is not keyed: it must either mark a
+// tracked map or document the exemption.
+type tape struct { // want "declares no //pace:tracked state maps"
+	vals []int64
+}
+
+func (t *tape) ApplyDelta(dec *snapshot.Decoder) error { return nil }
+
+// roll documents its append-suffix delta encoding.
+//
+//pace:allow-nonote append-suffix deltas; no keyed changelog exists
+type roll struct {
+	vals []int64
+}
+
+func (r *roll) ApplyDelta(dec *snapshot.Decoder) error { return nil }
+
+// badmark tracks a non-map field.
+type badmark struct {
+	n     int64             //pace:tracked // want "is not a map"
+	state map[string]*entry //pace:tracked
+}
+
+func (bm *badmark) ApplyDelta(dec *snapshot.Decoder) error { return nil }

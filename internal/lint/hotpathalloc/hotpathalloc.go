@@ -1,0 +1,374 @@
+// Package hotpathalloc mechanizes the DESIGN.md §2 zero-allocation
+// contract: a function annotated //pace:hotpath must not contain
+// constructs that heap-allocate (or are allowed to). The analyzer flags,
+// inside annotated bodies:
+//
+//   - make/new calls and slice, map, and &composite literals;
+//   - append calls whose destination is not a reusable scratch buffer
+//     (a struct field, a parameter, or a local derived from one);
+//   - closures (a func literal captures its environment on the heap);
+//   - taking the address of a local or parameter where it can escape
+//     (call argument, assignment, or return value);
+//   - implicit conversions of non-pointer-shaped values to interface
+//     types (call arguments, conversions, assignments, returns);
+//   - any call into fmt or errors (formatting allocates; error paths
+//     belong in cold helper functions).
+//
+// Accepted allocations — amortized scratch growth, state-insert paths,
+// design-point boxing — carry a //pace:allow-alloc <reason> waiver on the
+// offending line. The analyzer is deliberately pessimistic: it cannot run
+// escape analysis, so it asks that hot-path code either avoid the
+// construct or document why the allocation is acceptable, which is
+// exactly the review conversation the old AllocsPerRun pins forced after
+// the fact (the PR 9 lingering alloc hid in a harness loop for a full
+// release cycle).
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags possible heap allocations in //pace:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flag allocating constructs in //pace:hotpath functions (DESIGN.md §2)",
+	Run:  run,
+}
+
+// waiver is the line directive that accepts a flagged allocation.
+const waiver = "allow-alloc"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := analysis.HasDirective(fd.Doc, "hotpath"); !ok {
+				continue
+			}
+			(&checker{pass: pass, fd: fd}).check()
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+	// scratch holds locals assigned at least once from a reusable source
+	// (field, parameter, call result, or another scratch local); append
+	// may target them.
+	scratch map[types.Object]bool
+}
+
+func (c *checker) report(pos ast.Node, format string, args ...any) {
+	if c.pass.Directives().AllowedAt(pos.Pos(), waiver) {
+		return
+	}
+	c.pass.Reportf(pos.Pos(), format, args...)
+}
+
+func (c *checker) check() {
+	c.collectScratch()
+	c.walk(c.fd.Body)
+}
+
+// collectScratch classifies local variables: a local is scratch if some
+// assignment reaches it from a field, parameter, non-literal call, or
+// another scratch local. Iterated to a fixpoint so chains of locals
+// resolve regardless of order.
+func (c *checker) collectScratch() {
+	c.scratch = map[types.Object]bool{}
+	if c.fd.Recv != nil {
+		for _, fld := range c.fd.Recv.List {
+			for _, name := range fld.Names {
+				c.scratch[c.pass.TypesInfo.Defs[name]] = true
+			}
+		}
+	}
+	for _, fld := range c.fd.Type.Params.List {
+		for _, name := range fld.Names {
+			c.scratch[c.pass.TypesInfo.Defs[name]] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || c.scratch[obj] {
+					continue
+				}
+				if c.reusableSource(as.Rhs[i]) {
+					c.scratch[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reusableSource reports whether an expression draws on a reusable buffer
+// rather than a fresh literal.
+func (c *checker) reusableSource(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return true // field (or package object); fields are the scratch idiom
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		return obj != nil && c.scratch[obj]
+	case *ast.SliceExpr:
+		return c.reusableSource(e.X)
+	case *ast.IndexExpr:
+		return c.reusableSource(e.X)
+	case *ast.StarExpr:
+		return c.reusableSource(e.X)
+	case *ast.CallExpr:
+		if name, ok := builtinName(c.pass, e); ok {
+			switch name {
+			case "make":
+				return len(e.Args) == 3 // capacity given: growth is bounded
+			case "append":
+				return len(e.Args) > 0 && c.reusableSource(e.Args[0])
+			}
+			return false
+		}
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: as reusable as its operand ([]T(nil) is not).
+			return len(e.Args) == 1 && c.reusableSource(e.Args[0])
+		}
+		return true // call results (pools, getters) are the caller's problem
+	}
+	return false
+}
+
+// walk visits the body, tracking just enough parent context to attribute
+// composite literals and address-of expressions.
+func (c *checker) walk(body *ast.BlockStmt) {
+	info := c.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.report(n, "closure in hot path: a func literal allocates its capture environment")
+			return false
+		case *ast.UnaryExpr:
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				c.report(n, "&%s{...} heap-allocates", typeLabel(info, cl))
+				return false // inner literal already covered
+			}
+			return true
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				c.report(n, "slice literal allocates; reuse a scratch buffer")
+			case *types.Map:
+				c.report(n, "map literal allocates")
+			}
+			return true
+		case *ast.CallExpr:
+			c.checkCall(n)
+			return true
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+			return true
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+			return true
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+	if name, ok := builtinName(c.pass, call); ok {
+		switch name {
+		case "new":
+			c.report(call, "new(...) heap-allocates")
+		case "make":
+			c.report(call, "make allocates; preallocate in Open or reuse a scratch buffer")
+		case "append":
+			if len(call.Args) == 0 || !c.reusableSource(call.Args[0]) {
+				c.report(call, "append may grow a non-scratch slice; append to a reused field/parameter buffer")
+			}
+		}
+		return
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			c.checkIfaceConv(call.Args[0], tv.Type)
+		}
+		return
+	}
+	if path := calleePkgPath(info, call); path == "fmt" || path == "errors" {
+		c.report(call, "call into %s allocates; hoist error/formatting paths into cold helpers", path)
+		return // don't double-report its interface-converted arguments
+	}
+	// Escaping address-of and implicit interface conversions per argument.
+	sig, _ := info.TypeOf(call.Fun).Underlying().(*types.Signature)
+	for i, arg := range call.Args {
+		if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+			if id, ok := ast.Unparen(ue.X).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, isVar := obj.(*types.Var); isVar && obj.Parent() != nil {
+						c.report(arg, "&%s escapes: taking a local's address in a call may force it to the heap", id.Name)
+					}
+				}
+			}
+		}
+		if sig == nil {
+			continue
+		}
+		pt := paramType(sig, i, call)
+		if pt != nil && types.IsInterface(pt) {
+			c.checkIfaceConv(arg, pt)
+		}
+	}
+}
+
+// paramType returns the declared type of argument i, unwrapping variadics.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if call.Ellipsis.IsValid() {
+			return nil // forwarding a slice: no per-element conversion
+		}
+		return params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	info := c.pass.TypesInfo
+	if as.Tok.String() == ":=" {
+		return // defined type equals RHS type: no conversion
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := info.TypeOf(lhs)
+		if lt != nil && types.IsInterface(lt) {
+			c.checkIfaceConv(as.Rhs[i], lt)
+		}
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	obj := c.pass.TypesInfo.Defs[c.fd.Name]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	results := fn.Signature().Results()
+	if results.Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		rt := results.At(i).Type()
+		if types.IsInterface(rt) {
+			c.checkIfaceConv(r, rt)
+		}
+	}
+}
+
+// checkIfaceConv flags a concrete, non-pointer-shaped value converted to
+// an interface: the value is boxed on the heap (pointer-shaped values and
+// constants ride in the interface word or static data).
+func (c *checker) checkIfaceConv(arg ast.Expr, to types.Type) {
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil {
+		return // constant: backed by static data
+	}
+	from := tv.Type
+	if types.IsInterface(from) || isPointerShaped(from) {
+		return
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.report(arg, "conversion of %s to %s boxes the value on the heap", from, to)
+}
+
+// isPointerShaped reports whether values of t fit the interface data word
+// without boxing.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// builtinName reports the name of a builtin call.
+func builtinName(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// calleePkgPath resolves the package path of a called package-level
+// function, or "".
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return ""
+	}
+	if _, ok := obj.(*types.Func); !ok {
+		return ""
+	}
+	// Only package-qualified calls (fmt.Errorf), not method calls.
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return obj.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// typeLabel renders a composite literal's type for a message.
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	if t := info.TypeOf(cl); t != nil {
+		return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+	}
+	return "composite"
+}

@@ -1,0 +1,72 @@
+// Package hot is the hotpathalloc fixture: one annotated function
+// exercising every flagged construct, scratch-buffer negatives, a waiver,
+// and an un-annotated function proving the analyzer scopes to
+// //pace:hotpath only.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type sink interface{ accept(any) }
+
+type node struct {
+	scratch []int
+	out     []int
+}
+
+var errTooBig = errors.New("too big")
+
+//pace:hotpath
+func (n *node) process(xs []int, s sink) error {
+	// Scratch-buffer idiom: appends into fields, params, and their
+	// aliases are the reuse pattern the contract encourages.
+	n.scratch = append(n.scratch[:0], xs...)
+	tmp := n.scratch
+	tmp = append(tmp, 1)
+	xs = append(xs, len(tmp))
+
+	var fresh []int
+	fresh = append(fresh, 1) // want "append may grow a non-scratch slice"
+	_ = fresh
+
+	buf := make([]int, 0) // want "make allocates"
+	_ = buf
+	p := new(int) // want "heap-allocates"
+	_ = p
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	lit := []int{1, 2} // want "slice literal allocates"
+	_ = lit
+	g := &node{} // want "heap-allocates"
+	_ = g
+	f := func() {} // want "closure in hot path"
+	_ = f
+
+	s.accept(len(xs)) // want "boxes the value"
+	s.accept(n)       // ok: *node is pointer-shaped
+	s.accept(nil)     // ok
+
+	if len(xs) > 99 {
+		return errTooBig // ok: already an interface value
+	}
+	if xs == nil {
+		return fmt.Errorf("no input") // want "call into fmt allocates"
+	}
+
+	sized := make([]int, 0, 8) //pace:allow-alloc one bounded allocation per call by design
+	_ = sized
+	return nil
+}
+
+//pace:hotpath
+func escape(v int, s sink) {
+	s.accept(&v) // want "escapes"
+}
+
+// cold is un-annotated: the same constructs draw no findings.
+func (n *node) cold() *node {
+	_ = fmt.Sprintf("%d", len(n.out))
+	return &node{}
+}

@@ -1,0 +1,125 @@
+// Package lintutil holds small type- and AST-resolution helpers shared by
+// the pacevet analyzers.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FindImport locates a package by path in root's transitive import graph
+// (root itself included). Analyzers use it to resolve interfaces such as
+// snapshot.Stater from whatever package they are currently checking; if
+// the package is unreachable, the invariant cannot apply and the analyzer
+// skips the pass.
+func FindImport(root *types.Package, path string) *types.Package {
+	if root == nil {
+		return nil
+	}
+	seen := map[*types.Package]bool{root: true}
+	queue := []*types.Package{root}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	return nil
+}
+
+// InterfaceOf resolves a named interface from pkg's scope, or nil.
+func InterfaceOf(pkg *types.Package, name string) *types.Interface {
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// Implements reports whether T or *T satisfies iface.
+func Implements(t types.Type, iface *types.Interface) bool {
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// RecvName returns the receiver identifier name of a method declaration
+// and the bare receiver type name, or ok=false for functions.
+func RecvName(fd *ast.FuncDecl) (recv, typ string, ok bool) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", "", false
+	}
+	t := fd.Recv.List[0].Type
+	if star, isStar := t.(*ast.StarExpr); isStar {
+		t = star.X
+	}
+	// Strip type parameters on generic receivers.
+	switch e := t.(type) {
+	case *ast.IndexExpr:
+		t = e.X
+	case *ast.IndexListExpr:
+		t = e.X
+	}
+	id, isIdent := t.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if len(fd.Recv.List[0].Names) > 0 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	return recv, id.Name, true
+}
+
+// TypeSpecs yields every type declaration in the files together with its
+// effective doc comment (the spec's own doc, else the enclosing GenDecl's).
+func TypeSpecs(files []*ast.File, fn func(spec *ast.TypeSpec, doc *ast.CommentGroup)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				fn(ts, doc)
+			}
+		}
+	}
+}
+
+// Methods collects the method declarations of each type in the files,
+// keyed by bare receiver type name.
+func Methods(files []*ast.File) map[string][]*ast.FuncDecl {
+	out := map[string][]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if _, typ, ok := RecvName(fd); ok {
+				out[typ] = append(out[typ], fd)
+			}
+		}
+	}
+	return out
+}

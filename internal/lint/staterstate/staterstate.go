@@ -1,0 +1,218 @@
+// Package staterstate mechanizes the checkpointing contract from
+// DESIGN.md §6: an operator that accumulates mutable state across tuples
+// must implement snapshot.Stater, or a restore silently resumes it empty
+// — the failure mode PR 6's chaos harness observed as "post-restore
+// drift" before Duplicate's guard tables were made snapshot-visible.
+//
+// A type is in scope when it implements exec.Operator or exec.Source. It
+// counts as stateful when any method outside the setup/teardown set
+// (Open, Close, Init, mustInit) writes a receiver field: assignment,
+// increment, indexed write, delete, or a pointer-receiver method call on
+// a value field (mutexes and typed atomics mutate through exactly that
+// shape). Stateful non-Staters are reported at the type declaration.
+//
+// Deliberately stateless operators — or ones whose state is ephemeral by
+// design — carry //pace:stateless <reason> in the type doc. The reason is
+// mandatory: the waiver is the documented outcome of a review, not an
+// off-switch. A //pace:stateless on a type that does implement
+// snapshot.Stater is reported as contradictory so stale waivers cannot
+// linger after an operator grows a snapshot.
+package staterstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/lintutil"
+)
+
+// Analyzer enforces Stater on stateful operators.
+var Analyzer = &analysis.Analyzer{
+	Name: "staterstate",
+	Doc:  "stateful operators must implement snapshot.Stater or carry //pace:stateless (DESIGN.md §6)",
+	Run:  run,
+}
+
+const waiver = "stateless"
+
+// setupMethods may initialize state without marking the type stateful:
+// they run before (or after) the tuple stream, under the runner's
+// single-goroutine setup protocol, and their effects are reconstructed by
+// Open on restore.
+var setupMethods = map[string]bool{
+	"Open": true, "Close": true, "Init": true, "mustInit": true,
+}
+
+func run(pass *analysis.Pass) error {
+	execPkg := lintutil.FindImport(pass.Pkg, "repro/internal/exec")
+	if execPkg == nil {
+		return nil // no operators can exist here
+	}
+	operator := lintutil.InterfaceOf(execPkg, "Operator")
+	source := lintutil.InterfaceOf(execPkg, "Source")
+	snapPkg := lintutil.FindImport(pass.Pkg, "repro/internal/snapshot")
+	stater := lintutil.InterfaceOf(snapPkg, "Stater")
+	if stater == nil {
+		return nil // snapshot layer unreachable; contract cannot bind
+	}
+
+	methods := lintutil.Methods(pass.Files)
+	lintutil.TypeSpecs(pass.Files, func(spec *ast.TypeSpec, doc *ast.CommentGroup) {
+		obj := pass.TypesInfo.Defs[spec.Name]
+		if obj == nil {
+			return
+		}
+		t := obj.Type()
+		if !lintutil.Implements(t, operator) && !lintutil.Implements(t, source) {
+			return
+		}
+		isStater := lintutil.Implements(t, stater)
+		dir, waived := analysis.HasDirective(doc, waiver)
+		if waived && isStater {
+			pass.Reportf(spec.Name.Pos(), "contradictory //pace:stateless on %s, which implements snapshot.Stater", spec.Name.Name)
+			return
+		}
+		if waived && dir.Reason == "" {
+			pass.Reportf(spec.Name.Pos(), "//pace:stateless on %s needs a reason: document why losing this operator's state on restore is acceptable", spec.Name.Name)
+			return
+		}
+		if isStater || waived {
+			return
+		}
+		if pos, m, stateful := firstMutation(pass, methods[spec.Name.Name]); stateful {
+			pass.Reportf(spec.Name.Pos(), "operator %s mutates receiver state (in %s, %s) but does not implement snapshot.Stater; a restore resumes it empty — implement Stater or waive with //pace:stateless <reason>",
+				spec.Name.Name, m, pass.Fset.Position(pos))
+		}
+	})
+	return nil
+}
+
+// firstMutation scans the type's methods (setup/teardown excluded) for
+// receiver-state writes and returns the first site found.
+func firstMutation(pass *analysis.Pass, methods []*ast.FuncDecl) (token.Pos, string, bool) {
+	for _, fd := range methods {
+		if setupMethods[fd.Name.Name] || fd.Body == nil {
+			continue
+		}
+		recv, _, _ := lintutil.RecvName(fd)
+		if recv == "" {
+			continue
+		}
+		if pos, found := mutationIn(pass, fd.Body, recv); found {
+			return pos, fd.Name.Name, true
+		}
+	}
+	return token.NoPos, "", false
+}
+
+// mutationIn finds the first write to a field of the named receiver.
+func mutationIn(pass *analysis.Pass, body *ast.BlockStmt, recv string) (token.Pos, bool) {
+	info := pass.TypesInfo
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if recvRooted(info, lhs, recv) {
+					pos = lhs.Pos()
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if recvRooted(info, n.X, recv) {
+				pos = n.X.Pos()
+				return false
+			}
+		case *ast.CallExpr:
+			if name, ok := builtinName(info, n); ok && name == "delete" && len(n.Args) > 0 && recvRooted(info, n.Args[0], recv) {
+				pos = n.Pos()
+				return false
+			}
+			if p, ok := mutatingMethodCall(info, n, recv); ok {
+				pos = p
+				return false
+			}
+		}
+		return true
+	})
+	return pos, pos.IsValid()
+}
+
+// recvRooted reports whether expr reaches a field of the named receiver
+// (r.f, r.f[k], r.f.g, ...).
+func recvRooted(info *types.Info, e ast.Expr, recv string) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return x.Name == recv && isParamOrRecv(info, x)
+		default:
+			return false
+		}
+	}
+}
+
+// isParamOrRecv guards against shadowing: the ident must resolve to a
+// variable declared outside the body (the receiver), not a local.
+func isParamOrRecv(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Var)
+	return ok
+}
+
+// mutatingMethodCall reports a pointer-receiver method call on a value
+// field of the receiver (r.mu.Lock(), r.count.Add(1)): the only way a
+// method mutates through a field stored by value.
+func mutatingMethodCall(info *types.Info, call *ast.CallExpr, recv string) (token.Pos, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !recvRooted(info, sel.X, recv) {
+		return token.NoPos, false
+	}
+	if _, bareRecv := ast.Unparen(sel.X).(*ast.Ident); bareRecv {
+		return token.NoPos, false // r.helper(): the callee is scanned itself
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return token.NoPos, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return token.NoPos, false
+	}
+	sig := fn.Signature()
+	if sig.Recv() == nil {
+		return token.NoPos, false
+	}
+	if _, ptr := sig.Recv().Type().(*types.Pointer); !ptr {
+		return token.NoPos, false
+	}
+	// Pointer-valued fields mutate their pointee, not the operator.
+	if _, fieldIsPtr := s.Recv().Underlying().(*types.Pointer); fieldIsPtr {
+		return token.NoPos, false
+	}
+	return sel.Pos(), true
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}

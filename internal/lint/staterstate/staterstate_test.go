@@ -1,0 +1,12 @@
+package staterstate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/staterstate"
+)
+
+func TestStaterState(t *testing.T) {
+	linttest.Run(t, staterstate.Analyzer, "ops")
+}

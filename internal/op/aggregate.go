@@ -78,9 +78,9 @@ type Aggregate struct {
 	wstartIdx    int   // position of wstart in output schema
 	valueIdx     int   // position of the aggregate value in output schema
 	attrMap      core.AttrMap
-	state        map[string]*aggGroup
-	guardsOut    *core.GuardTable // emit-time guards (output patterns)
-	guardsPrefix *core.GuardTable // input-time guards (non-value patterns)
+	state        map[string]*aggGroup //pace:tracked
+	guardsOut    *core.GuardTable     // emit-time guards (output patterns)
+	guardsPrefix *core.GuardTable     // input-time guards (non-value patterns)
 	meter        work.Meter
 	// scratch backs probe-only tuples (prefixTuple): guards do not retain
 	// what they match against, so the buffer is reused across probes.
@@ -271,10 +271,18 @@ func (a *Aggregate) wstartValue(wid int64) stream.Value {
 	return stream.Int(start)
 }
 
+// errUnexpectedInput keeps the formatting allocation out of the annotated
+// hot paths; it is only reached on a miswired plan.
+func (a *Aggregate) errUnexpectedInput(input int) error {
+	return fmt.Errorf("op: aggregate %q: tuple on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+}
+
 // ProcessTuple implements exec.Operator.
+//
+//pace:hotpath
 func (a *Aggregate) ProcessTuple(input int, t stream.Tuple, _ exec.Context) error {
 	if input != 0 {
-		return fmt.Errorf("op: aggregate %q: tuple on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+		return a.errUnexpectedInput(input)
 	}
 	a.inTuples++
 	lo, hi := a.Window.WindowsOf(t.At(a.TsAttr).I)
@@ -297,7 +305,7 @@ func (a *Aggregate) ProcessTuple(input int, t stream.Tuple, _ exec.Context) erro
 		a.keyScratch = a.appendStateKey(a.keyScratch[:0], wid, t)
 		g := a.state[string(a.keyScratch)]
 		if g == nil {
-			owned := append([]stream.Value(nil), groupVals...)
+			owned := append([]stream.Value(nil), groupVals...) //pace:allow-alloc first sighting of a (window, group): the state entry owns its key values
 			g = &aggGroup{wid: wid, groupVals: owned, min: math.Inf(1), max: math.Inf(-1)}
 			a.state[string(a.keyScratch)] = g
 		}
@@ -329,9 +337,11 @@ func (a *Aggregate) ProcessTuple(input int, t stream.Tuple, _ exec.Context) erro
 // key skip the hash probe and coalesce to one changelog dirty note (legal
 // because nothing purges state mid-batch and dirty notes are idempotent —
 // DESIGN.md §10.6).
+//
+//pace:hotpath
 func (a *Aggregate) ApplyTupleBatch(input int, ts []stream.Tuple, _ exec.Context) error {
 	if input != 0 {
-		return fmt.Errorf("op: aggregate %q: tuple on unexpected input %d (single-input operator; check plan wiring)", a.Name(), input)
+		return a.errUnexpectedInput(input)
 	}
 	a.inTuples += int64(len(ts))
 	exploit := a.Mode == FeedbackExploit && a.guardsPrefix.Active() > 0
@@ -359,7 +369,7 @@ func (a *Aggregate) ApplyTupleBatch(input int, ts []stream.Tuple, _ exec.Context
 			if g == nil || !bytes.Equal(a.keyScratch, lastKey) {
 				g = a.state[string(a.keyScratch)]
 				if g == nil {
-					owned := append([]stream.Value(nil), groupVals...)
+					owned := append([]stream.Value(nil), groupVals...) //pace:allow-alloc first sighting of a (window, group): the state entry owns its key values
 					g = &aggGroup{wid: wid, groupVals: owned, min: math.Inf(1), max: math.Inf(-1)}
 					a.state[string(a.keyScratch)] = g
 				}

@@ -122,6 +122,8 @@ func NewExpr(arity int, steps ...ExprStep) (*Expr, error) {
 
 // Eval reports whether the tuple satisfies every step. No allocation, and
 // no function call for opcode-compiled comparisons on matching kinds.
+//
+//pace:hotpath
 func (e *Expr) Eval(t stream.Tuple) bool {
 	for i := range e.steps {
 		s := &e.steps[i]

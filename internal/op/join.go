@@ -74,8 +74,8 @@ type Join struct {
 	rightCarry          []int // right attrs carried to output (non-keys)
 	part                core.JoinPartition
 	leftMap, rightMap   core.AttrMap
-	leftTable           map[string][]*joinEntry
-	rightTable          map[string][]*joinEntry
+	leftTable           map[string][]*joinEntry //pace:tracked
+	rightTable          map[string][]*joinEntry //pace:tracked
 	guardsL, guardsR    *core.GuardTable
 	guardsOut           *core.GuardTable
 	leftWM, rightWM     int64
@@ -323,13 +323,15 @@ func (j *Join) processLeft(t stream.Tuple, ctx exec.Context) error {
 }
 
 // applyLeft is processLeft past the input-guard probe: build, probe, emit.
+//
+//pace:hotpath
 func (j *Join) applyLeft(t stream.Tuple, ctx exec.Context) error {
 	key := t.Key(j.LeftKeys)
 	if j.Impatient && !j.impatientKeys[key] {
 		j.impatientKeys[key] = true
 		j.sendImpatient(t, ctx)
 	}
-	e := &joinEntry{t: t, ts: j.tsOf(t, j.LeftTs)}
+	e := &joinEntry{t: t, ts: j.tsOf(t, j.LeftTs)} //pace:allow-alloc every arriving tuple is retained in the hash table; the entry is the state
 	for _, r := range j.rightTable[key] {
 		if j.Residual == nil || j.Residual(t, r.t) {
 			if !r.matched {
@@ -373,9 +375,11 @@ func (j *Join) processRight(t stream.Tuple, ctx exec.Context) error {
 }
 
 // applyRight is processRight past the input-guard probe.
+//
+//pace:hotpath
 func (j *Join) applyRight(t stream.Tuple, ctx exec.Context) error {
 	key := t.Key(j.RightKeys)
-	e := &joinEntry{t: t, ts: j.tsOf(t, j.RightTs)}
+	e := &joinEntry{t: t, ts: j.tsOf(t, j.RightTs)} //pace:allow-alloc every arriving tuple is retained in the hash table; the entry is the state
 	for _, l := range j.leftTable[key] {
 		if j.Residual == nil || j.Residual(l.t, t) {
 			if !l.matched {

@@ -16,6 +16,8 @@ import (
 // function of the whole input tuple. Carried attributes determine how
 // punctuation relays downstream and how feedback propagates upstream
 // (computed attributes block both, exactly like a join's derived columns).
+//
+//pace:stateless guards are exploitation-only; losing them on restore means suppressing less, never wrong results
 type Map struct {
 	exec.Base
 	OpName string
@@ -131,13 +133,15 @@ func (m *Map) Open(exec.Context) error {
 }
 
 // ProcessTuple implements exec.Operator.
+//
+//pace:hotpath
 func (m *Map) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	m.nIn.Add(1)
 	// Carry-all maps (pure renames) share the input's Values: safe
 	// because tuples are immutable after emit (DESIGN.md §2.1).
 	out := t
 	if !m.identity {
-		vals := make([]stream.Value, len(m.Outs))
+		vals := make([]stream.Value, len(m.Outs)) //pace:allow-alloc non-identity maps mint a new tuple whose values downstream owns
 		for i, o := range m.Outs {
 			if src := m.attrMap.ToInput[i]; src >= 0 {
 				vals[i] = t.At(src)

@@ -16,6 +16,8 @@ import (
 // attribute, so assumed feedback over the output schema always has a safe
 // propagation; embedded punctuation survives downstream iff its bound
 // attributes are kept (see RelayPunct).
+//
+//pace:stateless guards are exploitation-only; losing them on restore means suppressing less, never wrong results
 type Project struct {
 	exec.Base
 	OpName string
@@ -106,6 +108,8 @@ func (p *Project) Open(exec.Context) error {
 }
 
 // ProcessTuple implements exec.Operator.
+//
+//pace:hotpath
 func (p *Project) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	p.nIn.Add(1)
 	projected := t

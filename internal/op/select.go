@@ -21,6 +21,8 @@ import (
 // Cost models per-tuple evaluation expense (e.g. the data-quality filter at
 // the bottom of the Figure 4(b) plan); the Figure 7 F3 scheme saves this
 // cost for suppressed tuples.
+//
+//pace:stateless guards are exploitation-only; losing them on restore means suppressing less, never wrong results (Definition 1)
 type Select struct {
 	exec.Base
 	OpName string
@@ -71,6 +73,8 @@ func (s *Select) Open(exec.Context) error {
 }
 
 // ProcessTuple implements exec.Operator.
+//
+//pace:hotpath
 func (s *Select) ProcessTuple(_ int, t stream.Tuple, ctx exec.Context) error {
 	s.in.Add(1)
 	if s.Mode != FeedbackIgnore && s.guards.Suppress(t) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/punct"
 	"repro/internal/snapshot"
+	"repro/internal/stream"
 )
 
 // errInputCountChanged reports a snapshot whose input/partition fan does
@@ -60,6 +61,8 @@ var (
 	_ snapshot.TwoPhase    = (*Pace)(nil)
 	_ snapshot.TwoPhase    = (*Merge)(nil)
 	_ snapshot.TwoPhase    = (*Split)(nil)
+	_ snapshot.TwoPhase    = (*Duplicate)(nil)
+	_ snapshot.TwoPhase    = (*Prioritize)(nil)
 	_ snapshot.DeltaStater = (*Aggregate)(nil)
 	_ snapshot.DeltaStater = (*Join)(nil)
 )
@@ -172,6 +175,8 @@ func (a *Aggregate) decodeGroup(dec *snapshot.Decoder) (string, *aggGroup) {
 // dropCovered applies assumption-driven state dropping to one restored
 // entry: guards asserted at the cut cover subsets the consumer disclaimed,
 // so their state need not survive recovery.
+//
+//pace:allow-nonote restore-only helper; LoadState/ApplyDelta reset the changelog after it runs
 func (a *Aggregate) dropCovered(k string, g *aggGroup) {
 	if a.guardsPrefix.Suppress(a.prefixTuple(g.wid, g.groupVals)) ||
 		a.guardsOut.Suppress(a.resultTuple(g)) {
@@ -209,6 +214,8 @@ func (a *Aggregate) LoadState(dec *snapshot.Decoder) error {
 
 // ApplyDelta implements snapshot.DeltaStater: deletions first, then
 // upserts, then the cut's guards and counters replace the current ones.
+//
+//pace:allow-nonote restore path; the applied cut is the new changelog baseline, rebuilt wholesale
 func (a *Aggregate) ApplyDelta(dec *snapshot.Decoder) error {
 	nd := dec.GetInt()
 	for i := 0; i < nd && dec.Err() == nil; i++ {
@@ -442,6 +449,8 @@ func getJoinEntry(dec *snapshot.Decoder) *joinEntry {
 }
 
 // LoadState implements snapshot.Stater.
+//
+//pace:allow-nonote restore path; the loaded cut is the new changelog baseline, rebuilt wholesale
 func (j *Join) LoadState(dec *snapshot.Decoder) error {
 	// Tables are re-read after the guards so assumption-driven dropping can
 	// consult them — but the wire order must match the encoder, so stash
@@ -483,6 +492,8 @@ func (j *Join) LoadState(dec *snapshot.Decoder) error {
 // per-key bucket replacement, then the aux tail replaces current values.
 // Replaced buckets are re-filtered through the cut's input guards, the
 // same assumption-driven dropping LoadState applies.
+//
+//pace:allow-nonote restore path; the applied cut is the new changelog baseline, rebuilt wholesale
 func (j *Join) ApplyDelta(dec *snapshot.Decoder) error {
 	var replaced [2][]string
 	for side := 0; side < 2; side++ {
@@ -851,6 +862,144 @@ func (s *Split) LoadState(dec *snapshot.Decoder) error {
 	s.suppressed = dec.GetInt64()
 	for i := range s.outPer {
 		s.outPer[i] = dec.GetInt64()
+	}
+	return dec.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate.
+// ---------------------------------------------------------------------------
+
+// dupCap is the captured view of a Duplicate.
+type dupCap struct {
+	perOut     [][]core.Feedback
+	propagated []string
+	counters   [3]int64
+}
+
+// CaptureState implements snapshot.TwoPhase. Found by the staterstate
+// analyzer: Duplicate accumulated per-consumer guard tables and the
+// already-relayed pattern set with no Stater, so a restored instance
+// forgot every assertion its consumers had made — it stopped exploiting
+// unanimously-asserted feedback (safe but wasteful) and, worse, could
+// relay the same pattern upstream a second time. The state mirrors
+// Split's: per-output guards, the propagated set, and counters.
+func (d *Duplicate) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	v := &dupCap{
+		perOut:     make([][]core.Feedback, d.n()),
+		propagated: sortedKeys(d.propagated),
+		counters:   [3]int64{d.in, d.out, d.suppressed},
+	}
+	for i := 0; i < d.n(); i++ {
+		v.perOut[i] = snapshot.GuardsView(d.perOut[i])
+	}
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt(len(v.perOut))
+		for i := range v.perOut {
+			snapshot.PutGuardsView(enc, v.perOut[i])
+		}
+		enc.PutInt(len(v.propagated))
+		for _, k := range v.propagated {
+			enc.PutString(k)
+		}
+		for _, c := range v.counters {
+			enc.PutInt64(c)
+		}
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (d *Duplicate) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(d, enc)
+}
+
+// LoadState implements snapshot.Stater.
+func (d *Duplicate) LoadState(dec *snapshot.Decoder) error {
+	n := dec.GetInt()
+	if n != d.n() {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return errInputCountChanged("duplicate", d.Name(), n, d.n())
+	}
+	for i := 0; i < d.n(); i++ {
+		d.perOut[i] = snapshot.GetGuards(dec, d.Schema.Arity())
+	}
+	nk := dec.GetInt()
+	d.propagated = make(map[string]bool, dec.CountHint(nk))
+	for i := 0; i < nk && dec.Err() == nil; i++ {
+		d.propagated[dec.GetString()] = true
+	}
+	for _, c := range []*int64{&d.in, &d.out, &d.suppressed} {
+		*c = dec.GetInt64()
+	}
+	return dec.Err()
+}
+
+// ---------------------------------------------------------------------------
+// Prioritize.
+// ---------------------------------------------------------------------------
+
+// prioCap is the captured view of a Prioritize.
+type prioCap struct {
+	pending  []stream.Tuple
+	desired  []punct.Pattern
+	guards   []core.Feedback
+	counters [4]int64
+}
+
+// CaptureState implements snapshot.TwoPhase. Found by the staterstate
+// analyzer: the reorder buffer holds tuples already consumed from
+// upstream but not yet emitted, so unlike the engine's genuinely
+// stateless pass-throughs a restore without it drops rows from the
+// result. Desired patterns and assumed guards ride along (the punctuation
+// scheme does not: it only expires desired patterns, and rebuilds from
+// post-restore punctuation).
+func (p *Prioritize) CaptureState(snapshot.CaptureMode) (snapshot.Capture, error) {
+	v := &prioCap{
+		pending:  append([]stream.Tuple(nil), p.pending...),
+		desired:  append([]punct.Pattern(nil), p.desired...),
+		guards:   snapshot.GuardsView(p.guards),
+		counters: [4]int64{p.in, p.out, p.promoted, p.dropped},
+	}
+	return snapshot.Capture{Encode: func(enc *snapshot.Encoder) error {
+		enc.PutInt(len(v.pending))
+		for _, t := range v.pending {
+			enc.PutTuple(t)
+		}
+		enc.PutInt(len(v.desired))
+		for _, d := range v.desired {
+			enc.PutPattern(d)
+		}
+		snapshot.PutGuardsView(enc, v.guards)
+		for _, c := range v.counters {
+			enc.PutInt64(c)
+		}
+		return nil
+	}}, nil
+}
+
+// SaveState implements snapshot.Stater.
+func (p *Prioritize) SaveState(enc *snapshot.Encoder) error {
+	return snapshot.EncodeCapture(p, enc)
+}
+
+// LoadState implements snapshot.Stater.
+func (p *Prioritize) LoadState(dec *snapshot.Decoder) error {
+	n := dec.GetInt()
+	p.pending = make([]stream.Tuple, 0, dec.CountHint(n))
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		p.pending = append(p.pending, dec.GetTuple())
+	}
+	nd := dec.GetInt()
+	p.desired = nil
+	for i := 0; i < nd && dec.Err() == nil; i++ {
+		p.desired = append(p.desired, dec.GetPatternArity(p.Schema.Arity()))
+	}
+	p.guards = snapshot.GetGuards(dec, p.Schema.Arity())
+	for _, c := range []*int64{&p.in, &p.out, &p.promoted, &p.dropped} {
+		*c = dec.GetInt64()
 	}
 	return dec.Err()
 }

@@ -109,7 +109,7 @@ func TestAggregateRestoreDropsAssumedState(t *testing.T) {
 	if got := a2.Stats().OpenGroups; got != 1 {
 		t.Fatalf("restore must drop the disclaimed group; open groups = %d", got)
 	}
-	h2.Punct(0, tsPunct(2 * minute))
+	h2.Punct(0, tsPunct(2*minute))
 	for _, tp := range h2.OutTuples(0) {
 		if tp.At(0).AsInt() == 2 {
 			t.Fatalf("disclaimed segment emitted after restore: %v", tp)
@@ -361,5 +361,78 @@ func TestAggregateRestorePurgeCounter(t *testing.T) {
 	saveLoad(t, a1, a2, func() error { return h2.Err() })
 	if a2.Stats().Purged != a1.Stats().Purged+1 {
 		t.Fatalf("restore purge not accounted: %d vs %d", a2.Stats().Purged, a1.Stats().Purged)
+	}
+}
+
+// TestDuplicateStateRoundTrip pins the Stater the staterstate analyzer
+// demanded: per-consumer assertions and the relayed-pattern set survive a
+// restore, so the twin keeps exploiting unanimously-asserted feedback and
+// does not relay the same pattern upstream a second time.
+func TestDuplicateStateRoundTrip(t *testing.T) {
+	d1 := &Duplicate{Schema: trafficSchema, N: 2, Mode: FeedbackExploit, Propagate: true}
+	h1 := exec.NewHarness(d1)
+	f := assumedOnSegment(3)
+	h1.Feedback(0, f)
+	h1.Feedback(1, f)
+	h1.Tuple(0, traffic(3, 1, 10, 50)) // unanimous: suppressed, relayed upstream
+	if len(h1.SentFeedback(0)) != 1 {
+		t.Fatal("setup: unanimous feedback must propagate")
+	}
+
+	d2 := &Duplicate{Schema: trafficSchema, N: 2, Mode: FeedbackExploit, Propagate: true}
+	h2 := exec.NewHarness(d2)
+	saveLoad(t, d1, d2, func() error { return h2.Err() })
+
+	// The restored twin keeps suppressing the disclaimed subset...
+	h2.Tuple(0, traffic(3, 2, 20, 55))
+	if len(h2.OutTuples(0)) != 0 || len(h2.OutTuples(1)) != 0 {
+		t.Fatal("restored DUPLICATE lost its consumers' assertions")
+	}
+	// ...and does not relay the already-propagated pattern again.
+	h2.Feedback(0, f)
+	h2.Feedback(1, f)
+	if len(h2.SentFeedback(0)) != 0 {
+		t.Fatal("restored DUPLICATE re-relayed an already-propagated pattern")
+	}
+	in, _, suppressed := d2.Stats()
+	if in != 2 || suppressed != 2 {
+		t.Fatalf("counters not restored: in=%d suppressed=%d", in, suppressed)
+	}
+}
+
+// TestPrioritizeStateRoundTrip pins the buffer-carrying Stater the
+// staterstate analyzer demanded: tuples sitting in the reorder buffer at
+// the cut — consumed from upstream, not yet emitted — reappear from the
+// restored twin, and the installed guard keeps suppressing.
+func TestPrioritizeStateRoundTrip(t *testing.T) {
+	p1 := &Prioritize{Schema: trafficSchema, Mode: FeedbackExploit}
+	h1 := exec.NewHarness(p1)
+	h1.Tuple(0, traffic(1, 1, 10, 50)) // buffered
+	h1.Tuple(0, traffic(2, 1, 20, 55)) // buffered
+	h1.Feedback(0, assumedOnSegment(3))
+	if len(h1.OutTuples(0)) != 0 {
+		t.Fatal("setup: tuples must still be buffered")
+	}
+
+	p2 := &Prioritize{Schema: trafficSchema, Mode: FeedbackExploit}
+	h2 := exec.NewHarness(p2)
+	saveLoad(t, p1, p2, func() error { return h2.Err() })
+
+	// The restored guard still suppresses the disclaimed subset.
+	h2.Tuple(0, traffic(3, 1, 30, 60))
+	// EOS drains the restored buffer: both pre-crash tuples must appear.
+	h2.EOS(0)
+	got := h2.OutTuples(0)
+	if len(got) != 2 {
+		t.Fatalf("restored buffer emitted %d tuples, want 2", len(got))
+	}
+	for i, want := range []int64{1, 2} {
+		if got[i].At(0).AsInt() != want {
+			t.Fatalf("tuple %d: segment %d, want %d", i, got[i].At(0).AsInt(), want)
+		}
+	}
+	in, _, _, dropped := p2.Stats()
+	if in != 3 || dropped != 1 {
+		t.Fatalf("counters not restored: in=%d dropped=%d", in, dropped)
 	}
 }

@@ -16,6 +16,8 @@ import (
 //
 // Feedback propagates to every input: the mapping is the identity, so
 // propagation is always safe.
+//
+//pace:stateless watermarks rebuild conservatively from post-restore punctuation; withholding punctuation is always safe
 type Union struct {
 	exec.Base
 	OpName string

@@ -108,6 +108,8 @@ func CompilePred(pr Pred) CompiledPred {
 
 // Matches reports whether v satisfies the predicate. Equivalent to
 // Pred.Matches; performs no allocation.
+//
+//pace:hotpath
 func (c *CompiledPred) Matches(v stream.Value) bool {
 	return c.cp.matches(v)
 }
@@ -125,6 +127,8 @@ func (c *Compiled) NumBound() int { return len(c.preds) }
 
 // Matches reports whether the tuple satisfies every bound predicate. It is
 // equivalent to the source Pattern's Matches and performs no allocation.
+//
+//pace:hotpath
 func (c *Compiled) Matches(t stream.Tuple) bool {
 	if c.arity != t.Arity() {
 		return false

@@ -77,6 +77,8 @@ func (p Pattern) Bound() []int {
 }
 
 // Matches reports whether the tuple satisfies every attribute predicate.
+//
+//pace:hotpath
 func (p Pattern) Matches(t stream.Tuple) bool {
 	if len(p.preds) != t.Arity() {
 		return false

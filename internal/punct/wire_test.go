@@ -109,10 +109,10 @@ func TestPatternWireRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		{},
-		{0x7f, 0x01},             // wrong version
-		{wireVersion},            // missing arity
-		{wireVersion, 0x02, 200}, // unknown op
-		{wireVersion, 0x01, byte(EQ)},      // truncated value
+		{0x7f, 0x01},                        // wrong version
+		{wireVersion},                       // missing arity
+		{wireVersion, 0x02, 200},            // unknown op
+		{wireVersion, 0x01, byte(EQ)},       // truncated value
 		{wireVersion, 0x01, byte(In), 0x05}, // In-set shorter than declared
 		// Huge declared counts must error, not drive a giant allocation.
 		{wireVersion, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f},

@@ -110,6 +110,8 @@ func New(opts Options) *Conn {
 // ---------------------------------------------------------------------------
 
 // PutTuple appends a tuple, flushing the page if it fills.
+//
+//pace:hotpath
 func (c *Conn) PutTuple(t stream.Tuple) {
 	c.cur.AppendTuple(t)
 	c.tuples.Add(1)
@@ -122,6 +124,8 @@ func (c *Conn) PutTuple(t stream.Tuple) {
 // chunk: the capacity check and flush decision run once per page of room
 // instead of once per tuple. Equivalent to calling PutTuple on each tuple
 // in order.
+//
+//pace:hotpath
 func (c *Conn) PutTuples(ts []stream.Tuple) {
 	c.tuples.Add(int64(len(ts)))
 	for len(ts) > 0 {
@@ -144,8 +148,10 @@ func (c *Conn) PutTuples(ts []stream.Tuple) {
 // PutPunct appends embedded punctuation. Punctuation flushes the page
 // (unless FlushOnPunct is disabled) so that progress information is never
 // stuck behind a partially-filled page.
+//
+//pace:hotpath
 func (c *Conn) PutPunct(e punct.Embedded) {
-	c.cur.AppendPunct(&e)
+	c.cur.AppendPunct(&e) //pace:allow-alloc puncts are rare and boxed by design: the Item slot stores a pointer
 	c.puncts.Add(1)
 	if c.opts.FlushOnPunct {
 		c.punctFlushes.Add(1)
@@ -166,6 +172,8 @@ func (c *Conn) PutBarrier(epoch int64) {
 // Flush sends the current page downstream if non-empty, drawing the
 // replacement from the recycling pool. If the consumer has aborted the
 // connection, the page is recycled instead of blocking.
+//
+//pace:hotpath
 func (c *Conn) Flush() {
 	if c.cur.Len() == 0 {
 		return

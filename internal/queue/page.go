@@ -86,10 +86,14 @@ func (p *Page) Len() int { return len(p.Items) }
 func (p *Page) Full(capacity int) bool { return len(p.Items) >= capacity }
 
 // Append adds an item.
+//
+//pace:hotpath
 func (p *Page) Append(it Item) { p.Items = append(p.Items, it) }
 
 // AppendTuple adds a tuple item, writing directly into the next slot (no
 // intermediate Item value on the producer's stack) when capacity allows.
+//
+//pace:hotpath
 func (p *Page) AppendTuple(t stream.Tuple) {
 	n := len(p.Items)
 	if n == cap(p.Items) {
@@ -105,6 +109,8 @@ func (p *Page) AppendTuple(t stream.Tuple) {
 
 // AppendTuples adds a run of tuple items, sizing the slice once and writing
 // slots directly — no per-tuple capacity check when room allows.
+//
+//pace:hotpath
 func (p *Page) AppendTuples(ts []stream.Tuple) {
 	n := len(p.Items)
 	if n+len(ts) <= cap(p.Items) {
@@ -123,6 +129,8 @@ func (p *Page) AppendTuples(ts []stream.Tuple) {
 }
 
 // AppendPunct adds a punctuation item.
+//
+//pace:hotpath
 func (p *Page) AppendPunct(e *punct.Embedded) {
 	n := len(p.Items)
 	if n == cap(p.Items) {

@@ -105,6 +105,8 @@ func unmarshalPattern(raw []byte) (punct.Pattern, error) {
 // Sink is an exec.Operator with no outputs: everything it receives is
 // framed onto the connection. Feedback frames arriving from the remote
 // side are relayed upstream into the local plan.
+//
+//pace:stateless its state is the connection itself (codec, write buffer); the supervisor re-dials and the barrier protocol re-aligns on restore
 type Sink struct {
 	exec.Base
 	SinkName string
@@ -335,6 +337,8 @@ func (s *Sink) TelemetryVars() []telemetry.Var {
 
 // Source is an exec.Source replaying the frames a remote Sink sends;
 // feedback delivered to it is framed back over the connection.
+//
+//pace:stateless its state is the connection itself (codec, barrier hook); the supervisor re-dials and the barrier protocol re-aligns on restore
 type Source struct {
 	SourceName string
 	Schema     stream.Schema
